@@ -1,0 +1,124 @@
+// Ablation: the vector-clock baseline the paper argues against (§7).
+//
+// "Naively applying [a VC algorithm] to task parallel code would be
+// impractical, since it requires storing a VC of length n ... incurring a
+// multiplicative factor of n overhead on top of the work." Here n is the
+// number of function instances; every spawn/create snapshots an O(n) clock.
+// This bench runs the reachability-only configuration of MultiBags,
+// MultiBags+, and the VC baseline on a future-chain workload of growing n
+// and prints the per-construct cost — VC's grows linearly with n (quadratic
+// total) while the bag algorithms stay flat.
+#include <cstdio>
+#include <functional>
+
+#include "detect/multibags.hpp"
+#include "detect/multibags_plus.hpp"
+#include "detect/vector_clock.hpp"
+#include "runtime/serial.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace frd;
+
+namespace {
+
+// Spawn-tree + future-chain mix: f function instances total.
+void workload(rt::serial_runtime& rt, int chain, int tree_depth) {
+  std::function<void(int)> tree = [&](int d) {
+    if (d == 0) return;
+    rt.spawn([&, d] { tree(d - 1); });
+    rt.spawn([&, d] { tree(d - 1); });
+    rt.sync();
+  };
+  rt::future<int> prev;
+  for (int i = 0; i < chain; ++i) {
+    auto cur = rt.create_future(
+        [&prev]() -> int { return prev.valid() ? prev.get() + 1 : 0; });
+    prev = std::move(cur);
+  }
+  tree(tree_depth);
+  (void)prev.get();
+}
+
+template <typename Backend>
+double timed(int chain, int depth, int reps, Backend* (*make)(),
+             void (*destroy)(Backend*)) {
+  std::vector<double> ts;
+  for (int r = 0; r < reps; ++r) {
+    Backend* b = make();
+    rt::serial_runtime rt(b);
+    wall_timer t;
+    rt.run([&] { workload(rt, chain, depth); });
+    ts.push_back(t.seconds());
+    destroy(b);
+  }
+  return mean(ts);
+}
+
+template <typename Backend>
+double timed(int chain, int depth, int reps) {
+  return timed<Backend>(
+      chain, depth, reps, +[]() { return new Backend(); },
+      +[](Backend* b) { delete b; });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& reps = flags.int_flag("reps", 3, "repetitions");
+  flags.parse();
+  const int n = static_cast<int>(reps);
+
+  // Mix 1 — MultiBags+'s design point (§5: "most of the parallelism is
+  // created using spawn and sync, but there are also k future operations"):
+  // a large spawn tree plus a short future chain. k stays small; VC still
+  // pays O(n) per spawn.
+  {
+    text_table t({"spawns (n)", "futures (k)", "multibags", "multibags+",
+                  "vector-clock", "VC / MB+"});
+    for (int depth : {9, 11, 13}) {
+      const int chain = 64;
+      const double mb = timed<detect::multibags>(chain, depth, n);
+      const double mbp = timed<detect::multibags_plus>(chain, depth, n);
+      const double vc = timed<detect::vector_clock_backend>(chain, depth, n);
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.1fx", vc / mbp);
+      t.add_row({std::to_string((1 << (depth + 1)) - 2), std::to_string(chain),
+                 text_table::seconds(mb), text_table::seconds(mbp),
+                 text_table::seconds(vc), ratio});
+    }
+    std::printf("\n== Ablation: spawn-heavy programs, few futures "
+                "(reachability only) ==\n%s",
+                t.render().c_str());
+  }
+
+  // Mix 2 — the k² worst case: nearly every construct is a future op. Here
+  // MultiBags+ pays its closure term and the VC baseline can even win; the
+  // paper's bound O(T1 + k^2) makes this crossover explicit.
+  {
+    text_table t({"futures (k)", "multibags", "multibags+", "vector-clock",
+                  "VC / MB"});
+    for (int chain : {512, 2048, 8192}) {
+      const int depth = 6;
+      const double mb = timed<detect::multibags>(chain, depth, n);
+      const double mbp = timed<detect::multibags_plus>(chain, depth, n);
+      const double vc = timed<detect::vector_clock_backend>(chain, depth, n);
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.1fx", vc / mb);
+      t.add_row({std::to_string(chain), text_table::seconds(mb),
+                 text_table::seconds(mbp), text_table::seconds(vc), ratio});
+    }
+    std::printf("\n== Ablation: future-chain programs, k ~ n (MultiBags+ "
+                "worst case) ==\n%s",
+                t.render().c_str());
+  }
+  std::puts("reading: MultiBags is near-free everywhere (structured programs "
+            "only); for general programs MultiBags+ beats the VC baseline "
+            "when k is small relative to the total construct count, and "
+            "pays its k^2 term when futures dominate — exactly the trade "
+            "the paper's O(T1*a(m,n) + k^2) bound describes.");
+  return 0;
+}

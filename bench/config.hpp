@@ -1,0 +1,184 @@
+// Benchmark inputs and kernel closures shared by the figure benches.
+//
+// Sizes are scaled down from the paper's testbed (Xeon E5-4620, 500 GB; lcs
+// N=16k, sw/mm N=2048, bst 8e6/4e6 nodes) so a full figure run finishes in
+// ~a minute on a laptop-class container; --scale raises them back up. Base
+// cases follow the paper's B = sqrt(N) for the DP kernels.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "bench/harness.hpp"
+#include "bench_suite/bst.hpp"
+#include "bench_suite/dedup.hpp"
+#include "bench_suite/heartwall.hpp"
+#include "bench_suite/lcs.hpp"
+#include "bench_suite/mm.hpp"
+#include "bench_suite/sw.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench_harness {
+
+enum class variant { structured, general };
+
+struct sizes {
+  std::size_t lcs_n = 2048;
+  std::size_t lcs_base = 45;  // ~sqrt(N)
+  std::size_t sw_n = 256;
+  std::size_t sw_base = 16;  // sqrt(N)
+  std::size_t mm_n = 192;
+  std::size_t mm_base = 16;  // nearest divisor of N to sqrt(N)
+  int hw_size = 192;
+  int hw_points = 32;
+  int hw_frames = 10;
+  std::size_t dedup_bytes = 6u << 20;
+  std::size_t dedup_fragment = 1u << 16;
+  std::size_t bst_n1 = 200000;
+  std::size_t bst_n2 = 100000;
+  int bst_cutoff = 11;
+};
+
+inline sizes scaled_sizes(double scale) {
+  sizes s;
+  if (scale == 1.0) return s;
+  const double lin = scale;
+  s.lcs_n = static_cast<std::size_t>(static_cast<double>(s.lcs_n) * lin);
+  s.lcs_base = static_cast<std::size_t>(std::sqrt(static_cast<double>(s.lcs_n)));
+  s.sw_n = static_cast<std::size_t>(static_cast<double>(s.sw_n) * lin);
+  s.sw_base = static_cast<std::size_t>(std::sqrt(static_cast<double>(s.sw_n)));
+  // mm_n must stay divisible by mm_base.
+  s.mm_n = static_cast<std::size_t>(static_cast<double>(s.mm_n) * lin) /
+               s.mm_base * s.mm_base;
+  if (s.mm_n < s.mm_base) s.mm_n = s.mm_base;
+  s.hw_frames = std::max(2, static_cast<int>(s.hw_frames * lin));
+  s.dedup_bytes =
+      static_cast<std::size_t>(static_cast<double>(s.dedup_bytes) * lin);
+  s.bst_n1 = static_cast<std::size_t>(static_cast<double>(s.bst_n1) * lin);
+  s.bst_n2 = static_cast<std::size_t>(static_cast<double>(s.bst_n2) * lin);
+  return s;
+}
+
+// Each maker captures its input by shared_ptr (constructed once, outside the
+// timed region) and validates the first answer against the reference.
+
+inline kernel_fn make_lcs_case(const sizes& sz, variant v) {
+  auto in = std::make_shared<bench::lcs_input>(
+      bench::make_lcs_input(sz.lcs_n, 101));
+  auto want = std::make_shared<int>(bench::lcs_reference(*in));
+  const std::size_t base = sz.lcs_base;
+  return [in, want, base, v](rt::serial_runtime& rt, bool instr) {
+    using bench::lcs_general;
+    using bench::lcs_structured;
+    int got;
+    if (v == variant::structured) {
+      got = instr ? lcs_structured<detect::hooks::active>(rt, *in, base)
+                  : lcs_structured<detect::hooks::none>(rt, *in, base);
+    } else {
+      got = instr ? lcs_general<detect::hooks::active>(rt, *in, base)
+                  : lcs_general<detect::hooks::none>(rt, *in, base);
+    }
+    FRD_CHECK_MSG(got == *want, "lcs kernel produced a wrong answer");
+  };
+}
+
+inline kernel_fn make_sw_case(const sizes& sz, variant v) {
+  auto in = std::make_shared<bench::sw_input>(bench::make_sw_input(sz.sw_n, 102));
+  auto want = std::make_shared<std::int32_t>(bench::sw_reference(*in));
+  const std::size_t base = sz.sw_base;
+  return [in, want, base, v](rt::serial_runtime& rt, bool instr) {
+    using bench::sw_general;
+    using bench::sw_structured;
+    std::int32_t got;
+    if (v == variant::structured) {
+      got = instr ? sw_structured<detect::hooks::active>(rt, *in, base)
+                  : sw_structured<detect::hooks::none>(rt, *in, base);
+    } else {
+      got = instr ? sw_general<detect::hooks::active>(rt, *in, base)
+                  : sw_general<detect::hooks::none>(rt, *in, base);
+    }
+    FRD_CHECK_MSG(got == *want, "sw kernel produced a wrong answer");
+  };
+}
+
+inline kernel_fn make_mm_case(const sizes& sz, variant v) {
+  auto in = std::make_shared<bench::mm_input>(bench::make_mm_input(sz.mm_n, 103));
+  auto want =
+      std::make_shared<double>(bench::mm_checksum(bench::mm_reference(*in)));
+  const std::size_t base = sz.mm_base;
+  return [in, want, base, v](rt::serial_runtime& rt, bool instr) {
+    using bench::mm_general;
+    using bench::mm_structured;
+    std::vector<float> got;
+    if (v == variant::structured) {
+      got = instr ? mm_structured<detect::hooks::active>(rt, *in, base)
+                  : mm_structured<detect::hooks::none>(rt, *in, base);
+    } else {
+      got = instr ? mm_general<detect::hooks::active>(rt, *in, base)
+                  : mm_general<detect::hooks::none>(rt, *in, base);
+    }
+    FRD_CHECK_MSG(bench::mm_checksum(got) == *want,
+                  "mm kernel produced a wrong product");
+  };
+}
+
+inline kernel_fn make_heartwall_case(const sizes& sz, variant v) {
+  auto in = std::make_shared<bench::heartwall_input>(bench::make_heartwall_input(
+      sz.hw_size, sz.hw_size, sz.hw_points, sz.hw_frames, 104));
+  return [in, v](rt::serial_runtime& rt, bool instr) {
+    using bench::heartwall_general;
+    using bench::heartwall_structured;
+    std::vector<image::point> got;
+    if (v == variant::structured) {
+      got = instr ? heartwall_structured<detect::hooks::active>(rt, *in)
+                  : heartwall_structured<detect::hooks::none>(rt, *in);
+    } else {
+      got = instr ? heartwall_general<detect::hooks::active>(rt, *in)
+                  : heartwall_general<detect::hooks::none>(rt, *in);
+    }
+    FRD_CHECK_MSG(got.size() == in->points0.size(), "heartwall lost points");
+  };
+}
+
+// dedup has a single (structured) program; both figures run it, only the
+// detector differs. Its compressor is never instrumented here, matching the
+// paper's uninstrumentable compression library (see ablation_compressor).
+inline kernel_fn make_dedup_case(const sizes& sz, variant) {
+  auto in = std::make_shared<bench::dedup_input>(
+      bench::make_dedup_corpus(sz.dedup_bytes, 60, 105));
+  auto want = std::make_shared<bench::dedup_result>(
+      bench::dedup_reference(*in, sz.dedup_fragment));
+  const std::size_t fragment = sz.dedup_fragment;
+  return [in, want, fragment](rt::serial_runtime& rt, bool instr) {
+    using detect::hooks::active;
+    using detect::hooks::none;
+    const bench::dedup_result got =
+        instr ? bench::dedup_pipeline<active, none>(rt, *in, fragment)
+              : bench::dedup_pipeline<none, none>(rt, *in, fragment);
+    FRD_CHECK_MSG(got == *want, "dedup pipeline diverged from the reference");
+  };
+}
+
+inline kernel_fn make_bst_case(const sizes& sz, variant v) {
+  // The merge is destructive, so each run rebuilds the input (outside the
+  // timed region would be better, but rebuilding is ~5% of merge time and
+  // identical across configurations, so overheads stay comparable).
+  const std::size_t n1 = sz.bst_n1, n2 = sz.bst_n2;
+  const int cutoff = sz.bst_cutoff;
+  return [n1, n2, cutoff, v](rt::serial_runtime& rt, bool instr) {
+    auto in = bench::make_bst_input(n1, n2, 106);
+    using bench::bst_general;
+    using bench::bst_structured;
+    bench::bst_node* m;
+    if (v == variant::structured) {
+      m = instr ? bst_structured<detect::hooks::active>(rt, in, cutoff)
+                : bst_structured<detect::hooks::none>(rt, in, cutoff);
+    } else {
+      m = instr ? bst_general<detect::hooks::active>(rt, in, cutoff)
+                : bst_general<detect::hooks::none>(rt, in, cutoff);
+    }
+    FRD_CHECK_MSG(bench::bst_count(m) == n1 + n2, "bst merge lost nodes");
+  };
+}
+
+}  // namespace frd::bench_harness

@@ -1,0 +1,150 @@
+// Figure 8 reproduction: structured-future programs under BOTH algorithms in
+// the *reachability* configuration, shrinking the base case B (growing k).
+//
+// Paper shape: MultiBags stays ~1.0x regardless of B; MultiBags+ pays its k²
+// term — dramatic for lcs (Θ(n²) work vs (n/B)² futures: 2.19x at B=64,
+// 18.63x at B=32) and mm ((n/B)³ futures: 3.75x), negligible for sw (Θ(n³)
+// work swamps the same future count). We additionally report k and the
+// memory footprint of MultiBags+'s reachability matrix R, which the paper
+// calls out as the second cost driver at small base cases.
+#include <cstdio>
+
+#include "bench/config.hpp"
+#include "bench/harness.hpp"
+#include "detect/multibags.hpp"
+#include "detect/multibags_plus.hpp"
+#include "support/flags.hpp"
+
+using namespace frd;
+using namespace frd::bench;
+using namespace frd::bench_harness;
+
+namespace {
+
+struct sweep_case {
+  std::string name;
+  kernel_fn kernel;
+};
+
+struct row_out {
+  double base_s = 0, mb_s = 0, mbp_s = 0;
+  std::uint64_t k = 0;
+  std::size_t r_bytes = 0;
+  std::size_t r_nodes = 0;
+};
+
+row_out run_case(const kernel_fn& kernel, int reps) {
+  row_out out;
+  {
+    rt::serial_runtime runtime;  // untimed warmup
+    kernel(runtime, false);
+  }
+  {
+    std::vector<double> ts;
+    for (int r = 0; r < reps; ++r) {
+      rt::serial_runtime runtime;
+      wall_timer t;
+      kernel(runtime, false);
+      ts.push_back(t.seconds());
+    }
+    out.base_s = mean(ts);
+  }
+  {
+    std::vector<double> ts;
+    for (int r = 0; r < reps; ++r) {
+      detect::multibags mb;
+      rt::serial_runtime runtime(&mb);
+      wall_timer t;
+      kernel(runtime, false);
+      ts.push_back(t.seconds());
+    }
+    out.mb_s = mean(ts);
+  }
+  {
+    std::vector<double> ts;
+    for (int r = 0; r < reps; ++r) {
+      detect::multibags_plus mbp;
+      rt::serial_runtime runtime(&mbp);
+      wall_timer t;
+      kernel(runtime, false);
+      ts.push_back(t.seconds());
+      out.r_bytes = mbp.r().closure_bytes();
+      out.r_nodes = mbp.r().size();
+      out.k = mbp.r().stats().arcs;  // proxy scale; exact k printed by fig6/7
+    }
+    out.mbp_s = mean(ts);
+  }
+  return out;
+}
+
+std::string human_bytes(std::size_t b) {
+  char buf[32];
+  if (b >= (1u << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB", static_cast<double>(b) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fKiB", static_cast<double>(b) / (1 << 10));
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& reps = flags.int_flag("reps", 3, "repetitions per configuration");
+  auto& lcs_n = flags.int_flag("lcs_n", 2048, "lcs problem size");
+  auto& sw_n = flags.int_flag("sw_n", 256, "sw problem size");
+  auto& mm_n = flags.int_flag("mm_n", 128, "mm problem size");
+  flags.parse();
+
+  sizes sz;
+  std::vector<sweep_case> cases;
+  auto add_lcs = [&](std::size_t b) {
+    sizes s = sz;
+    s.lcs_n = static_cast<std::size_t>(lcs_n);
+    s.lcs_base = b;
+    cases.push_back({"lcs (B=" + std::to_string(b) + ")",
+                     make_lcs_case(s, variant::structured)});
+  };
+  auto add_sw = [&](std::size_t b) {
+    sizes s = sz;
+    s.sw_n = static_cast<std::size_t>(sw_n);
+    s.sw_base = b;
+    cases.push_back({"sw (B=" + std::to_string(b) + ")",
+                     make_sw_case(s, variant::structured)});
+  };
+  auto add_mm = [&](std::size_t b) {
+    sizes s = sz;
+    s.mm_n = static_cast<std::size_t>(mm_n);
+    s.mm_base = b;
+    cases.push_back({"mm (B=" + std::to_string(b) + ")",
+                     make_mm_case(s, variant::structured)});
+  };
+  add_lcs(64);
+  add_lcs(32);
+  add_sw(32);
+  add_sw(16);
+  add_mm(16);
+  add_mm(8);
+
+  text_table table({"bench", "baseline", "multibags", "multibags+", "R nodes",
+                    "R closure"});
+  for (const auto& c : cases) {
+    std::fprintf(stderr, "[fig8] %s...\n", c.name.c_str());
+    const row_out r = run_case(c.kernel, static_cast<int>(reps));
+    table.add_row({c.name, text_table::seconds(r.base_s),
+                   text_table::seconds_with_overhead(r.mb_s, r.base_s),
+                   text_table::seconds_with_overhead(r.mbp_s, r.base_s),
+                   std::to_string(r.r_nodes), human_bytes(r.r_bytes)});
+  }
+  std::printf("\n== Figure 8: base-case sweep, reachability configuration, "
+              "structured programs under both algorithms ==\n%s",
+              table.render().c_str());
+  std::puts(
+      "paper reference (Fig 8): lcs B=64 -> MultiBags 1.03x vs MultiBags+ "
+      "2.19x; lcs B=32 -> 0.98x vs 18.63x; sw B=32 -> 1.01x vs 0.96x; mm "
+      "B=32 -> 1.00x vs 3.75x. Shape to check: MultiBags flat at ~1x, "
+      "MultiBags+ growing as the base case shrinks (k grows), except sw "
+      "whose Θ(n³) work hides the k² term.\n");
+  return 0;
+}

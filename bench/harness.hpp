@@ -1,0 +1,151 @@
+// Shared harness for the paper-table benches (Figures 6-8).
+//
+// A bench case is a kernel closure parameterized by the runtime and a
+// compile-time-selected hook policy (passed as a bool: instrumented or
+// not). The harness times it under the paper's four configurations:
+//
+//   baseline         serial runtime, no listener, hooks::none
+//   reachability     detector listening, hooks::none
+//   instrumentation  detector listening, hooks::active, no history work
+//   full             detector listening, hooks::active, full race detection
+//
+// Each configuration runs `reps` times; the mean is reported with the
+// overhead multiplier against the baseline, in the paper's row format.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "runtime/serial.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace frd::bench_harness {
+
+// run(rt, instrumented): execute the kernel once. The closure owns its input
+// (constructed outside the timed region) and should validate its own answer
+// on the first run.
+using kernel_fn = std::function<void(rt::serial_runtime&, bool instrumented)>;
+
+struct timing {
+  double seconds = 0;
+  double rel_stddev = 0;
+  std::uint64_t races = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t gets = 0;
+};
+
+inline timing time_config(const kernel_fn& kernel, detect::algorithm alg,
+                          detect::level lvl, int reps) {
+  timing out;
+  std::vector<double> times;
+  // One untimed warmup run so the first configuration measured does not
+  // absorb the cold-cache / page-fault cost of touching the input.
+  {
+    rt::serial_runtime runtime;
+    kernel(runtime, false);
+  }
+  for (int r = 0; r < reps; ++r) {
+    if (lvl == detect::level::baseline) {
+      rt::serial_runtime runtime;
+      wall_timer t;
+      kernel(runtime, /*instrumented=*/false);
+      times.push_back(t.seconds());
+      continue;
+    }
+    detect::detector det(alg, lvl);
+    detect::scoped_global_detector bind(&det);
+    rt::serial_runtime runtime(&det);
+    const bool instrumented = lvl == detect::level::instrumentation ||
+                              lvl == detect::level::full;
+    wall_timer t;
+    kernel(runtime, instrumented);
+    times.push_back(t.seconds());
+    out.races = det.report().total();
+    out.violations = det.structured_violations();
+    out.gets = det.get_count();
+  }
+  out.seconds = mean(times);
+  out.rel_stddev = rel_stddev(times);
+  return out;
+}
+
+struct case_row {
+  std::string name;
+  kernel_fn kernel;
+  bool expect_race_free = true;
+  bool expect_disciplined = false;  // assert 0 structured violations
+};
+
+// Runs the Figure 6/7 shape: all four configurations under one algorithm.
+// Returns per-benchmark overheads for the geomean summary.
+struct fig_result {
+  std::vector<double> reach_overheads;
+  std::vector<double> full_overheads;
+  std::vector<std::string> names;
+};
+
+inline fig_result run_four_config_table(const std::vector<case_row>& cases,
+                                        detect::algorithm alg, int reps,
+                                        const char* caption) {
+  text_table table({"bench", "baseline", "reachability", "instr", "full",
+                    "k(gets)", "races"});
+  fig_result result;
+  for (const case_row& c : cases) {
+    std::fprintf(stderr, "[fig] %s: baseline...\n", c.name.c_str());
+    const timing base =
+        time_config(c.kernel, alg, detect::level::baseline, reps);
+    std::fprintf(stderr, "[fig] %s: reachability...\n", c.name.c_str());
+    const timing reach =
+        time_config(c.kernel, alg, detect::level::reachability, reps);
+    std::fprintf(stderr, "[fig] %s: instrumentation...\n", c.name.c_str());
+    const timing instr =
+        time_config(c.kernel, alg, detect::level::instrumentation, reps);
+    std::fprintf(stderr, "[fig] %s: full...\n", c.name.c_str());
+    const timing full = time_config(c.kernel, alg, detect::level::full, reps);
+
+    if (c.expect_race_free && full.races != 0) {
+      std::fprintf(stderr, "WARNING: %s reported %llu races; expected none\n",
+                   c.name.c_str(),
+                   static_cast<unsigned long long>(full.races));
+    }
+    if (c.expect_disciplined && full.violations != 0) {
+      std::fprintf(stderr,
+                   "WARNING: %s violated the structured discipline %llu times\n",
+                   c.name.c_str(),
+                   static_cast<unsigned long long>(full.violations));
+    }
+
+    table.add_row({c.name, text_table::seconds(base.seconds),
+                   text_table::seconds_with_overhead(reach.seconds, base.seconds),
+                   text_table::seconds_with_overhead(instr.seconds, base.seconds),
+                   text_table::seconds_with_overhead(full.seconds, base.seconds),
+                   std::to_string(full.gets), std::to_string(full.races)});
+    result.names.push_back(c.name);
+    result.reach_overheads.push_back(reach.seconds / base.seconds);
+    result.full_overheads.push_back(full.seconds / base.seconds);
+  }
+  std::printf("%s\n%s", caption, table.render().c_str());
+  return result;
+}
+
+// The paper's geometric means exclude dedup (its compression library was not
+// instrumentable, §6).
+inline void print_geomeans(const fig_result& r, const char* label) {
+  std::vector<double> reach, full;
+  for (std::size_t i = 0; i < r.names.size(); ++i) {
+    if (r.names[i].rfind("dedup", 0) == 0) continue;
+    reach.push_back(r.reach_overheads[i]);
+    full.push_back(r.full_overheads[i]);
+  }
+  std::printf(
+      "geomean overhead (%s, excluding dedup): reachability %.2fx, full "
+      "%.2fx\n\n",
+      label, geomean(reach), geomean(full));
+}
+
+}  // namespace frd::bench_harness

@@ -1,0 +1,86 @@
+// Microbenchmarks for the disjoint-set substrate (google-benchmark).
+//
+// The paper's bounds hinge on the O(α) amortized cost per DSU operation;
+// these benches pin the absolute per-op costs and the path-compression
+// ablation (without compression, find degenerates on chain-heavy workloads
+// like MultiBags' join chains).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dsu/disjoint_set.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using frd::dsu::element;
+using frd::dsu::forest;
+
+struct tag {
+  int v;
+};
+
+void BM_MakeSet(benchmark::State& state) {
+  for (auto _ : state) {
+    forest<tag> f;
+    for (int i = 0; i < 1024; ++i) benchmark::DoNotOptimize(f.make_set(nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MakeSet);
+
+void BM_UnionChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    forest<tag> f;
+    element head = f.make_set(nullptr);
+    for (std::size_t i = 1; i < n; ++i) f.union_into(head, f.make_set(nullptr));
+    benchmark::DoNotOptimize(f.find(static_cast<element>(n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionChain)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FindAfterChain(benchmark::State& state) {
+  // Post-chain finds: with compression these are ~1 hop amortized.
+  const bool compress = state.range(0) != 0;
+  const std::size_t n = 1 << 14;
+  forest<tag> f(compress);
+  element head = f.make_set(nullptr);
+  for (std::size_t i = 1; i < n; ++i) f.union_into(head, f.make_set(nullptr));
+  frd::prng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.find(static_cast<element>(rng.below(n))));
+  }
+  state.SetLabel(compress ? "path compression" : "no compression");
+}
+BENCHMARK(BM_FindAfterChain)->Arg(1)->Arg(0);
+
+void BM_MultibagsShapedWorkload(benchmark::State& state) {
+  // The op mix MultiBags generates: one make per strand, a union per strand
+  // begin, a union per join, and many finds (one per access-history query).
+  const std::size_t funcs = 1 << 10;
+  for (auto _ : state) {
+    forest<tag> f;
+    std::vector<element> reps;
+    frd::prng rng(7);
+    for (std::size_t i = 0; i < funcs; ++i) {
+      element r = f.make_set(nullptr);
+      for (int s = 0; s < 3; ++s) f.union_into(r, f.make_set(nullptr));
+      reps.push_back(r);
+      // joins back into a random earlier function
+      if (i > 0) f.union_into(reps[rng.below(i)], r);
+      // queries
+      for (int q = 0; q < 8; ++q)
+        benchmark::DoNotOptimize(
+            f.find(static_cast<element>(rng.below(f.size()))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(funcs * 12));
+}
+BENCHMARK(BM_MultibagsShapedWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Microbenchmarks for R's incremental transitive closure: the k² term of
+// MultiBags+ (paper Theorem 5.1) lives here. The pipeline shape mirrors what
+// future-chain programs (mm, dedup) build; the fan shape mirrors wavefronts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "detect/rgraph.hpp"
+
+namespace {
+
+using frd::detect::rgraph;
+
+void BM_ChainGrowth(benchmark::State& state) {
+  // A future chain: each new attached set hangs off the previous one.
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rgraph r;
+    rgraph::node prev = r.add_node();
+    for (int i = 1; i < k; ++i) {
+      rgraph::node n = r.add_node();
+      r.add_arc(prev, n);
+      prev = n;
+    }
+    benchmark::DoNotOptimize(r.reaches(0, prev));
+  }
+  state.SetComplexityN(k);
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_ChainGrowth)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_WavefrontGrowth(benchmark::State& state) {
+  // A t x t wavefront of attached sets: node (i,j) <- (i-1,j), (i,j-1).
+  const int t = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rgraph r;
+    std::vector<rgraph::node> grid(static_cast<std::size_t>(t) * t);
+    for (int i = 0; i < t; ++i) {
+      for (int j = 0; j < t; ++j) {
+        rgraph::node n = r.add_node();
+        grid[static_cast<std::size_t>(i) * t + j] = n;
+        if (i > 0) r.add_arc(grid[static_cast<std::size_t>(i - 1) * t + j], n);
+        if (j > 0) r.add_arc(grid[static_cast<std::size_t>(i) * t + j - 1], n);
+      }
+    }
+    benchmark::DoNotOptimize(r.closure_bytes());
+  }
+  state.SetLabel("t x t tiles");
+  state.SetItemsProcessed(state.iterations() * t * t);
+}
+BENCHMARK(BM_WavefrontGrowth)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_QueryLatency(benchmark::State& state) {
+  rgraph r;
+  const int k = 4096;
+  rgraph::node prev = r.add_node();
+  for (int i = 1; i < k; ++i) {
+    rgraph::node n = r.add_node();
+    r.add_arc(prev, n);
+    prev = n;
+  }
+  std::uint32_t a = 17, b = 4001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.reaches(a % k, b % k));
+    a = a * 1664525 + 1013904223;
+    b = b * 22695477 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

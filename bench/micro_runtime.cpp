@@ -1,0 +1,88 @@
+// Per-construct overhead of the runtimes: what a spawn/sync or
+// create_fut/get_fut costs with no detector, with reachability maintenance
+// (both algorithms), and in parallel. This isolates the "reachability"
+// column of Figures 6-7 per construct — the paper attributes bst's outlier
+// reachability overhead to its tiny work-per-construct ratio.
+#include <benchmark/benchmark.h>
+
+#include "detect/multibags.hpp"
+#include "detect/multibags_plus.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/serial.hpp"
+
+namespace {
+
+using frd::rt::serial_runtime;
+
+void spawn_tree(serial_runtime& rt, int depth) {
+  if (depth == 0) return;
+  rt.spawn([&rt, depth] { spawn_tree(rt, depth - 1); });
+  rt.spawn([&rt, depth] { spawn_tree(rt, depth - 1); });
+  rt.sync();
+}
+
+// Reachability backends are one-shot (fresh ids per program), so each
+// iteration builds its own backend + runtime; the loop body cost is
+// dominated by the 2^11 constructs, not the small allocations.
+void BM_SerialSpawnSync(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    frd::detect::multibags mb;
+    frd::detect::multibags_plus mbp;
+    frd::rt::execution_listener* l = nullptr;
+    if (which == 1) l = &mb;
+    if (which == 2) l = &mbp;
+    serial_runtime rt(l);
+    rt.run([&] { spawn_tree(rt, 10); });  // 2^11-2 spawns
+  }
+  state.SetLabel(which == 0 ? "no detector"
+                            : which == 1 ? "multibags" : "multibags+");
+  state.SetItemsProcessed(state.iterations() * ((1 << 11) - 2));
+}
+BENCHMARK(BM_SerialSpawnSync)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SerialFutureChain(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int n = 1024;
+  for (auto _ : state) {
+    frd::detect::multibags mb;
+    frd::detect::multibags_plus mbp;
+    frd::rt::execution_listener* l = nullptr;
+    if (which == 1) l = &mb;
+    if (which == 2) l = &mbp;
+    serial_runtime rt(l);
+    rt.run([&] {
+      frd::rt::future<int> prev;
+      for (int i = 0; i < n; ++i) {
+        auto cur = rt.create_future([&prev]() -> int {
+          return prev.valid() ? prev.get() + 1 : 0;
+        });
+        prev = std::move(cur);
+      }
+      benchmark::DoNotOptimize(prev.get());
+    });
+  }
+  state.SetLabel(which == 0 ? "no detector"
+                            : which == 1 ? "multibags" : "multibags+");
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerialFutureChain)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ParallelSpawnThroughput(benchmark::State& state) {
+  frd::rt::parallel_runtime rt(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<long> sink{0};
+    rt.run([&] {
+      for (int i = 0; i < 4096; ++i)
+        rt.spawn([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      rt.sync();
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ParallelSpawnThroughput)->Arg(1)->Arg(4)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

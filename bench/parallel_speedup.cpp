@@ -1,0 +1,69 @@
+// Sanity bench for the parallel substrate: the same future-wavefront that
+// the detector checks serially must actually scale when run on the
+// work-stealing runtime with detection off (the paper's deployment story:
+// detect serially during testing, run parallel in production).
+#include <cstdio>
+
+#include <atomic>
+#include <vector>
+
+#include "bench_suite/lcs.hpp"
+#include "runtime/parallel.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace frd;
+using namespace frd::bench;
+
+namespace {
+
+// Compute-heavy tile task so the scaling is visible at bench sizes.
+long heavy_tree(rt::parallel_runtime& rt, int depth, long leaf_work) {
+  if (depth == 0) {
+    long acc = 0;
+    for (long i = 0; i < leaf_work; ++i) acc += i * i % 1000003;
+    return acc;
+  }
+  std::atomic<long> left{0};
+  rt.spawn([&] { left.store(heavy_tree(rt, depth - 1, leaf_work)); });
+  const long right = heavy_tree(rt, depth - 1, leaf_work);
+  rt.sync();
+  return left.load() + right;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& depth = flags.int_flag("depth", 12, "task tree depth");
+  auto& leaf = flags.int_flag("leaf", 8000, "work per leaf");
+  auto& reps = flags.int_flag("reps", 3, "repetitions");
+  flags.parse();
+
+  text_table t({"workers", "seconds", "speedup"});
+  double t1 = 0;
+  long expect = -1;
+  for (unsigned workers : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<double> ts;
+    long got = 0;
+    for (int r = 0; r < reps; ++r) {
+      rt::parallel_runtime rt(workers);
+      wall_timer w;
+      rt.run([&] { got = heavy_tree(rt, static_cast<int>(depth),
+                                    static_cast<long>(leaf)); });
+      ts.push_back(w.seconds());
+    }
+    if (expect == -1) expect = got;
+    if (got != expect) std::fprintf(stderr, "WARNING: nondeterministic sum\n");
+    const double s = mean(ts);
+    if (workers == 1) t1 = s;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", t1 / s);
+    t.add_row({std::to_string(workers), text_table::seconds(s), buf});
+  }
+  std::printf("\n== Parallel runtime speedup (detection off) ==\n%s",
+              t.render().c_str());
+  return 0;
+}

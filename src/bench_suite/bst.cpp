@@ -1,0 +1,60 @@
+#include "bench_suite/bst.hpp"
+
+#include <limits>
+
+namespace frd::bench {
+
+namespace {
+
+// Balanced tree over keys {offset, offset+step, ...} via midpoint recursion.
+bst_node* build_balanced(arena& a, std::int64_t offset, std::int64_t step,
+                         std::size_t count) {
+  if (count == 0) return nullptr;
+  const std::size_t mid = count / 2;
+  auto* n = a.create<bst_node>(
+      bst_node{offset + step * static_cast<std::int64_t>(mid), nullptr, nullptr});
+  n->left = build_balanced(a, offset, step, mid);
+  n->right = build_balanced(a, offset + step * static_cast<std::int64_t>(mid + 1),
+                            step, count - mid - 1);
+  return n;
+}
+
+}  // namespace
+
+bst_input make_bst_input(std::size_t n1, std::size_t n2, std::uint64_t seed) {
+  bst_input in;
+  in.nodes = std::make_unique<arena>(1 << 20);
+  in.n1 = n1;
+  in.n2 = n2;
+  // Even keys vs odd keys: fully interleaved merges. The seed perturbs the
+  // starting offsets so different runs exercise different shapes.
+  const auto jitter = static_cast<std::int64_t>(seed % 1000) * 2;
+  in.t1 = build_balanced(*in.nodes, jitter, 2, n1);
+  in.t2 = build_balanced(*in.nodes, jitter + 1, 2, n2);
+  return in;
+}
+
+std::size_t bst_count(const bst_node* t) {
+  if (t == nullptr) return 0;
+  return 1 + bst_count(t->left) + bst_count(t->right);
+}
+
+namespace {
+bool check_range(const bst_node* t, std::int64_t lo, std::int64_t hi) {
+  if (t == nullptr) return true;
+  if (t->key <= lo || t->key >= hi) return false;
+  return check_range(t->left, lo, t->key) && check_range(t->right, t->key, hi);
+}
+}  // namespace
+
+bool bst_is_search_tree(const bst_node* t) {
+  return check_range(t, std::numeric_limits<std::int64_t>::min(),
+                     std::numeric_limits<std::int64_t>::max());
+}
+
+std::int64_t bst_key_sum(const bst_node* t) {
+  if (t == nullptr) return 0;
+  return t->key + bst_key_sum(t->left) + bst_key_sum(t->right);
+}
+
+}  // namespace frd::bench

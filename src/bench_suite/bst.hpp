@@ -1,0 +1,153 @@
+// bst: binary search tree merge in the style of Blelloch & Reid-Miller's
+// "Pipelining with futures" (paper §6, [10]).
+//
+// merge(a, b): split b around a's root key, then merge the two child pairs.
+// The child merges become futures; the parent *defers* joining them —
+// handles are queued and resolved later, so subtree merges overlap like the
+// BRM pipeline. Below `depth_cutoff` the merge runs serially (base-case
+// coarsening, same role as B in the DP kernels): the future count is
+// Θ(2^depth_cutoff).
+//
+// Structured: the resolver walks the fix-up queue top-down (reverse record
+//   order), so each handle's creator has already been joined before the
+//   handle is touched — single-touch + discipline hold.
+// General: the resolver walks bottom-up (record order): handles are touched
+//   while their creators are still logically parallel to main, which is
+//   exactly the unstructured-get pattern only MultiBags+ supports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_suite/common.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct bst_node {
+  std::int64_t key;
+  bst_node* left;
+  bst_node* right;
+};
+
+struct bst_input {
+  std::unique_ptr<arena> nodes;  // owns every node of both trees
+  bst_node* t1 = nullptr;
+  bst_node* t2 = nullptr;
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+};
+
+// t1 holds n1 even keys, t2 holds n2 odd keys (disjoint, interleaving), both
+// built balanced.
+bst_input make_bst_input(std::size_t n1, std::size_t n2, std::uint64_t seed);
+
+// Validation helpers.
+std::size_t bst_count(const bst_node* t);
+bool bst_is_search_tree(const bst_node* t);
+std::int64_t bst_key_sum(const bst_node* t);
+
+namespace detail {
+
+template <typename H>
+using ld_t = void;  // placeholder to keep the hook include obvious
+
+// Destructive split of t around `key` (no equal keys by construction):
+// returns {keys < key, keys > key}.
+template <typename H>
+std::pair<bst_node*, bst_node*> bst_split(bst_node* t, std::int64_t key) {
+  if (t == nullptr) return {nullptr, nullptr};
+  if (detect::hooks::ld<H>(t->key) < key) {
+    auto [lo, hi] = bst_split<H>(detect::hooks::ld<H>(t->right), key);
+    detect::hooks::st<H>(t->right, lo);
+    return {t, hi};
+  }
+  auto [lo, hi] = bst_split<H>(detect::hooks::ld<H>(t->left), key);
+  detect::hooks::st<H>(t->left, hi);
+  return {lo, t};
+}
+
+// Serial merge (base case and reference).
+template <typename H>
+bst_node* bst_merge_serial(bst_node* a, bst_node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  auto [lo, hi] = bst_split<H>(b, detect::hooks::ld<H>(a->key));
+  detect::hooks::st<H>(a->left,
+                       bst_merge_serial<H>(detect::hooks::ld<H>(a->left), lo));
+  detect::hooks::st<H>(a->right,
+                       bst_merge_serial<H>(detect::hooks::ld<H>(a->right), hi));
+  return a;
+}
+
+}  // namespace detail
+
+// Shared future-merge machinery; `structured` selects the resolver order.
+template <typename H>
+bst_node* bst_merge_futures(rt::serial_runtime& rt, bst_node* t1, bst_node* t2,
+                            int depth_cutoff, bool structured) {
+  struct fixup {
+    bst_node* parent;
+    std::size_t left_idx;
+    std::size_t right_idx;
+  };
+  bst_node* result = nullptr;
+
+  rt.run([&] {
+    std::deque<rt::future<bst_node*>> futs;
+    std::vector<fixup> fixups;
+
+    // Recursive merge; future indices are assigned after the (eager) create
+    // returns, i.e. in DFS post-order: children before their parent.
+    std::function<bst_node*(bst_node*, bst_node*, int)> merge =
+        [&](bst_node* a, bst_node* b, int depth) -> bst_node* {
+      if (a == nullptr) return b;
+      if (b == nullptr) return a;
+      if (depth >= depth_cutoff) return detail::bst_merge_serial<H>(a, b);
+      auto [lo, hi] = detail::bst_split<H>(b, detect::hooks::ld<H>(a->key));
+      bst_node* al = detect::hooks::ld<H>(a->left);
+      bst_node* ar = detect::hooks::ld<H>(a->right);
+      futs.push_back(rt.create_future(
+          [&, al, lo, depth] { return merge(al, lo, depth + 1); }));
+      const std::size_t li = futs.size() - 1;
+      futs.push_back(rt.create_future(
+          [&, ar, hi, depth] { return merge(ar, hi, depth + 1); }));
+      const std::size_t ri = futs.size() - 1;
+      fixups.push_back(fixup{a, li, ri});
+      return a;
+    };
+
+    result = merge(t1, t2, 0);
+
+    auto resolve = [&](const fixup& f) {
+      detect::hooks::st<H>(f.parent->left, futs[f.left_idx].get());
+      detect::hooks::st<H>(f.parent->right, futs[f.right_idx].get());
+    };
+    if (structured) {
+      // Top-down: a fix-up's handles were created by a body that an earlier
+      // (parent) fix-up already joined.
+      for (auto it = fixups.rbegin(); it != fixups.rend(); ++it) resolve(*it);
+    } else {
+      // Bottom-up: joins handles whose creators are still parallel to main.
+      for (const fixup& f : fixups) resolve(f);
+    }
+  });
+  return result;
+}
+
+template <typename H>
+bst_node* bst_structured(rt::serial_runtime& rt, bst_input& in,
+                         int depth_cutoff) {
+  return bst_merge_futures<H>(rt, in.t1, in.t2, depth_cutoff, true);
+}
+
+template <typename H>
+bst_node* bst_general(rt::serial_runtime& rt, bst_input& in, int depth_cutoff) {
+  return bst_merge_futures<H>(rt, in.t1, in.t2, depth_cutoff, false);
+}
+
+}  // namespace frd::bench

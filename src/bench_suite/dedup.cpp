@@ -1,0 +1,75 @@
+#include "bench_suite/dedup.hpp"
+
+#include "support/prng.hpp"
+
+namespace frd::bench {
+
+dedup_input make_dedup_corpus(std::size_t bytes, int redundancy_pct,
+                              std::uint64_t seed) {
+  FRD_CHECK(redundancy_pct >= 0 && redundancy_pct <= 100);
+  dedup_input in;
+  in.corpus.reserve(bytes);
+  prng rng(seed);
+
+  // Motif pool: long blocks that recur throughout the corpus. Motifs span
+  // many content-defined chunks (32-64 KiB vs the ~4 KiB chunk target), so
+  // their interior chunks re-synchronize and dedup — only the junction
+  // chunks at motif boundaries stay unique, like repeated regions in real
+  // archival data.
+  std::vector<std::vector<std::uint8_t>> motifs;
+  for (int m = 0; m < 4; ++m) {
+    std::vector<std::uint8_t> block((16u << 10) + rng.below(16u << 10));
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
+    motifs.push_back(std::move(block));
+  }
+
+  while (in.corpus.size() < bytes) {
+    if (rng.chance(static_cast<std::uint64_t>(redundancy_pct), 100)) {
+      const auto& m = motifs[rng.below(motifs.size())];
+      in.corpus.insert(in.corpus.end(), m.begin(), m.end());
+    } else {
+      std::size_t n = 4096 + rng.below(8192);
+      for (std::size_t i = 0; i < n; ++i)
+        in.corpus.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+  }
+  in.corpus.resize(bytes);
+  return in;
+}
+
+dedup_result dedup_reference(const dedup_input& in, std::size_t fragment_size) {
+  const std::size_t n_frags =
+      (in.corpus.size() + fragment_size - 1) / fragment_size;
+  dedup_result res;
+  res.fragments = n_frags;
+
+  detail::dedup_table table(in.corpus.size() / 1024 + 64);
+  std::uint64_t digest = 1469598103934665603ULL ^ 0xdeadbeef;
+
+  for (std::size_t f = 0; f < n_frags; ++f) {
+    const std::size_t off = f * fragment_size;
+    const std::size_t len = std::min(fragment_size, in.corpus.size() - off);
+    const std::span<const std::uint8_t> frag(in.corpus.data() + off, len);
+    auto chunks = compress::chunk_bytes(frag);
+    for (auto& c : chunks) {
+      c.offset += off;
+      const std::span<const std::uint8_t> chunk(in.corpus.data() + c.offset,
+                                                c.size);
+      const std::uint64_t key = compress::sha1_key64(compress::sha1(chunk));
+      ++res.total_chunks;
+      const bool fresh = table.insert<detect::hooks::none>(key);
+      std::uint64_t fold = key * 2 + (fresh ? 1 : 0);
+      if (fresh) {
+        ++res.unique_chunks;
+        auto packed = compress::lz_compress<detect::hooks::none>(chunk);
+        res.compressed_bytes += packed.size();
+        fold ^= compress::fnv1a64(packed);
+      }
+      digest = (digest ^ fold) * 1099511628211ULL;
+    }
+  }
+  res.output_digest = digest;
+  return res;
+}
+
+}  // namespace frd::bench

@@ -1,0 +1,189 @@
+// dedup: deduplicating compression pipeline (paper §6; PARSEC [7,8]).
+//
+// Two stages expressed with futures (the PARSEC five-stage pipeline with
+// refine/dedupe/compress collapsed onto the ordered stage):
+//   stage A (parallel): per fragment — content-defined chunking + SHA-1;
+//   stage B (ordered):  per fragment, chained through a future — dedup
+//                       hash-table pass, compression of unique chunks, and
+//                       in-order output accumulation.
+// The chain makes the shared dedup table and output stream race-free; the
+// escape-a-sync shape (stage A futures outliving any sync scope) is what
+// fork-join cannot express. dedup uses futures in a structured, single-touch
+// way — the paper notes it "does not utilize the flexibility of general
+// futures", so both Figure 6 and Figure 7 run this same program.
+//
+// The compressor hook policy is separate (`CH`): the paper could not
+// instrument its compression library (making dedup the overhead outlier);
+// CH = hooks::none reproduces that, CH = hooks::active is the ablation the
+// authors could not run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bench_suite/common.hpp"
+#include "compress/chunker.hpp"
+#include "compress/digest.hpp"
+#include "compress/lz.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct dedup_input {
+  std::vector<std::uint8_t> corpus;
+};
+
+// Synthetic corpus: blocks of fresh random bytes interleaved with repeats of
+// earlier motifs; `redundancy_pct` controls the dedup hit rate.
+dedup_input make_dedup_corpus(std::size_t bytes, int redundancy_pct,
+                              std::uint64_t seed);
+
+struct dedup_result {
+  std::size_t fragments = 0;
+  std::size_t total_chunks = 0;
+  std::size_t unique_chunks = 0;
+  std::size_t compressed_bytes = 0;
+  std::uint64_t output_digest = 0;  // order-sensitive fold over the output
+
+  bool operator==(const dedup_result&) const = default;
+};
+
+// Uninstrumented serial reference.
+dedup_result dedup_reference(const dedup_input& in, std::size_t fragment_size);
+
+namespace detail {
+
+// Announces the access stream of a byte scan (chunker / SHA-1 pass) to the
+// detector. The substrate routines themselves are not hook-templated; this
+// emits the same one-read-per-byte stream they perform (DESIGN.md
+// substitution note).
+template <typename H>
+void scan_bytes(std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t& b : bytes) detect::hooks::ld<H>(b);
+}
+
+struct frag_chunks {
+  std::size_t frag_offset = 0;
+  std::vector<compress::chunk_ref> chunks;  // offsets relative to corpus
+  std::vector<std::uint64_t> keys;          // sha1-derived 64-bit keys
+};
+
+// Fixed-capacity open-addressing dedup table with instrumented probes —
+// the shared state whose accesses the ordered stage must serialize.
+class dedup_table {
+ public:
+  explicit dedup_table(std::size_t expected)
+      : mask_(capacity_for(expected) - 1), slots_(mask_ + 1, kEmpty) {}
+
+  // Returns true if `key` was newly inserted (unique chunk).
+  template <typename H>
+  bool insert(std::uint64_t key) {
+    FRD_CHECK_MSG(size_ * 10 < slots_.size() * 7, "dedup table overfull");
+    std::size_t i = key & mask_;
+    for (;;) {
+      const std::uint64_t cur = detect::hooks::ld<H>(slots_[i]);
+      if (cur == key) return false;
+      if (cur == kEmpty) {
+        detect::hooks::st<H>(slots_[i], key);
+        ++size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+  static std::size_t capacity_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    return cap;
+  }
+  std::size_t mask_;
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+// H instruments the pipeline proper; CH instruments the compressor.
+template <typename H, typename CH>
+dedup_result dedup_pipeline(rt::serial_runtime& rt, const dedup_input& in,
+                            std::size_t fragment_size) {
+  const std::size_t n_frags =
+      (in.corpus.size() + fragment_size - 1) / fragment_size;
+  dedup_result res;
+  res.fragments = n_frags;
+
+  rt.run([&] {
+    // Stage A: chunk + fingerprint each fragment, all logically parallel.
+    std::vector<rt::future<detail::frag_chunks>> stage_a(n_frags);
+    for (std::size_t f = 0; f < n_frags; ++f) {
+      stage_a[f] = rt.create_future([&, f]() {
+        const std::size_t off = f * fragment_size;
+        const std::size_t len =
+            std::min(fragment_size, in.corpus.size() - off);
+        const std::span<const std::uint8_t> frag(in.corpus.data() + off, len);
+        detail::scan_bytes<H>(frag);  // the chunker's read stream
+        detail::frag_chunks out;
+        out.frag_offset = off;
+        out.chunks = compress::chunk_bytes(frag);
+        out.keys.reserve(out.chunks.size());
+        for (auto& c : out.chunks) {
+          c.offset += off;  // rebase to the corpus
+          const std::span<const std::uint8_t> chunk(in.corpus.data() + c.offset,
+                                                    c.size);
+          detail::scan_bytes<H>(chunk);  // SHA-1's read stream
+          out.keys.push_back(compress::sha1_key64(compress::sha1(chunk)));
+        }
+        return out;
+      });
+    }
+
+    // Stage B: ordered dedup + compress, chained through single-touch
+    // futures; the chain is the pipeline's serialization spine.
+    detail::dedup_table table(in.corpus.size() / 1024 + 64);
+    std::uint64_t digest_cell = 1469598103934665603ULL ^ 0xdeadbeef;
+    std::size_t compressed_cell = 0;
+    std::size_t total_cell = 0, unique_cell = 0;
+
+    std::vector<rt::future<int>> pipe(n_frags);
+    for (std::size_t f = 0; f < n_frags; ++f) {
+      pipe[f] = rt.create_future([&, f]() -> int {
+        if (f > 0) pipe[f - 1].get();          // single touch of f-1
+        const detail::frag_chunks& fc = stage_a[f].get();  // single touch
+        for (std::size_t ci = 0; ci < fc.chunks.size(); ++ci) {
+          detect::hooks::st<H>(total_cell, total_cell + 1);
+          const std::uint64_t key = fc.keys[ci];
+          const bool fresh = table.insert<H>(key);
+          std::uint64_t fold = key * 2 + (fresh ? 1 : 0);
+          if (fresh) {
+            detect::hooks::st<H>(unique_cell, unique_cell + 1);
+            const auto& c = fc.chunks[ci];
+            auto packed = compress::lz_compress<CH>(
+                std::span<const std::uint8_t>(in.corpus.data() + c.offset,
+                                              c.size));
+            detect::hooks::st<H>(compressed_cell,
+                                 compressed_cell + packed.size());
+            fold ^= compress::fnv1a64(packed);
+          }
+          const std::uint64_t d = detect::hooks::ld<H>(digest_cell);
+          detect::hooks::st<H>(digest_cell, (d ^ fold) * 1099511628211ULL);
+        }
+        return 1;
+      });
+    }
+    if (n_frags > 0) pipe[n_frags - 1].get();
+
+    res.total_chunks = total_cell;
+    res.unique_chunks = unique_cell;
+    res.compressed_bytes = compressed_cell;
+    res.output_digest = digest_cell;
+  });
+  return res;
+}
+
+}  // namespace frd::bench

@@ -1,0 +1,28 @@
+#include "bench_suite/heartwall.hpp"
+
+namespace frd::bench {
+
+heartwall_input make_heartwall_input(int width, int height, int n_points,
+                                     int n_frames, std::uint64_t seed) {
+  heartwall_input in{image::phantom_sequence(width, height, n_points, seed),
+                     {},
+                     {},
+                     n_frames};
+  in.frames.reserve(static_cast<std::size_t>(n_frames));
+  for (int t = 0; t < n_frames; ++t) in.frames.push_back(in.seq.make_frame(t));
+  in.points0 = in.seq.initial_points();
+  return in;
+}
+
+std::vector<image::point> heartwall_reference(const heartwall_input& in) {
+  std::vector<image::point> pts = in.points0;
+  for (int t = 1; t < in.n_frames; ++t) {
+    for (auto& p : pts) {
+      p = image::track_point<detect::hooks::none>(in.frames[t - 1], in.frames[t],
+                                                  p, in.tmpl_rad, in.search_rad);
+    }
+  }
+  return pts;
+}
+
+}  // namespace frd::bench

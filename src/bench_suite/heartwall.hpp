@@ -1,0 +1,101 @@
+// heartwall: ultrasound wall tracking (paper §6; Rodinia [15] adapted).
+//
+// Sample points on the heart wall are tracked from frame to frame by
+// template matching (image/tracking.hpp). The cross-frame dependence is a
+// per-point pipeline: the tracker for (t, p) needs point p's position from
+// frame t-1 — a future per (frame, point):
+//
+// Structured: task (t,p) joins F[t-1][p] only — each handle single-touch.
+// General:    task (t,p) joins F[t-1][p-1], F[t-1][p], F[t-1][p+1] and
+//             smooths over the neighbour positions (the wall is a contour,
+//             neighbours constrain each other) — handles are touched up to
+//             three times, which fork-join or single-touch futures cannot
+//             express (the paper's motivation for heartwall).
+#pragma once
+
+#include <vector>
+
+#include "bench_suite/common.hpp"
+#include "image/phantom.hpp"
+#include "image/tracking.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct heartwall_input {
+  image::phantom_sequence seq;
+  std::vector<image::frame> frames;  // pre-rendered (I/O stand-in)
+  std::vector<image::point> points0;
+  int n_frames;
+  int tmpl_rad = 3;
+  int search_rad = 4;
+};
+
+heartwall_input make_heartwall_input(int width, int height, int n_points,
+                                     int n_frames, std::uint64_t seed);
+
+// Uninstrumented serial reference: final positions of all points.
+std::vector<image::point> heartwall_reference(const heartwall_input& in);
+
+template <typename H>
+std::vector<image::point> heartwall_structured(rt::serial_runtime& rt,
+                                               const heartwall_input& in) {
+  const std::size_t np = in.points0.size();
+  std::vector<image::point> final_pos(np);
+  rt.run([&] {
+    std::vector<rt::future<image::point>> prev(np), cur(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      const image::point start = in.points0[p];
+      prev[p] = rt.create_future([start] { return start; });
+    }
+    for (int t = 1; t < in.n_frames; ++t) {
+      for (std::size_t p = 0; p < np; ++p) {
+        cur[p] = rt.create_future([&, t, p]() {
+          const image::point from = prev[p].get();  // single touch
+          return image::track_point<H>(in.frames[t - 1], in.frames[t], from,
+                                       in.tmpl_rad, in.search_rad);
+        });
+      }
+      std::swap(prev, cur);
+    }
+    for (std::size_t p = 0; p < np; ++p) final_pos[p] = prev[p].get();
+  });
+  return final_pos;
+}
+
+template <typename H>
+std::vector<image::point> heartwall_general(rt::serial_runtime& rt,
+                                            const heartwall_input& in) {
+  const std::size_t np = in.points0.size();
+  FRD_CHECK_MSG(np >= 3, "neighbour smoothing needs at least 3 points");
+  std::vector<image::point> final_pos(np);
+  rt.run([&] {
+    std::vector<rt::future<image::point>> prev(np), cur(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      const image::point start = in.points0[p];
+      prev[p] = rt.create_future([start] { return start; });
+    }
+    for (int t = 1; t < in.n_frames; ++t) {
+      for (std::size_t p = 0; p < np; ++p) {
+        cur[p] = rt.create_future([&, t, p]() {
+          // Multi-touch: each prev handle is joined by three trackers.
+          const image::point left = prev[(p + np - 1) % np].get();
+          const image::point mine = prev[p].get();
+          const image::point right = prev[(p + 1) % np].get();
+          // Gentle tangential correction of the *search* start only; the
+          // template stays anchored at the point's own previous position so
+          // a chord-midpoint bias cannot compound across frames.
+          image::point from{mine.x + (left.x + right.x - 2 * mine.x) / 8,
+                            mine.y + (left.y + right.y - 2 * mine.y) / 8};
+          return image::track_point<H>(in.frames[t - 1], in.frames[t], mine,
+                                       from, in.tmpl_rad, in.search_rad);
+        });
+      }
+      std::swap(prev, cur);
+    }
+    for (std::size_t p = 0; p < np; ++p) final_pos[p] = prev[p].get();
+  });
+  return final_pos;
+}
+
+}  // namespace frd::bench

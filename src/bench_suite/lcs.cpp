@@ -1,0 +1,22 @@
+#include "bench_suite/lcs.hpp"
+
+namespace frd::bench {
+
+int lcs_reference(const lcs_input& in) {
+  const std::size_t n = in.a.size(), m = in.b.size();
+  std::vector<std::int32_t> d((n + 1) * (m + 1), 0);
+  const std::size_t stride = m + 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (in.a[i - 1] == in.b[j - 1]) {
+        d[i * stride + j] = d[(i - 1) * stride + (j - 1)] + 1;
+      } else {
+        d[i * stride + j] =
+            std::max(d[(i - 1) * stride + j], d[i * stride + (j - 1)]);
+      }
+    }
+  }
+  return d[n * stride + m];
+}
+
+}  // namespace frd::bench

@@ -1,0 +1,75 @@
+// lcs: longest common subsequence, tiled wavefront DP (paper §6).
+//
+// D[i][j] = LCS length of a[0..i) and b[0..j). Θ(n²) work, Θ((n/B)²)
+// futures. Tile dependence and the structured/general future decompositions
+// live in wavefront.hpp.
+#pragma once
+
+#include <algorithm>
+
+#include "bench_suite/wavefront.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct lcs_input {
+  std::string a;
+  std::string b;
+};
+
+inline lcs_input make_lcs_input(std::size_t n, std::uint64_t seed) {
+  return lcs_input{random_string(n, seed), random_string(n, seed * 31 + 7)};
+}
+
+// Uninstrumented serial reference (validation).
+int lcs_reference(const lcs_input& in);
+
+namespace detail {
+
+// One DP tile, every access through the hook policy.
+template <typename H>
+void lcs_tile(const lcs_input& in, std::vector<std::int32_t>& d,
+              const tile_grid& g, std::size_t ti, std::size_t tj) {
+  const std::size_t stride = g.n + 1;
+  for (std::size_t i = g.row_begin(ti); i < g.row_end(ti); ++i) {
+    for (std::size_t j = g.row_begin(tj); j < g.row_end(tj); ++j) {
+      const char ca = detect::hooks::ld<H>(in.a[i - 1]);
+      const char cb = detect::hooks::ld<H>(in.b[j - 1]);
+      std::int32_t v;
+      if (ca == cb) {
+        v = detect::hooks::ld<H>(d[(i - 1) * stride + (j - 1)]) + 1;
+      } else {
+        v = std::max(detect::hooks::ld<H>(d[(i - 1) * stride + j]),
+                     detect::hooks::ld<H>(d[i * stride + (j - 1)]));
+      }
+      detect::hooks::st<H>(d[i * stride + j], v);
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename H>
+int lcs_structured(rt::serial_runtime& rt, const lcs_input& in,
+                   std::size_t base) {
+  FRD_CHECK(in.a.size() == in.b.size());
+  const tile_grid g(in.a.size(), base);
+  std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
+  wavefront_structured(rt, g, [&](std::size_t ti, std::size_t tj) {
+    detail::lcs_tile<H>(in, d, g, ti, tj);
+  });
+  return d[g.n * (g.n + 1) + g.n];
+}
+
+template <typename H>
+int lcs_general(rt::serial_runtime& rt, const lcs_input& in, std::size_t base) {
+  FRD_CHECK(in.a.size() == in.b.size());
+  const tile_grid g(in.a.size(), base);
+  std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
+  wavefront_general(rt, g, [&](std::size_t ti, std::size_t tj) {
+    detail::lcs_tile<H>(in, d, g, ti, tj);
+  });
+  return d[g.n * (g.n + 1) + g.n];
+}
+
+}  // namespace frd::bench

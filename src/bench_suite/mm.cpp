@@ -1,0 +1,37 @@
+#include "bench_suite/mm.hpp"
+
+#include "support/prng.hpp"
+
+namespace frd::bench {
+
+mm_input make_mm_input(std::size_t n, std::uint64_t seed) {
+  mm_input in;
+  in.n = n;
+  in.a.resize(n * n);
+  in.b.resize(n * n);
+  prng rng(seed);
+  // Small integer-valued floats keep float accumulation exact, so kernels
+  // can be compared bit-for-bit against the reference.
+  for (auto& x : in.a) x = static_cast<float>(rng.range(-4, 4));
+  for (auto& x : in.b) x = static_cast<float>(rng.range(-4, 4));
+  return in;
+}
+
+std::vector<float> mm_reference(const mm_input& in) {
+  const std::size_t n = in.n;
+  std::vector<float> c(n * n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const float aik = in.a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * in.b[k * n + j];
+    }
+  return c;
+}
+
+double mm_checksum(const std::vector<float>& c) {
+  double s = 0;
+  for (float x : c) s += x;
+  return s;
+}
+
+}  // namespace frd::bench

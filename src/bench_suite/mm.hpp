@@ -1,0 +1,128 @@
+// mm: blocked matrix multiplication without temporary matrices (paper §6).
+//
+// C is partitioned into (n/B)² blocks; block C(i,j) accumulates the K =
+// n/B partial products A(i,k)·B(k,j). Without temporaries the k-partials
+// for one C block must be *serialized*; with futures that is a chain:
+// task (i,j,k) joins the future of (i,j,k-1), different (i,j) chains run
+// logically in parallel. This yields the paper's (n/B)³ future count —
+// the largest k of the suite, which is what makes mm the clearest k²
+// stress for MultiBags+ in Figure 8.
+//
+// Structured: pure chains, every handle single-touch.
+// General: the chain-tail handles are additionally re-joined by a gather
+// pass (multi-touch), as a consumer that validates block results would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_suite/common.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct mm_input {
+  std::size_t n = 0;
+  std::vector<float> a;  // row-major n*n
+  std::vector<float> b;
+};
+
+mm_input make_mm_input(std::size_t n, std::uint64_t seed);
+
+// Uninstrumented serial reference; returns the full product.
+std::vector<float> mm_reference(const mm_input& in);
+
+// Checksum used to compare kernels cheaply (sum of all C entries).
+double mm_checksum(const std::vector<float>& c);
+
+namespace detail {
+
+// C(bi,bj) += A(bi,bk) * B(bk,bj), all through the hooks.
+template <typename H>
+void mm_block(const mm_input& in, std::vector<float>& c, std::size_t base,
+              std::size_t bi, std::size_t bj, std::size_t bk) {
+  const std::size_t n = in.n;
+  const std::size_t i0 = bi * base, j0 = bj * base, k0 = bk * base;
+  for (std::size_t i = i0; i < i0 + base; ++i) {
+    for (std::size_t j = j0; j < j0 + base; ++j) {
+      float acc = detect::hooks::ld<H>(c[i * n + j]);
+      for (std::size_t k = k0; k < k0 + base; ++k) {
+        acc += detect::hooks::ld<H>(in.a[i * n + k]) *
+               detect::hooks::ld<H>(in.b[k * n + j]);
+      }
+      detect::hooks::st<H>(c[i * n + j], acc);
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename H>
+std::vector<float> mm_structured(rt::serial_runtime& rt, const mm_input& in,
+                                 std::size_t base) {
+  FRD_CHECK(in.n % base == 0);
+  const std::size_t t = in.n / base;
+  std::vector<float> c(in.n * in.n, 0.0f);
+
+  rt.run([&] {
+    std::vector<rt::future<int>> chain(t * t);  // last link per C block
+    for (std::size_t k = 0; k < t; ++k) {
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+          auto prev = std::move(chain[i * t + j]);  // empty when k == 0
+          chain[i * t + j] =
+              rt.create_future([&, i, j, k, prev = std::move(prev)]() mutable {
+                if (prev.valid()) prev.get();
+                detail::mm_block<H>(in, c, base, i, j, k);
+                return 1;
+              });
+        }
+      }
+    }
+    for (std::size_t i = 0; i < t; ++i)
+      for (std::size_t j = 0; j < t; ++j) chain[i * t + j].get();
+  });
+  return c;
+}
+
+template <typename H>
+std::vector<float> mm_general(rt::serial_runtime& rt, const mm_input& in,
+                              std::size_t base) {
+  FRD_CHECK(in.n % base == 0);
+  const std::size_t t = in.n / base;
+  std::vector<float> c(in.n * in.n, 0.0f);
+
+  rt.run([&] {
+    std::vector<rt::future<int>> chain(t * t);
+    for (std::size_t k = 0; k < t; ++k) {
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+          auto prev = std::move(chain[i * t + j]);
+          chain[i * t + j] =
+              rt.create_future([&, i, j, k, prev = std::move(prev)]() mutable {
+                if (prev.valid()) prev.get();
+                detail::mm_block<H>(in, c, base, i, j, k);
+                return 1;
+              });
+        }
+      }
+    }
+    // Gather pass: one future per block row re-joins every tail handle in
+    // the row (first touch), then main re-joins them all (second touch) —
+    // multi-touch handles, hence a general-futures program.
+    std::vector<rt::future<int>> gather(t);
+    for (std::size_t i = 0; i < t; ++i) {
+      gather[i] = rt.create_future([&, i]() -> int {
+        for (std::size_t j = 0; j < t; ++j) chain[i * t + j].get();
+        return 1;
+      });
+    }
+    for (std::size_t i = 0; i < t; ++i) {
+      gather[i].get();
+      for (std::size_t j = 0; j < t; ++j) chain[i * t + j].get();
+    }
+  });
+  return c;
+}
+
+}  // namespace frd::bench

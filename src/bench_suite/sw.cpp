@@ -1,0 +1,26 @@
+#include "bench_suite/sw.hpp"
+
+namespace frd::bench {
+
+std::int32_t sw_reference(const sw_input& in) {
+  const std::size_t n = in.a.size(), m = in.b.size();
+  std::vector<std::int32_t> h((n + 1) * (m + 1), 0);
+  const std::size_t stride = m + 1;
+  std::int32_t best_overall = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::int32_t best = 0;
+      best = std::max(best, h[(i - 1) * stride + (j - 1)] +
+                                detail::sw_sub_score(in.a[i - 1], in.b[j - 1]));
+      for (std::size_t k = 1; k <= i; ++k)
+        best = std::max(best, h[(i - k) * stride + j] - detail::sw_gap_cost(k));
+      for (std::size_t l = 1; l <= j; ++l)
+        best = std::max(best, h[i * stride + (j - l)] - detail::sw_gap_cost(l));
+      h[i * stride + j] = best;
+      best_overall = std::max(best_overall, best);
+    }
+  }
+  return best_overall;
+}
+
+}  // namespace frd::bench

@@ -1,0 +1,87 @@
+// sw: Smith-Waterman local alignment with general gap penalties (paper §6).
+//
+// H(i,j) = max(0, H(i-1,j-1) + s(a_i,b_j),
+//              max_k H(i-k,j) - gap(k), max_l H(i,j-l) - gap(l))
+// The full row/column scans make the work Θ(n³) while the tiling still
+// yields only (n/B)² futures — which is why the paper reports that sw
+// barely feels MultiBags+'s k² term (Figure 8) where lcs (Θ(n²) work, same
+// future count) does.
+#pragma once
+
+#include <algorithm>
+
+#include "bench_suite/wavefront.hpp"
+#include "support/check.hpp"
+
+namespace frd::bench {
+
+struct sw_input {
+  std::string a;
+  std::string b;
+};
+
+inline sw_input make_sw_input(std::size_t n, std::uint64_t seed) {
+  return sw_input{random_string(n, seed + 3), random_string(n, seed * 17 + 11)};
+}
+
+// Scoring: +2 match, -1 mismatch, affine-free linear gap cost 1 + k/4 so
+// long gaps stay in play (keeps the column/row scans meaningful).
+namespace detail {
+
+inline std::int32_t sw_sub_score(char x, char y) { return x == y ? 2 : -1; }
+inline std::int32_t sw_gap_cost(std::size_t k) {
+  return static_cast<std::int32_t>(1 + k / 4);
+}
+
+template <typename H>
+void sw_tile(const sw_input& in, std::vector<std::int32_t>& h,
+             const tile_grid& g, std::size_t ti, std::size_t tj) {
+  const std::size_t stride = g.n + 1;
+  for (std::size_t i = g.row_begin(ti); i < g.row_end(ti); ++i) {
+    for (std::size_t j = g.row_begin(tj); j < g.row_end(tj); ++j) {
+      const char ca = detect::hooks::ld<H>(in.a[i - 1]);
+      const char cb = detect::hooks::ld<H>(in.b[j - 1]);
+      std::int32_t best = 0;
+      best = std::max(best, detect::hooks::ld<H>(h[(i - 1) * stride + (j - 1)]) +
+                                sw_sub_score(ca, cb));
+      for (std::size_t k = 1; k <= i; ++k)
+        best = std::max(best, detect::hooks::ld<H>(h[(i - k) * stride + j]) -
+                                  sw_gap_cost(k));
+      for (std::size_t l = 1; l <= j; ++l)
+        best = std::max(best, detect::hooks::ld<H>(h[i * stride + (j - l)]) -
+                                  sw_gap_cost(l));
+      detect::hooks::st<H>(h[i * stride + j], best);
+    }
+  }
+}
+
+}  // namespace detail
+
+// Maximum alignment score (the SW objective).
+std::int32_t sw_reference(const sw_input& in);
+
+template <typename H>
+std::int32_t sw_structured(rt::serial_runtime& rt, const sw_input& in,
+                           std::size_t base) {
+  FRD_CHECK(in.a.size() == in.b.size());
+  const tile_grid g(in.a.size(), base);
+  std::vector<std::int32_t> h((g.n + 1) * (g.n + 1), 0);
+  wavefront_structured(rt, g, [&](std::size_t ti, std::size_t tj) {
+    detail::sw_tile<H>(in, h, g, ti, tj);
+  });
+  return *std::max_element(h.begin(), h.end());
+}
+
+template <typename H>
+std::int32_t sw_general(rt::serial_runtime& rt, const sw_input& in,
+                        std::size_t base) {
+  FRD_CHECK(in.a.size() == in.b.size());
+  const tile_grid g(in.a.size(), base);
+  std::vector<std::int32_t> h((g.n + 1) * (g.n + 1), 0);
+  wavefront_general(rt, g, [&](std::size_t ti, std::size_t tj) {
+    detail::sw_tile<H>(in, h, g, ti, tj);
+  });
+  return *std::max_element(h.begin(), h.end());
+}
+
+}  // namespace frd::bench

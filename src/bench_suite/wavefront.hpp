@@ -1,0 +1,79 @@
+// Tiled-wavefront future scaffolding shared by lcs and sw.
+//
+// A tile (ti,tj) may run once the tile above and the tile to the left are
+// done. Two decompositions, matching the paper's two benchmark flavours:
+//
+// Structured (single-touch; §2 discipline):
+//   * the DOWN dependence is a *create* edge: tile (ti,tj)'s body creates
+//     the future for (ti+1,tj) after finishing its own block, so
+//     compute(ti,tj) ≺ body(ti+1,tj) without any get;
+//   * the RIGHT dependence is a get: body(ti,tj) joins the future of
+//     (ti,tj-1), which is touched by no one else;
+//   * main seeds row 0 and finally joins the last column top-to-bottom.
+//   Every handle is touched exactly once, and every handle slot is written
+//   before any ordered reader looks at it (no race on handles):
+//   T[i][j]'s slot is written by body(i-1,j), which precedes body(i,j+1)
+//   through the left-get chain of row i-1 plus the create edge.
+//
+// General (multi-touch; MultiBags+ only):
+//   one future per tile; its handle is joined by BOTH the tile below and
+//   the tile to the right.
+//
+// Both shapes have k = Θ((n/B)²) get_fut calls — the quantity Figure 8
+// sweeps via the base-case size B.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bench_suite/common.hpp"
+#include "runtime/serial.hpp"
+
+namespace frd::bench {
+
+// tile(ti, tj) computes one block; called exactly once per tile.
+template <typename TileFn>
+void wavefront_structured(rt::serial_runtime& rt, const tile_grid& g,
+                          TileFn tile) {
+  rt.run([&] {
+    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+
+    // make_tile(ti,tj) is invoked by whatever strand must precede the tile:
+    // main for row 0, the body of (ti-1,tj) otherwise.
+    std::function<void(std::size_t, std::size_t)> make_tile =
+        [&](std::size_t ti, std::size_t tj) {
+          fut[g.index(ti, tj)] = rt.create_future([&, ti, tj]() -> int {
+            if (tj > 0) fut[g.index(ti, tj - 1)].get();
+            tile(ti, tj);
+            if (ti + 1 < g.tiles) make_tile(ti + 1, tj);
+            return 1;
+          });
+        };
+
+    for (std::size_t tj = 0; tj < g.tiles; ++tj) make_tile(0, tj);
+    // Join the last column top-to-bottom; each get's creator is ordered
+    // before main by the previous get, keeping the discipline intact.
+    for (std::size_t ti = 0; ti < g.tiles; ++ti)
+      fut[g.index(ti, g.tiles - 1)].get();
+  });
+}
+
+template <typename TileFn>
+void wavefront_general(rt::serial_runtime& rt, const tile_grid& g, TileFn tile) {
+  rt.run([&] {
+    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+    for (std::size_t ti = 0; ti < g.tiles; ++ti) {
+      for (std::size_t tj = 0; tj < g.tiles; ++tj) {
+        fut[g.index(ti, tj)] = rt.create_future([&, ti, tj]() -> int {
+          if (ti > 0) fut[g.index(ti - 1, tj)].get();  // touch 1 of above
+          if (tj > 0) fut[g.index(ti, tj - 1)].get();  // touch 2 of left
+          tile(ti, tj);
+          return 1;
+        });
+      }
+    }
+    fut[g.index(g.tiles - 1, g.tiles - 1)].get();
+  });
+}
+
+}  // namespace frd::bench

@@ -1,0 +1,49 @@
+#include "compress/chunker.hpp"
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace frd::compress {
+
+const std::uint64_t* gear_table() {
+  static const auto table = [] {
+    // Deterministic table from our own PRNG: identical chunking everywhere.
+    static std::uint64_t t[256];
+    prng rng(0x6765617268617368ULL);  // "gearhash"
+    for (auto& v : t) v = rng.next();
+    return t;
+  }();
+  return table;
+}
+
+std::vector<chunk_ref> chunk_bytes(std::span<const std::uint8_t> data,
+                                   const chunk_params& params) {
+  FRD_CHECK_MSG(params.min_size > 0 && params.min_size <= params.target_size &&
+                    params.target_size <= params.max_size,
+                "chunk_params must satisfy min <= target <= max");
+  // Mask with log2(target) low bits: expected chunk length ~= target.
+  std::uint64_t mask = 1;
+  while (mask < params.target_size) mask <<= 1;
+  mask -= 1;
+
+  const std::uint64_t* gear = gear_table();
+  std::vector<chunk_ref> chunks;
+  std::size_t start = 0;
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    h = (h << 1) + gear[data[i]];
+    const std::size_t len = i - start + 1;
+    const bool cut = (len >= params.min_size && (h & mask) == 0) ||
+                     len >= params.max_size;
+    if (cut) {
+      chunks.push_back(chunk_ref{start, len});
+      start = i + 1;
+      h = 0;
+    }
+  }
+  if (start < data.size())
+    chunks.push_back(chunk_ref{start, data.size() - start});
+  return chunks;
+}
+
+}  // namespace frd::compress

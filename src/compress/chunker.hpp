@@ -1,0 +1,33 @@
+// Content-defined chunking (the Rabin-fingerprint stage of PARSEC dedup).
+//
+// Gear-hash CDC: roll h = (h << 1) + gear[byte]; declare a cut point when
+// the low `mask` bits vanish, subject to min/max chunk bounds. Identical
+// content produces identical chunks regardless of alignment, which is what
+// gives the dedup stage its hit rate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace frd::compress {
+
+struct chunk_params {
+  std::size_t min_size = 1 << 10;   // 1 KiB
+  std::size_t target_size = 1 << 12;  // ~4 KiB average
+  std::size_t max_size = 1 << 14;   // 16 KiB
+};
+
+struct chunk_ref {
+  std::size_t offset;
+  std::size_t size;
+};
+
+// Splits `data` into content-defined chunks covering it exactly.
+std::vector<chunk_ref> chunk_bytes(std::span<const std::uint8_t> data,
+                                   const chunk_params& params = {});
+
+// The gear table (exposed for tests: determinism across runs/platforms).
+const std::uint64_t* gear_table();
+
+}  // namespace frd::compress

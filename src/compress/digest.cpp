@@ -1,0 +1,110 @@
+#include "compress/digest.hpp"
+
+#include <cstring>
+
+namespace frd::compress {
+
+namespace {
+inline std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+sha1_digest sha1(std::span<const std::uint8_t> data) {
+  std::uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+                h3 = 0x10325476, h4 = 0xC3D2E1F0;
+
+  // Message with padding: 0x80, zeros, 64-bit big-endian bit length.
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t padded = data.size() + 1;
+  while (padded % 64 != 56) ++padded;
+  padded += 8;
+
+  auto byte_at = [&](std::size_t i) -> std::uint8_t {
+    if (i < data.size()) return data[i];
+    if (i == data.size()) return 0x80;
+    if (i < padded - 8) return 0x00;
+    const int shift = static_cast<int>(8 * (padded - 1 - i));
+    return static_cast<std::uint8_t>(bit_len >> shift);
+  };
+
+  std::uint32_t w[80];
+  for (std::size_t block = 0; block < padded; block += 64) {
+    for (int t = 0; t < 16; ++t) {
+      const std::size_t i = block + static_cast<std::size_t>(t) * 4;
+      w[t] = (static_cast<std::uint32_t>(byte_at(i)) << 24) |
+             (static_cast<std::uint32_t>(byte_at(i + 1)) << 16) |
+             (static_cast<std::uint32_t>(byte_at(i + 2)) << 8) |
+             static_cast<std::uint32_t>(byte_at(i + 3));
+    }
+    for (int t = 16; t < 80; ++t)
+      w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+    std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  sha1_digest out;
+  const std::uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4 + 0] = static_cast<std::uint8_t>(hs[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(hs[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(hs[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(hs[i]);
+  }
+  return out;
+}
+
+std::string to_hex(const sha1_digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  s.reserve(40);
+  for (std::uint8_t b : d) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xf]);
+  }
+  return s;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t sha1_key64(const sha1_digest& d) {
+  std::uint64_t k = 0;
+  for (int i = 0; i < 8; ++i) k |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  return k;
+}
+
+}  // namespace frd::compress

@@ -1,0 +1,27 @@
+// SHA-1 (FIPS 180-1) and FNV-1a digests.
+//
+// PARSEC's dedup fingerprints chunks with SHA-1; we implement it from the
+// spec (no external crypto dependency — this repo builds everything it
+// needs). SHA-1 is cryptographically broken for adversarial inputs but
+// remains exactly what the original benchmark uses for dedup keying.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace frd::compress {
+
+using sha1_digest = std::array<std::uint8_t, 20>;
+
+sha1_digest sha1(std::span<const std::uint8_t> data);
+std::string to_hex(const sha1_digest& d);
+
+// 64-bit FNV-1a: cheap keying for hash tables.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+
+// Dedup-table key: first 8 bytes of the SHA-1, little endian.
+std::uint64_t sha1_key64(const sha1_digest& d);
+
+}  // namespace frd::compress

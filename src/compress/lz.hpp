@@ -1,0 +1,131 @@
+// LZ77-style byte compressor (the zlib stand-in for the dedup pipeline).
+//
+// PARSEC's dedup compresses each unique chunk with zlib; the paper could not
+// instrument that dynamic library, which made dedup the overhead outlier in
+// Figures 6-7. Our compressor is templated on the instrumentation hook
+// policy, so the benches can reproduce the paper's setup (uninstrumented
+// compression, hooks::none) *and* run the counterfactual ablation the
+// authors could not (hooks::active).
+//
+// Format (self-delimiting op stream):
+//   0x00                         end of stream
+//   0x01 <varint n> <n bytes>    literal run
+//   0x02 <varint len> <varint d> match: copy `len` bytes from distance `d`
+//
+// Greedy matcher with a 4-byte hash head + bounded chain walk, 64 KiB
+// window — dictionary-coder shaped like deflate, small enough to audit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace frd::compress {
+
+// Varint plumbing shared by the codec and its tests (LEB128, low 7 bits
+// first).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+// Reads at `pos`, advances it; aborts on truncation (corrupt stream).
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+namespace detail {
+
+constexpr std::size_t kWindow = 1u << 16;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxChain = 32;
+constexpr std::size_t kHashBits = 15;
+
+inline std::uint32_t hash4(std::uint32_t x) {
+  return (x * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace detail
+
+// Compresses `in`; every byte the matcher reads is announced through H
+// (H::read on input bytes, H::write on output bytes).
+template <typename H>
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+
+  std::vector<std::int64_t> head(std::size_t{1} << detail::kHashBits, -1);
+  std::vector<std::int64_t> chain(in.size(), -1);
+
+  std::size_t lit_start = 0;
+
+  auto flush_literals = [&](std::size_t upto) {
+    if (upto == lit_start) return;
+    out.push_back(0x01);
+    put_varint(out, upto - lit_start);
+    for (std::size_t i = lit_start; i < upto; ++i) {
+      H::read(&in[i], 1);
+      out.push_back(in[i]);
+      H::write(&out.back(), 1);
+    }
+  };
+
+  auto load4 = [&](std::size_t i) {
+    H::read(&in[i], 4);
+    return static_cast<std::uint32_t>(in[i]) |
+           (static_cast<std::uint32_t>(in[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(in[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(in[i + 3]) << 24);
+  };
+
+  std::size_t i = 0;
+  while (i + detail::kMinMatch <= in.size()) {
+    const std::uint32_t h = detail::hash4(load4(i));
+    std::size_t best_len = 0, best_dist = 0;
+    std::int64_t cand = head[h];
+    for (std::size_t depth = 0;
+         cand >= 0 && depth < detail::kMaxChain &&
+         i - static_cast<std::size_t>(cand) <= detail::kWindow;
+         ++depth) {
+      const auto c = static_cast<std::size_t>(cand);
+      std::size_t len = 0;
+      while (i + len < in.size() && in[c + len] == in[i + len]) {
+        H::read(&in[c + len], 1);
+        H::read(&in[i + len], 1);
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = i - c;
+      }
+      cand = chain[c];
+    }
+
+    if (best_len >= detail::kMinMatch) {
+      flush_literals(i);
+      out.push_back(0x02);
+      put_varint(out, best_len);
+      put_varint(out, best_dist);
+      // Index every position covered by the match so later data can refer
+      // into it.
+      const std::size_t end = i + best_len;
+      while (i < end && i + detail::kMinMatch <= in.size()) {
+        const std::uint32_t hh = detail::hash4(load4(i));
+        chain[i] = head[hh];
+        head[hh] = static_cast<std::int64_t>(i);
+        ++i;
+      }
+      i = end;
+      lit_start = i;
+    } else {
+      chain[i] = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+      ++i;
+    }
+  }
+  flush_literals(in.size());
+  out.push_back(0x00);
+  return out;
+}
+
+// Decompresses a stream produced by lz_compress. Aborts (FRD_CHECK) on a
+// malformed stream — corrupt archives are a caller bug in this codebase.
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> in);
+
+}  // namespace frd::compress

@@ -1,0 +1,24 @@
+// Interface shared by the two reachability backends.
+#pragma once
+
+#include <string_view>
+
+#include "runtime/events.hpp"
+
+namespace frd::detect {
+
+// A reachability backend consumes the runtime's dag-growth events and
+// answers the only query a determinacy race detector needs (paper §3):
+// "does previously executed strand u precede the currently executing
+// strand?" (If not, they are logically parallel — the current strand cannot
+// be preceded by u's successors, which have not executed yet.)
+class reachability_backend : public rt::execution_listener {
+ public:
+  virtual bool precedes_current(rt::strand_id u) = 0;
+  virtual std::string_view name() const = 0;
+  // Structured-future discipline violations noticed at get_fut (0 when the
+  // backend does not check).
+  virtual std::uint64_t structured_violations() const { return 0; }
+};
+
+}  // namespace frd::detect

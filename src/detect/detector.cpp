@@ -1,0 +1,131 @@
+#include "detect/detector.hpp"
+
+#include "detect/multibags.hpp"
+#include "detect/multibags_plus.hpp"
+#include "detect/vector_clock.hpp"
+
+namespace frd::detect {
+
+namespace hooks {
+detector* g_detector = nullptr;
+
+void active::read(const void* p, std::size_t n) {
+  if (g_detector != nullptr) g_detector->on_read(p, n);
+}
+void active::write(const void* p, std::size_t n) {
+  if (g_detector != nullptr) g_detector->on_write(p, n);
+}
+}  // namespace hooks
+
+namespace {
+std::unique_ptr<reachability_backend> make_backend(algorithm a) {
+  if (a == algorithm::multibags) return std::make_unique<multibags>();
+  if (a == algorithm::vector_clock)
+    return std::make_unique<vector_clock_backend>();
+  return std::make_unique<multibags_plus>();
+}
+}  // namespace
+
+detector::detector(algorithm alg, level lvl)
+    : algo_(alg), level_(lvl), backend_(make_backend(alg)) {}
+
+detector::~detector() = default;
+
+// ---------------------------------------------------------------------------
+// Event forwarding. The baseline level ignores everything so that a single
+// detector type serves all four configurations.
+// ---------------------------------------------------------------------------
+#define FRD_FORWARD_IF_TRACKING(call)              \
+  do {                                             \
+    if (level_ != level::baseline) backend_->call; \
+  } while (0)
+
+void detector::on_program_begin(rt::func_id f, rt::strand_id s) {
+  current_ = s;
+  FRD_FORWARD_IF_TRACKING(on_program_begin(f, s));
+}
+void detector::on_program_end(rt::strand_id s) {
+  FRD_FORWARD_IF_TRACKING(on_program_end(s));
+}
+void detector::on_strand_begin(rt::strand_id s, rt::func_id f) {
+  current_ = s;
+  FRD_FORWARD_IF_TRACKING(on_strand_begin(s, f));
+}
+void detector::on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c,
+                        rt::strand_id w, rt::strand_id v) {
+  FRD_FORWARD_IF_TRACKING(on_spawn(p, u, c, w, v));
+}
+void detector::on_create(rt::func_id p, rt::strand_id u, rt::func_id c,
+                         rt::strand_id w, rt::strand_id v) {
+  FRD_FORWARD_IF_TRACKING(on_create(p, u, c, w, v));
+}
+void detector::on_return(rt::func_id c, rt::strand_id last, rt::func_id p) {
+  FRD_FORWARD_IF_TRACKING(on_return(c, last, p));
+}
+void detector::on_sync(const sync_event& e) { FRD_FORWARD_IF_TRACKING(on_sync(e)); }
+void detector::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                      rt::func_id fut, rt::strand_id w, rt::strand_id creator) {
+  ++gets_;
+  FRD_FORWARD_IF_TRACKING(on_get(fn, u, v, fut, w, creator));
+}
+
+#undef FRD_FORWARD_IF_TRACKING
+
+// ---------------------------------------------------------------------------
+// Memory hooks (paper §3 protocol).
+// ---------------------------------------------------------------------------
+void detector::on_read(const void* p, std::size_t bytes) {
+  ++accesses_;
+  if (level_ != level::full) return;  // "instrumentation": the call is the cost
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & ~std::uintptr_t{3};
+  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & ~std::uintptr_t{3};
+  for (std::uintptr_t a = first; a <= last; a += 4) check_read(a);
+}
+
+void detector::on_write(const void* p, std::size_t bytes) {
+  ++accesses_;
+  if (level_ != level::full) return;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & ~std::uintptr_t{3};
+  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & ~std::uintptr_t{3};
+  for (std::uintptr_t a = first; a <= last; a += 4) check_write(a);
+}
+
+// Read of l: race iff last-writer(l) is logically parallel with the current
+// strand; otherwise record the read (§3).
+void detector::check_read(std::uintptr_t addr) {
+  shadow::granule_record& rec = history_.record_for(addr);
+  if (rec.writer != rt::kNoStrand && rec.writer != current_ &&
+      !backend_->precedes_current(rec.writer)) {
+    report_.record(race{addr, rec.writer, access_kind::write, current_,
+                        access_kind::read});
+  }
+  // Dedupe: in a serial execution the same strand's reads of l are
+  // contiguous, and a strand that just wrote l need not be recorded as a
+  // reader (the writer field already guards it).
+  if (rec.writer == current_ || rec.last_reader() == current_) return;
+  rec.append_reader(current_);
+}
+
+// Write to l: race against the previous writer and against *every* recorded
+// reader; then purge the reader list and take over as last-writer (§3: any
+// later strand parallel to a purged reader is also parallel to this write).
+void detector::check_write(std::uintptr_t addr) {
+  shadow::granule_record& rec = history_.record_for(addr);
+  if (rec.writer != rt::kNoStrand && rec.writer != current_ &&
+      !backend_->precedes_current(rec.writer)) {
+    report_.record(race{addr, rec.writer, access_kind::write, current_,
+                        access_kind::write});
+  }
+  rec.for_each_reader([&](rt::strand_id r) {
+    if (r != current_ && !backend_->precedes_current(r)) {
+      report_.record(
+          race{addr, r, access_kind::read, current_, access_kind::write});
+    }
+  });
+  rec.clear_readers();
+  rec.writer = current_;
+}
+
+}  // namespace frd::detect

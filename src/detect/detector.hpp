@@ -1,0 +1,141 @@
+// FutureRD detector facade: access history + reachability backend + the
+// paper's four measurement configurations (§6).
+//
+//   baseline         pass nullptr to the runtime and compile kernels with
+//                    hooks::none — zero detection work.
+//   reachability     install the detector as the runtime listener, kernels
+//                    still hooks::none — parallel-construct overhead only.
+//   instrumentation  kernels compiled with hooks::active; every access calls
+//                    into the detector, which returns immediately (the call
+//                    itself is the measured cost, like the paper's compiler
+//                    pass with history maintenance disabled).
+//   full             reads/writes maintain the access history and query the
+//                    reachability structures; races are reported.
+//
+// Typical use:
+//
+//   detect::detector det(detect::algorithm::multibags, detect::level::full);
+//   rt::serial_runtime rt(&det);
+//   detect::scoped_global_detector bind(&det);     // route hook calls
+//   rt.run([&] { ... instrumented program ... });
+//   if (det.report().any()) ...
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "detect/backend.hpp"
+#include "detect/types.hpp"
+#include "shadow/access_history.hpp"
+
+namespace frd::detect {
+
+class detector final : public rt::execution_listener {
+ public:
+  detector(algorithm alg, level lvl);
+  ~detector() override;
+  detector(const detector&) = delete;
+  detector& operator=(const detector&) = delete;
+
+  algorithm algo() const { return algo_; }
+  level lvl() const { return level_; }
+  const race_report& report() const { return report_; }
+  reachability_backend& backend() { return *backend_; }
+  const shadow::access_history& history() const { return history_; }
+  std::uint64_t access_count() const { return accesses_; }
+  // k in the paper's bounds: the number of get_fut operations seen.
+  std::uint64_t get_count() const { return gets_; }
+  // Structured-future discipline violations (MultiBags only; see backend).
+  std::uint64_t structured_violations() const {
+    return backend_->structured_violations();
+  }
+
+  // Memory hooks (out of line on purpose: the call is the instrumentation
+  // cost the paper's "instr" configuration measures).
+  void on_read(const void* p, std::size_t bytes);
+  void on_write(const void* p, std::size_t bytes);
+
+  // Reachability query against the currently executing strand; exposed for
+  // the oracle-validation tests.
+  bool precedes_current(rt::strand_id u) { return backend_->precedes_current(u); }
+
+  // execution_listener: forwards to the backend when level >= reachability.
+  void on_program_begin(rt::func_id f, rt::strand_id s) override;
+  void on_program_end(rt::strand_id s) override;
+  void on_strand_begin(rt::strand_id s, rt::func_id f) override;
+  void on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                rt::strand_id v) override;
+  void on_create(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                 rt::strand_id v) override;
+  void on_return(rt::func_id c, rt::strand_id last, rt::func_id p) override;
+  void on_sync(const sync_event& e) override;
+  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
+              rt::strand_id w, rt::strand_id creator) override;
+
+ private:
+  void check_read(std::uintptr_t addr);
+  void check_write(std::uintptr_t addr);
+
+  const algorithm algo_;
+  const level level_;
+  std::unique_ptr<reachability_backend> backend_;
+  shadow::access_history history_;
+  race_report report_;
+  rt::strand_id current_ = rt::kNoStrand;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t gets_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Global hook target. Kernels are compiled against a hooks policy; the
+// `active` policy routes into this pointer. Not thread safe by design: race
+// detection executes sequentially (paper §2).
+// ---------------------------------------------------------------------------
+namespace hooks {
+
+extern detector* g_detector;
+
+// No instrumentation: compiles to nothing (baseline / reachability configs).
+struct none {
+  static constexpr bool enabled = false;
+  static void read(const void*, std::size_t) {}
+  static void write(const void*, std::size_t) {}
+};
+
+// Full instrumentation: one out-of-line call per access.
+struct active {
+  static constexpr bool enabled = true;
+  static void read(const void* p, std::size_t n);
+  static void write(const void* p, std::size_t n);
+};
+
+// Typed access helpers used by kernels: H::read/H::write fire before the
+// underlying load/store, mirroring where a compiler pass would instrument.
+template <typename H, typename T>
+inline T ld(const T& x) {
+  H::read(&x, sizeof(T));
+  return x;
+}
+template <typename H, typename T, typename V>
+inline void st(T& x, V&& v) {
+  H::write(&x, sizeof(T));
+  x = static_cast<T>(std::forward<V>(v));
+}
+
+}  // namespace hooks
+
+// RAII binding of the global hook pointer.
+class scoped_global_detector {
+ public:
+  explicit scoped_global_detector(detector* d) : prev_(hooks::g_detector) {
+    hooks::g_detector = d;
+  }
+  ~scoped_global_detector() { hooks::g_detector = prev_; }
+  scoped_global_detector(const scoped_global_detector&) = delete;
+  scoped_global_detector& operator=(const scoped_global_detector&) = delete;
+
+ private:
+  detector* prev_;
+};
+
+}  // namespace frd::detect

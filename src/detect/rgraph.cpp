@@ -1,0 +1,63 @@
+#include "detect/rgraph.hpp"
+
+#include "support/check.hpp"
+
+namespace frd::detect {
+
+rgraph::node rgraph::add_node() {
+  const node n = static_cast<node>(from_.size());
+  from_.emplace_back();
+  to_.emplace_back();
+  ++stats_.nodes;
+  return n;
+}
+
+void rgraph::add_arc(node a, node b) {
+  FRD_DCHECK(a < from_.size() && b < from_.size());
+  if (a == b) return;  // arcs within one attached set carry no information
+  if (from_[a].size() > b && from_[a].test(b)) {
+    ++stats_.redundant_arcs;
+    return;
+  }
+  FRD_CHECK_MSG(!(from_[b].size() > a && from_[b].test(a)),
+                "arc would create a cycle in R");
+  ++stats_.arcs;
+
+  // succ := {b} ∪ from[b], pred := {a} ∪ to[a]. Rows of b/a themselves are
+  // untouched by the loops below (acyclicity), so snapshots are not needed.
+  auto update_from = [&](node p) {
+    from_[p].or_with(from_[b]);
+    if (from_[p].size() <= b) from_[p].resize(b + 1);
+    from_[p].set(b);
+    ++stats_.row_merges;
+  };
+  auto update_to = [&](node s) {
+    to_[s].or_with(to_[a]);
+    if (to_[s].size() <= a) to_[s].resize(a + 1);
+    to_[s].set(a);
+    ++stats_.row_merges;
+  };
+
+  update_from(a);
+  to_[a].for_each_set([&](std::size_t p) { update_from(static_cast<node>(p)); });
+  update_to(b);
+  from_[b].for_each_set([&](std::size_t s) {
+    if (static_cast<node>(s) != b) update_to(static_cast<node>(s));
+  });
+}
+
+bool rgraph::reaches(node a, node b) const {
+  FRD_DCHECK(a < from_.size() && b < from_.size());
+  if (a == b) return false;
+  const bitvec& row = from_[a];
+  return row.size() > b && row.test(b);
+}
+
+std::size_t rgraph::closure_bytes() const {
+  std::size_t bytes = 0;
+  for (const bitvec& v : from_) bytes += (v.size() + 7) / 8;
+  for (const bitvec& v : to_) bytes += (v.size() + 7) / 8;
+  return bytes;
+}
+
+}  // namespace frd::detect

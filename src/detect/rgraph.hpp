@@ -1,0 +1,56 @@
+// R: the dag over attached sets, with an explicitly maintained transitive
+// closure (paper §5). "R is simply a boolean reachability matrix where each
+// cell (i,j) indicates whether there is a path from attached set i to
+// attached set j. FutureRD maintains R as a vector of bit vectors ...
+// whenever an edge is added to R, reachability is transitively propagated
+// via parallel bit operations."
+//
+// We keep both directions (successor rows and predecessor rows) so that
+// adding an arc between two *existing* nodes — which happens at sync when
+// both subdags carry non-SP edges, Figure 4 lines 35-40 — updates the
+// closure exactly: every predecessor of a gains all successors of b and
+// vice versa.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace frd::detect {
+
+class rgraph {
+ public:
+  using node = std::uint32_t;
+  static constexpr node kNoNode = static_cast<node>(-1);
+
+  struct counters {
+    std::uint64_t nodes = 0;
+    std::uint64_t arcs = 0;
+    std::uint64_t redundant_arcs = 0;  // closure already implied them
+    std::uint64_t row_merges = 0;      // bit-row OR operations performed
+  };
+
+  node add_node();
+
+  // Adds arc a -> b and transitively closes. No-ops on self-arcs and on
+  // arcs already implied by the closure.
+  void add_arc(node a, node b);
+
+  // Strict reachability: true iff a != b and a path a -> b exists.
+  bool reaches(node a, node b) const;
+
+  std::size_t size() const { return from_.size(); }
+  const counters& stats() const { return stats_; }
+
+  // Closure memory footprint (the paper notes R's memory becomes
+  // substantial for small base cases; the fig8 bench reports this).
+  std::size_t closure_bytes() const;
+
+ private:
+  std::vector<bitvec> from_;  // from_[i]: nodes reachable from i
+  std::vector<bitvec> to_;    // to_[i]: nodes that reach i
+  counters stats_;
+};
+
+}  // namespace frd::detect

@@ -1,0 +1,132 @@
+// S-bag / P-bag machinery shared by MultiBags and MultiBags+ (their DSP).
+//
+// Per paper Figure 1 / §5: every function instance F owns an S-bag while it
+// is active; every new strand of F is unioned into S_F before it executes;
+// when F returns its S-bag is *renamed* to the P-bag P_F (this rename — as
+// opposed to SP-bags' union into the parent's P-bag — is the paper's key
+// move for futures); joining F (get_fut under MultiBags, sync under both)
+// unions P_F into the joiner's S-bag and destroys P_F.
+//
+// Invariant exploited by queries (Theorem 4.2 / Lemma A.1): a previously
+// executed strand u is in an S-bag iff u precedes the currently executing
+// strand (for MultiBags+: via spawn/create/join/continue edges only).
+#pragma once
+
+#include <vector>
+
+#include "dsu/disjoint_set.hpp"
+#include "runtime/events.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace frd::detect {
+
+class sp_bags {
+ public:
+  enum class bag_kind : std::uint8_t { s, p, joined };
+
+  // The per-set payload: the bag's current role. `owner` is kept for
+  // diagnostics and tests (bag contents are asserted per function).
+  struct bag {
+    bag_kind kind;
+    rt::func_id owner;
+  };
+
+  sp_bags() = default;
+
+  // Main function begins with its first strand.
+  void program_begin(rt::func_id fn, rt::strand_id first) {
+    new_function(fn, first);
+  }
+
+  // Child function (spawned or future) begins at strand w.
+  void child_begin(rt::func_id child, rt::strand_id w) { new_function(child, w); }
+
+  // A strand of fn starts executing (or is a virtual join strand of fn):
+  // union it into S_fn. Idempotent for strands that already have elements.
+  void add_strand(rt::func_id fn, rt::strand_id s) {
+    if (s < elem_.size() && elem_[s] != dsu::kNoElement) return;
+    FRD_DCHECK(fn < funcs_.size() && funcs_[fn].rep != dsu::kNoElement);
+    const dsu::element e = forest_.make_set(nullptr);
+    forest_.union_into(funcs_[fn].rep, e);
+    bind(s, e);
+  }
+
+  // fn returned: rename S_fn to P_fn (paper Figure 1, line 2).
+  void child_return(rt::func_id fn) {
+    bag* b = bag_of(fn);
+    FRD_CHECK_MSG(b != nullptr && b->kind == bag_kind::s,
+                  "returning function must own an S-bag");
+    b->kind = bag_kind::p;
+  }
+
+  // joiner absorbs child's P-bag (get_fut for MultiBags, sync for both):
+  // S_joiner = Union(S_joiner, P_child); P_child is destroyed.
+  void join_child(rt::func_id joiner, rt::func_id child) {
+    bag* pb = bag_of(child);
+    FRD_CHECK_MSG(pb != nullptr && pb->kind == bag_kind::p,
+                  "joined function must own a P-bag (single join per future "
+                  "under MultiBags; did a multi-touch program run under the "
+                  "structured algorithm?)");
+    pb->kind = bag_kind::joined;  // destroyed; payload is replaced by union
+    FRD_DCHECK(bag_of(joiner) != nullptr && bag_of(joiner)->kind == bag_kind::s);
+    forest_.union_into(funcs_[joiner].rep, funcs_[child].rep);
+  }
+
+  // True iff the child has a joinable P-bag (it returned and was not yet
+  // joined). MultiBags+ uses this to skip DSP work on multi-touch gets.
+  bool has_p_bag(rt::func_id fn) {
+    bag* b = bag_of(fn);
+    return b != nullptr && b->kind == bag_kind::p;
+  }
+
+  // Query (paper Figure 1 bottom): u precedes the current strand iff u's set
+  // is an S-bag.
+  bool in_s_bag(rt::strand_id u) {
+    FRD_DCHECK(u < elem_.size() && elem_[u] != dsu::kNoElement);
+    const bag* b = forest_.payload(elem_[u]);
+    FRD_CHECK_MSG(b != nullptr, "strand's set lost its bag payload");
+    return b->kind == bag_kind::s;
+  }
+
+  bool knows_strand(rt::strand_id s) const {
+    return s < elem_.size() && elem_[s] != dsu::kNoElement;
+  }
+
+  const dsu::forest_stats& stats() const { return forest_.stats(); }
+
+ private:
+  struct func_state {
+    dsu::element rep = dsu::kNoElement;  // any element of the function's bag
+  };
+
+  void new_function(rt::func_id fn, rt::strand_id first) {
+    bag* b = arena_.create<bag>(bag{bag_kind::s, fn});
+    const dsu::element e = forest_.make_set(b);
+    if (fn >= funcs_.size()) funcs_.resize(fn + 1);
+    FRD_CHECK_MSG(funcs_[fn].rep == dsu::kNoElement, "function id reused");
+    funcs_[fn].rep = e;
+    bind(first, e);
+  }
+
+  // The bag currently owned by fn (payload of its set). After fn's bag was
+  // absorbed by a join, this returns the absorber's bag; callers that need
+  // "fn still owns its own bag" check the kind they expect.
+  bag* bag_of(rt::func_id fn) {
+    if (fn >= funcs_.size() || funcs_[fn].rep == dsu::kNoElement) return nullptr;
+    return forest_.payload(funcs_[fn].rep);
+  }
+
+  void bind(rt::strand_id s, dsu::element e) {
+    if (s >= elem_.size()) elem_.resize(s + 1, dsu::kNoElement);
+    FRD_CHECK_MSG(elem_[s] == dsu::kNoElement, "strand id reused");
+    elem_[s] = e;
+  }
+
+  dsu::forest<bag> forest_;
+  std::vector<dsu::element> elem_;  // strand -> element
+  std::vector<func_state> funcs_;
+  arena arena_;
+};
+
+}  // namespace frd::detect

@@ -1,0 +1,87 @@
+// Shared vocabulary of the detection core.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "runtime/events.hpp"
+
+namespace frd::detect {
+
+enum class algorithm : std::uint8_t {
+  multibags,       // structured futures (paper §4)
+  multibags_plus,  // general futures (paper §5)
+  vector_clock,    // FastTrack-style baseline the paper argues against (§7)
+};
+
+// The paper's four measurement configurations (§6, Figures 6-7).
+enum class level : std::uint8_t {
+  baseline,         // no detection work at all
+  reachability,     // parallel-construct events maintain reachability only
+  instrumentation,  // + a call per memory access that does no history work
+  full,             // + access history maintenance and race queries
+};
+
+constexpr std::string_view to_string(algorithm a) {
+  switch (a) {
+    case algorithm::multibags: return "multibags";
+    case algorithm::multibags_plus: return "multibags+";
+    case algorithm::vector_clock: return "vector-clock";
+  }
+  return "?";
+}
+constexpr std::string_view to_string(level l) {
+  switch (l) {
+    case level::baseline: return "baseline";
+    case level::reachability: return "reachability";
+    case level::instrumentation: return "instrumentation";
+    case level::full: return "full";
+  }
+  return "?";
+}
+
+enum class access_kind : std::uint8_t { read, write };
+
+// One determinacy race: two logically parallel accesses to the same granule,
+// at least one a write. `prior` executed first in the serial order.
+struct race {
+  std::uintptr_t granule_addr;  // base address of the 4-byte granule
+  rt::strand_id prior;
+  access_kind prior_kind;
+  rt::strand_id current;
+  access_kind current_kind;
+};
+
+// Race sink with per-granule deduplication: every distinct racy granule is
+// counted once per conflict kind; the first kRetained full records are kept
+// for diagnostics.
+class race_report {
+ public:
+  static constexpr std::size_t kRetained = 64;
+
+  void record(const race& r) {
+    ++total_;
+    racy_granules_.insert(r.granule_addr);
+    if (races_.size() < kRetained) races_.push_back(r);
+  }
+
+  std::uint64_t total() const { return total_; }
+  bool any() const { return total_ != 0; }
+  const std::vector<race>& retained() const { return races_; }
+
+  // Distinct racy granules. The paper's per-location guarantee (§3): a race
+  // is reported on l iff two parallel conflicting accesses to l exist; the
+  // property tests compare this set against the exact reference detector.
+  const std::set<std::uintptr_t>& racy_granules() const {
+    return racy_granules_;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<race> races_;
+  std::set<std::uintptr_t> racy_granules_;
+};
+
+}  // namespace frd::detect

@@ -1,0 +1,116 @@
+// Fast disjoint-set (union-find) forest with per-set payloads.
+//
+// This is the reachability substrate for both MultiBags and MultiBags+
+// (paper §4: Tarjan's data structure [54], amortized O(α(m,n)) per op).
+// The payload extension is what the detectors need on top of the textbook
+// structure: each *set* (not element) carries a tag object — a bag
+// descriptor for DSP, an attached/unattached set descriptor for DNSP.
+//
+// Payload rules (DESIGN.md §4):
+//  * the payload lives logically on the set, physically on the current root;
+//  * union_into(a, b) merges b's set into a's set and the merged set keeps
+//    a's payload — matching the paper's "A = Union(D, A, B): unions the set
+//    B into A and destroys B";
+//  * union-by-rank may pick b's root as the physical root, in which case the
+//    payload pointer is moved there, so `payload(find(x))` is always O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace frd::dsu {
+
+using element = std::uint32_t;
+inline constexpr element kNoElement = static_cast<element>(-1);
+
+// Operation counters, exposed for the micro/ablation benches (bench/micro_dsu)
+// and for asserting the O(α) behaviour indirectly (hops per find stays tiny).
+struct forest_stats {
+  std::uint64_t make_sets = 0;
+  std::uint64_t unions = 0;
+  std::uint64_t finds = 0;
+  std::uint64_t parent_hops = 0;
+};
+
+template <typename Payload>
+class forest {
+ public:
+  // path_compress=false exists only for the ablation benchmark; all
+  // detectors use the default.
+  explicit forest(bool path_compress = true) : path_compress_(path_compress) {}
+
+  std::size_t size() const { return parent_.size(); }
+  const forest_stats& stats() const { return stats_; }
+
+  // Creates a singleton set {new element} owning `payload` (may be null).
+  element make_set(Payload* payload) {
+    const element e = static_cast<element>(parent_.size());
+    parent_.push_back(e);
+    rank_.push_back(0);
+    payload_.push_back(payload);
+    ++stats_.make_sets;
+    return e;
+  }
+
+  // Returns the root of x's set, compressing the path.
+  element find(element x) {
+    FRD_DCHECK(x < parent_.size());
+    ++stats_.finds;
+    element root = x;
+    while (parent_[root] != root) {
+      ++stats_.parent_hops;
+      root = parent_[root];
+    }
+    if (path_compress_) {
+      while (parent_[x] != root) {
+        element next = parent_[x];
+        parent_[x] = root;
+        x = next;
+      }
+    }
+    return root;
+  }
+
+  bool same_set(element a, element b) { return find(a) == find(b); }
+
+  // Payload of the set containing x (follows find).
+  Payload* payload(element x) { return payload_[find(x)]; }
+
+  // Payload already knowing the root (no find) — hot-path helper.
+  Payload* payload_at_root(element root) {
+    FRD_DCHECK(parent_[root] == root);
+    return payload_[root];
+  }
+
+  void set_payload(element x, Payload* p) { payload_[find(x)] = p; }
+
+  // Merges the set containing `from` into the set containing `into`.
+  // The merged set keeps `into`'s payload. Returns the new physical root.
+  element union_into(element into, element from) {
+    element ra = find(into);
+    element rb = find(from);
+    if (ra == rb) return ra;
+    ++stats_.unions;
+    Payload* keep = payload_[ra];
+    // Union by rank decides the physical root; the logical identity ("this
+    // is still A's set") is carried entirely by the payload.
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    payload_[ra] = keep;
+    payload_[rb] = nullptr;
+    return ra;
+  }
+
+ private:
+  std::vector<element> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::vector<Payload*> payload_;
+  forest_stats stats_;
+  bool path_compress_;
+};
+
+}  // namespace frd::dsu

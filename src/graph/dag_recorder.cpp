@@ -1,0 +1,80 @@
+#include "graph/dag_recorder.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace frd::graph {
+
+dag_recorder::node& dag_recorder::ensure(rt::strand_id s) {
+  if (s >= nodes_.size()) {
+    nodes_.resize(s + 1);
+    preds_.resize(s + 1);
+  }
+  return nodes_[s];
+}
+
+void dag_recorder::add_edge(rt::strand_id from, rt::strand_id to, edge_kind k) {
+  ensure(from);
+  ensure(to);
+  edges_.push_back(edge{from, to, k});
+  preds_[to].push_back(from);
+}
+
+std::size_t dag_recorder::count(edge_kind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [k](const edge& e) { return e.kind == k; }));
+}
+
+void dag_recorder::on_program_begin(rt::func_id f, rt::strand_id s) {
+  ensure(s).owner = f;
+  first_ = s;
+}
+
+void dag_recorder::on_program_end(rt::strand_id s) { last_ = s; }
+
+void dag_recorder::on_strand_begin(rt::strand_id s, rt::func_id f) {
+  node& n = ensure(s);
+  n.owner = f;
+  n.executed = true;
+}
+
+void dag_recorder::on_spawn(rt::func_id, rt::strand_id u, rt::func_id c,
+                            rt::strand_id w, rt::strand_id v) {
+  ensure(w).owner = c;
+  add_edge(u, w, edge_kind::spawn);
+  add_edge(u, v, edge_kind::continuation);
+}
+
+void dag_recorder::on_create(rt::func_id, rt::strand_id u, rt::func_id c,
+                             rt::strand_id w, rt::strand_id v) {
+  ensure(w).owner = c;
+  add_edge(u, w, edge_kind::create);
+  add_edge(u, v, edge_kind::continuation);
+}
+
+void dag_recorder::on_sync(const sync_event& e) {
+  const std::size_t c = e.children.size();
+  FRD_CHECK(e.join_strands.size() == c);
+  rt::strand_id t2 = e.before;
+  for (std::size_t i = 0; i < c; ++i) {
+    const rt::child_record& child = e.children[c - 1 - i];
+    const rt::strand_id j = e.join_strands[i];
+    node& n = ensure(j);
+    n.owner = e.fn;
+    n.virtual_join = i + 1 != c;  // the outermost join is the real strand
+    add_edge(child.child_last, j, edge_kind::join);
+    add_edge(t2, j, edge_kind::continuation);
+    t2 = j;
+  }
+}
+
+void dag_recorder::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                          rt::func_id, rt::strand_id w, rt::strand_id) {
+  ensure(v).owner = fn;
+  add_edge(u, v, edge_kind::continuation);
+  add_edge(w, v, edge_kind::get);
+}
+
+}  // namespace frd::graph

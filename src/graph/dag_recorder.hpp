@@ -1,0 +1,73 @@
+// Records the computation dag G_full as it unfolds (paper §2): nodes are
+// strands, edges are typed with the five-kind vocabulary of §5. Used by the
+// validation tests (structure assertions, SP-ness checks) and by the
+// reachability oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/events.hpp"
+
+namespace frd::graph {
+
+enum class edge_kind : std::uint8_t {
+  continuation,  // within one function instance
+  spawn,         // fork strand -> child's first strand
+  create,        // creator strand -> future's first strand (non-SP)
+  join,          // child's last strand -> sync join strand
+  get,           // future's last strand -> getter strand (non-SP)
+};
+
+struct edge {
+  rt::strand_id from;
+  rt::strand_id to;
+  edge_kind kind;
+};
+
+class dag_recorder final : public rt::execution_listener {
+ public:
+  struct node {
+    rt::func_id owner = rt::kNoFunc;
+    bool virtual_join = false;  // minted by the binary sync decomposition
+    bool executed = false;      // saw on_strand_begin
+  };
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const node& node_at(rt::strand_id s) const { return nodes_[s]; }
+  const std::vector<edge>& edges() const { return edges_; }
+  const std::vector<std::vector<rt::strand_id>>& preds() const { return preds_; }
+  rt::strand_id first_strand() const { return first_; }
+  rt::strand_id last_strand() const { return last_; }
+
+  // Counts by edge kind; a program is series-parallel iff it has no
+  // create/get edges (paper §2: futures add exactly the non-SP edges).
+  std::size_t count(edge_kind k) const;
+  bool is_series_parallel() const {
+    return count(edge_kind::create) == 0 && count(edge_kind::get) == 0;
+  }
+
+  // execution_listener
+  void on_program_begin(rt::func_id f, rt::strand_id s) override;
+  void on_program_end(rt::strand_id s) override;
+  void on_strand_begin(rt::strand_id s, rt::func_id f) override;
+  void on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                rt::strand_id v) override;
+  void on_create(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                 rt::strand_id v) override;
+  void on_sync(const sync_event& e) override;
+  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
+              rt::strand_id w, rt::strand_id creator) override;
+
+ private:
+  node& ensure(rt::strand_id s);
+  void add_edge(rt::strand_id from, rt::strand_id to, edge_kind k);
+
+  std::vector<node> nodes_;
+  std::vector<edge> edges_;
+  std::vector<std::vector<rt::strand_id>> preds_;
+  rt::strand_id first_ = rt::kNoStrand;
+  rt::strand_id last_ = rt::kNoStrand;
+};
+
+}  // namespace frd::graph

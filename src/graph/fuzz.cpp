@@ -1,0 +1,122 @@
+#include "graph/fuzz.hpp"
+
+namespace frd::graph {
+
+void fuzzer::run() {
+  rt_.enforce_single_touch(cfg_.structured);
+  rt_.run([this] {
+    std::vector<std::uint32_t> avail;
+
+    // Prologue: every program starts with one future that conflicts with the
+    // root on cell 0, so no seed produces a vacuous (query-free) run.
+    acc_(0, /*write=*/true);
+    futures_.push_back(rt_.create_future([this]() -> int {
+      acc_(0, /*write=*/false);
+      acc_(0, /*write=*/true);
+      return 1;
+    }));
+    touches_.push_back(0);
+    avail.push_back(0);
+
+    body(0, avail);
+
+    // Finale: sweep-read everything, join every still-untouched future the
+    // root may legally join, then sweep-write — the writes check the whole
+    // reader lists accumulated across the program.
+    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c) acc_(c, false);
+    rt_.sync();
+    if (cfg_.structured) {
+      for (std::uint32_t idx : avail)
+        if (touches_[idx] == 0) {
+          ++touches_[idx];
+          ++gets_;
+          checksum_ += futures_[idx].get();
+        }
+    } else {
+      for (std::uint32_t idx = 0; idx < futures_.size(); ++idx)
+        if (touches_[idx] == 0) {
+          ++touches_[idx];
+          ++gets_;
+          checksum_ += futures_[idx].get();
+        }
+    }
+    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c) acc_(c, true);
+  });
+}
+
+void fuzzer::body(int depth, std::vector<std::uint32_t>& avail) {
+  const int actions = static_cast<int>(rng_.range(1, cfg_.max_actions_per_body));
+  for (int i = 0; i < actions; ++i) {
+    const bool can_nest = depth < cfg_.max_depth;
+    const bool can_create = can_nest && futures_.size() < cfg_.max_futures;
+    const unsigned w_spawn = can_nest ? cfg_.w_spawn : 0;
+    const unsigned w_create = can_create ? cfg_.w_create : 0;
+    const unsigned total =
+        cfg_.w_access + w_spawn + w_create + cfg_.w_get + cfg_.w_sync;
+    std::uint64_t pick = rng_.below(total);
+
+    if (pick < cfg_.w_access) {
+      const auto cell = static_cast<std::uint32_t>(rng_.below(cfg_.n_cells));
+      acc_(cell, rng_.chance(1, 2));
+      continue;
+    }
+    pick -= cfg_.w_access;
+
+    if (pick < w_spawn) {
+      // The child inherits a snapshot of the currently available handles.
+      rt_.spawn([this, depth, snapshot = avail]() mutable {
+        body(depth + 1, snapshot);
+      });
+      continue;
+    }
+    pick -= w_spawn;
+
+    if (pick < w_create) {
+      auto fut = rt_.create_future(
+          [this, depth, snapshot = avail]() mutable -> int {
+            body(depth + 1, snapshot);
+            return static_cast<int>(futures_.size());
+          });
+      // Nested creates already pushed theirs (eager execution), so the index
+      // is assigned at push time, after the future completed.
+      futures_.push_back(std::move(fut));
+      touches_.push_back(0);
+      avail.push_back(static_cast<std::uint32_t>(futures_.size() - 1));
+      continue;
+    }
+    pick -= w_create;
+
+    if (pick < cfg_.w_get) {
+      do_get(avail);
+      continue;
+    }
+
+    rt_.sync();
+  }
+}
+
+void fuzzer::do_get(std::vector<std::uint32_t>& avail) {
+  if (cfg_.structured) {
+    // Candidates: inherited/own handles not yet touched anywhere.
+    std::vector<std::uint32_t> cands;
+    for (std::uint32_t idx : avail)
+      if (touches_[idx] == 0) cands.push_back(idx);
+    if (cands.empty()) return;
+    const std::uint32_t idx = cands[rng_.below(cands.size())];
+    ++touches_[idx];
+    ++gets_;
+    checksum_ += futures_[idx].get();
+    return;
+  }
+  // General mode: any completed future, bounded multi-touch.
+  std::vector<std::uint32_t> cands;
+  for (std::uint32_t idx = 0; idx < futures_.size(); ++idx)
+    if (touches_[idx] < cfg_.max_touches_per_future) cands.push_back(idx);
+  if (cands.empty()) return;
+  const std::uint32_t idx = cands[rng_.below(cands.size())];
+  ++touches_[idx];
+  ++gets_;
+  checksum_ += futures_[idx].get();
+}
+
+}  // namespace frd::graph

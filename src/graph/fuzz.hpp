@@ -1,0 +1,64 @@
+// Random task-parallel program generator for oracle-checked property tests.
+//
+// The program is generated *during* its own depth-first eager execution:
+// a body is a random sequence of {access, spawn, create_fut, get_fut, sync}
+// actions. Because a future handle enters the candidate pool only after its
+// eager execution finished, every generated program is forward-pointing by
+// construction (paper §2), and the structured mode's inheritance rule
+// (a body may only get handles it created itself or that existed in its
+// parent when the body was forked) guarantees creator ≺ getter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "runtime/serial.hpp"
+#include "support/prng.hpp"
+
+namespace frd::graph {
+
+struct fuzz_config {
+  std::uint64_t seed = 1;
+  bool structured = true;
+  int max_depth = 5;
+  int max_actions_per_body = 10;
+  std::uint32_t n_cells = 6;
+  std::size_t max_futures = 48;
+  int max_touches_per_future = 3;  // general mode only
+  // Action weights (relative).
+  unsigned w_access = 6, w_spawn = 2, w_create = 2, w_get = 3, w_sync = 1;
+};
+
+class fuzzer {
+ public:
+  // acc(cell, is_write) performs the actual (instrumented) memory access.
+  using access_fn = std::function<void(std::uint32_t cell, bool write)>;
+
+  fuzzer(rt::serial_runtime& rt, fuzz_config cfg, access_fn acc)
+      : rt_(rt), cfg_(cfg), acc_(std::move(acc)), rng_(cfg.seed) {}
+
+  // Executes one random program under rt (which already carries whatever
+  // listeners the test installed).
+  void run();
+
+  std::size_t futures_created() const { return futures_.size(); }
+  std::uint64_t gets_performed() const { return gets_; }
+  long long checksum() const { return checksum_; }  // anti-DCE accumulation
+
+ private:
+  void body(int depth, std::vector<std::uint32_t>& avail);
+  void do_get(std::vector<std::uint32_t>& avail);
+
+  rt::serial_runtime& rt_;
+  const fuzz_config cfg_;
+  access_fn acc_;
+  prng rng_;
+  std::deque<rt::future<int>> futures_;  // deque: stable addresses
+  std::vector<int> touches_;
+  std::uint64_t gets_ = 0;
+  long long checksum_ = 0;
+};
+
+}  // namespace frd::graph

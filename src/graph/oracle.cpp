@@ -1,0 +1,3 @@
+// online_oracle is header-only; this TU exists so the library has a home for
+// future out-of-line oracle variants (e.g. a space-efficient offline oracle).
+#include "graph/oracle.hpp"

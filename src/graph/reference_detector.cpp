@@ -1,0 +1,38 @@
+#include "graph/reference_detector.hpp"
+
+namespace frd::graph {
+
+void reference_detector::on_access(std::uintptr_t addr, std::size_t bytes,
+                                   bool write, rt::strand_id current) {
+  const std::uintptr_t first = addr & ~std::uintptr_t{3};
+  const std::uintptr_t last =
+      (addr + (bytes ? bytes : 1) - 1) & ~std::uintptr_t{3};
+  for (std::uintptr_t a = first; a <= last; a += 4)
+    check_granule(a, write, current);
+}
+
+void reference_detector::check_granule(std::uintptr_t granule_addr, bool write,
+                                       rt::strand_id current) {
+  std::vector<access>& log = log_[granule_addr];
+  for (const access& prior : log) {
+    if (!prior.write && !write) continue;  // read/read never races
+    if (prior.strand == current) continue;
+    if (oracle_.parallel(prior.strand, current)) {
+      ++race_pairs_;
+      racy_.insert(granule_addr);
+    }
+  }
+  // Dedupe identical consecutive entries to keep the log (and the quadratic
+  // check) small; a strand's accesses are contiguous in serial execution.
+  if (log.empty() || log.back().strand != current || log.back().write != write)
+    log.push_back(access{current, write});
+}
+
+const std::vector<reference_detector::access>& reference_detector::accessors_of(
+    std::uintptr_t granule_addr) const {
+  static const std::vector<access> kEmpty;
+  auto it = log_.find(granule_addr);
+  return it == log_.end() ? kEmpty : it->second;
+}
+
+}  // namespace frd::graph

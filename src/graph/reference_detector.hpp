@@ -1,0 +1,46 @@
+// Reference (naive) race detector: keeps the *complete* access history of
+// every granule and checks each new access against all prior accessors with
+// the exact oracle. Quadratic — validation only. The property tests compare
+// its racy-granule set against FutureRD's: the paper's reader-list purging
+// provably preserves exactly the per-location "has a race" verdict (§3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/oracle.hpp"
+#include "runtime/events.hpp"
+
+namespace frd::graph {
+
+class reference_detector {
+ public:
+  explicit reference_detector(const online_oracle& oracle) : oracle_(oracle) {}
+
+  void on_access(std::uintptr_t addr, std::size_t bytes, bool write,
+                 rt::strand_id current);
+
+  const std::set<std::uintptr_t>& racy_granules() const { return racy_; }
+  std::uint64_t race_pairs() const { return race_pairs_; }
+
+  // All strands that ever accessed the granule holding addr (tests iterate
+  // these to cross-check every reachability query).
+  struct access {
+    rt::strand_id strand;
+    bool write;
+  };
+  const std::vector<access>& accessors_of(std::uintptr_t granule_addr) const;
+
+ private:
+  void check_granule(std::uintptr_t granule_addr, bool write,
+                     rt::strand_id current);
+
+  const online_oracle& oracle_;
+  std::map<std::uintptr_t, std::vector<access>> log_;
+  std::set<std::uintptr_t> racy_;
+  std::uint64_t race_pairs_ = 0;
+};
+
+}  // namespace frd::graph

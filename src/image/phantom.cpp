@@ -1,0 +1,71 @@
+#include "image/phantom.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace frd::image {
+
+namespace {
+constexpr double kPulseAmplitude = 0.10;  // ±10% radius swing
+constexpr double kPulsePeriod = 16.0;     // frames per heartbeat
+constexpr double kWallThickness = 3.0;    // pixels
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+phantom_sequence::phantom_sequence(int width, int height, int n_points,
+                                   std::uint64_t seed)
+    : width_(width), height_(height), n_points_(n_points), seed_(seed),
+      base_radius_(0.30 * std::min(width, height)) {
+  FRD_CHECK_MSG(width >= 32 && height >= 32, "phantom frames are >= 32x32");
+  FRD_CHECK_MSG(n_points >= 1, "need at least one sample point");
+}
+
+double phantom_sequence::radius_at(int t) const {
+  return base_radius_ * (1.0 + kPulseAmplitude * std::sin(2.0 * kPi * t / kPulsePeriod));
+}
+
+frame phantom_sequence::make_frame(int t) const {
+  frame f;
+  f.width = width_;
+  f.height = height_;
+  f.pixels.assign(static_cast<std::size_t>(width_) * height_, 0.0f);
+
+  // Speckle noise, deterministic per (seed, t) but correlated across frames
+  // (same base field + per-frame jitter) like real ultrasound speckle.
+  prng base(seed_);
+  prng jitter(seed_ * 7919 + static_cast<std::uint64_t>(t) + 1);
+
+  const double cx = width_ / 2.0, cy = height_ / 2.0;
+  const double r = radius_at(t);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const double speckle =
+          0.12 * base.uniform01() + 0.04 * jitter.uniform01();
+      const double dx = x - cx, dy = y - cy;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      // Bright wall band with a soft (Gaussian) profile.
+      const double d = (dist - r) / kWallThickness;
+      const double wall = 0.8 * std::exp(-d * d);
+      const double v = speckle + wall;
+      f.pixels[f.index(x, y)] = static_cast<float>(v > 1.0 ? 1.0 : v);
+    }
+  }
+  return f;
+}
+
+std::vector<point> phantom_sequence::initial_points() const {
+  std::vector<point> pts;
+  pts.reserve(static_cast<std::size_t>(n_points_));
+  const double cx = width_ / 2.0, cy = height_ / 2.0;
+  const double r = radius_at(0);
+  for (int i = 0; i < n_points_; ++i) {
+    const double theta = 2.0 * kPi * i / n_points_;
+    pts.push_back(point{static_cast<int>(cx + r * std::cos(theta)),
+                        static_cast<int>(cy + r * std::sin(theta))});
+  }
+  return pts;
+}
+
+}  // namespace frd::image

@@ -1,0 +1,60 @@
+// Synthetic ultrasound sequence for the Heart Wall workload.
+//
+// Rodinia's heartwall tracks sample points on the inner/outer heart wall
+// across ultrasound frames; the inputs are proprietary-ish image files we
+// cannot ship. This phantom generates the same *shape* of work: a bright
+// deformable ring (the wall) whose radius pulses over time, over a dark
+// speckled background. Tracking cost per point per frame — the thing the
+// detector's overhead scales with — is identical to tracking real images
+// (DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace frd::image {
+
+struct frame {
+  int width = 0;
+  int height = 0;
+  std::vector<float> pixels;  // row-major, [0,1] grayscale
+
+  float at(int x, int y) const { return pixels[static_cast<std::size_t>(y) * width + x]; }
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width + x;
+  }
+  bool contains(int x, int y) const {
+    return x >= 0 && x < width && y >= 0 && y < height;
+  }
+};
+
+struct point {
+  int x = 0;
+  int y = 0;
+};
+
+class phantom_sequence {
+ public:
+  phantom_sequence(int width, int height, int n_points, std::uint64_t seed);
+
+  // Frame at time t (deterministic in (seed, t)).
+  frame make_frame(int t) const;
+
+  // Sample points on the wall ring at t = 0.
+  std::vector<point> initial_points() const;
+
+  // Ground-truth wall radius at time t (tests verify tracking quality).
+  double radius_at(int t) const;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  int n_points_;
+  std::uint64_t seed_;
+  double base_radius_;
+};
+
+}  // namespace frd::image

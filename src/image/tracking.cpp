@@ -1,0 +1,3 @@
+// track_point is a hook-policy template (tracking.hpp); this TU anchors the
+// library and hosts non-template helpers if the tracker grows them.
+#include "image/tracking.hpp"

@@ -1,0 +1,64 @@
+// Template-matching point tracker (the Heart Wall kernel).
+//
+// For each sample point: lift a (2*tmpl_rad+1)^2 template around its previous
+// position in the previous frame, then scan a (2*search_rad+1)^2 window in
+// the current frame for the position minimizing the sum of squared
+// differences. Every pixel the kernel touches is announced through the hook
+// policy H — this is where the detector's per-access overhead accrues for
+// the heartwall benchmark.
+#pragma once
+
+#include <limits>
+
+#include "detect/detector.hpp"
+#include "image/phantom.hpp"
+
+namespace frd::image {
+
+// The template is lifted around `tmpl_at` in the previous frame; candidate
+// positions scan a window around `search_center` in the current frame. The
+// two are distinct so a smoothed search start (heartwall's general variant)
+// cannot contaminate the template with off-wall content.
+template <typename H>
+point track_point(const frame& prev, const frame& cur, point tmpl_at,
+                  point search_center, int tmpl_rad, int search_rad) {
+  const point p = tmpl_at;
+  float best = std::numeric_limits<float>::max();
+  point best_pos = p;
+
+  for (int oy = -search_rad; oy <= search_rad; ++oy) {
+    for (int ox = -search_rad; ox <= search_rad; ++ox) {
+      const int cx = search_center.x + ox, cy = search_center.y + oy;
+      float ssd = 0;
+      bool valid = true;
+      for (int ty = -tmpl_rad; valid && ty <= tmpl_rad; ++ty) {
+        for (int tx = -tmpl_rad; tx <= tmpl_rad; ++tx) {
+          const int px = p.x + tx, py = p.y + ty;
+          const int qx = cx + tx, qy = cy + ty;
+          if (!prev.contains(px, py) || !cur.contains(qx, qy)) {
+            valid = false;
+            break;
+          }
+          const float a =
+              detect::hooks::ld<H>(prev.pixels[prev.index(px, py)]);
+          const float b = detect::hooks::ld<H>(cur.pixels[cur.index(qx, qy)]);
+          const float d = a - b;
+          ssd += d * d;
+        }
+      }
+      if (valid && ssd < best) {
+        best = ssd;
+        best_pos = point{cx, cy};
+      }
+    }
+  }
+  return best_pos;
+}
+
+template <typename H>
+point track_point(const frame& prev, const frame& cur, point p, int tmpl_rad,
+                  int search_rad) {
+  return track_point<H>(prev, cur, p, p, tmpl_rad, search_rad);
+}
+
+}  // namespace frd::image

@@ -1,0 +1,128 @@
+// Execution events emitted by the serial depth-first eager runtime.
+//
+// Both race-detection backends (MultiBags, MultiBags+) and the validation
+// dag recorder are execution_listeners. The runtime mints dense strand and
+// function-instance ids and reports every point where the computation dag
+// grows, using the paper's node/edge vocabulary (§2, §5):
+//
+//   on_spawn   u --spawn-->  w (child first strand),  u --continue--> v
+//   on_create  u --create--> w (future first strand), u --continue--> v
+//   on_sync    one *binary* join per outstanding child, innermost first
+//              (paper footnote 2 assumes binary joins; DESIGN.md §4):
+//              t1 --join--> j,  t2 --continue--> j
+//   on_get     w (future last strand) --get--> v,  u --continue--> v
+//
+// A sync joining c children mints c join strands; only the last of them is
+// a real program strand (the others are virtual glue nodes of the binary
+// decomposition and never execute an instruction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace frd::rt {
+
+using strand_id = std::uint32_t;
+using func_id = std::uint32_t;
+inline constexpr strand_id kNoStrand = static_cast<strand_id>(-1);
+inline constexpr func_id kNoFunc = static_cast<func_id>(-1);
+
+// One outstanding spawned child of a frame, in spawn order. All fields are
+// strand ids except `child`.
+struct child_record {
+  func_id child = kNoFunc;
+  strand_id fork_strand = kNoStrand;  // f: parent strand that ended with spawn
+  strand_id child_first = kNoStrand;  // s1: first strand of the child
+  strand_id child_last = kNoStrand;   // t1: last strand of the child
+  strand_id cont_first = kNoStrand;   // s2: parent continuation after the spawn
+};
+
+class execution_listener {
+ public:
+  virtual ~execution_listener() = default;
+
+  virtual void on_program_begin(func_id /*main_fn*/, strand_id /*first*/) {}
+  virtual void on_program_end(strand_id /*last*/) {}
+
+  // A strand starts executing. Fired for every real strand, in execution
+  // order, after the construct event that minted it. Virtual join strands
+  // never begin.
+  virtual void on_strand_begin(strand_id /*s*/, func_id /*owner*/) {}
+
+  // F (= parent, current strand u) spawns child G whose first strand is w;
+  // the continuation of F will resume as strand v once G returns.
+  virtual void on_spawn(func_id /*parent*/, strand_id /*u*/, func_id /*child*/,
+                        strand_id /*w*/, strand_id /*v*/) {}
+
+  // Same shape for create_fut.
+  virtual void on_create(func_id /*parent*/, strand_id /*u*/, func_id /*child*/,
+                         strand_id /*w*/, strand_id /*v*/) {}
+
+  // Child function (spawned or future) finished; `last` is its final strand.
+  virtual void on_return(func_id /*child*/, strand_id /*last*/,
+                         func_id /*parent*/) {}
+
+  struct sync_event {
+    func_id fn;              // the syncing function
+    strand_id before;        // strand that ended with the sync
+    std::span<const child_record> children;  // outstanding children, spawn order
+    // join_strands[i] joins children[children.size()-1-i]; its t2 side is
+    // `before` for i == 0 and join_strands[i-1] for i > 0. The last entry is
+    // the real strand that resumes fn.
+    std::span<const strand_id> join_strands;
+  };
+  virtual void on_sync(const sync_event& /*e*/) {}
+
+  // fn's strand u ended with get_fut on future `fut` whose last strand is w;
+  // fn resumes as strand v. `creator` is the strand that ended with the
+  // matching create_fut (detectors use it to validate the structured-future
+  // discipline: creator must be sequentially before u, §2).
+  virtual void on_get(func_id /*fn*/, strand_id /*u*/, strand_id /*v*/,
+                      func_id /*fut*/, strand_id /*w*/, strand_id /*creator*/) {}
+};
+
+// Fans one event stream out to several listeners (detector + recorder in the
+// validation tests). Listeners are invoked in registration order.
+class listener_mux final : public execution_listener {
+ public:
+  void add(execution_listener* l) {
+    if (count_ >= kMax) __builtin_trap();  // fixed fan-out; raise kMax if hit
+    listeners_[count_++] = l;
+  }
+
+  void on_program_begin(func_id f, strand_id s) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_program_begin(f, s);
+  }
+  void on_program_end(strand_id s) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_program_end(s);
+  }
+  void on_strand_begin(strand_id s, func_id f) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_strand_begin(s, f);
+  }
+  void on_spawn(func_id p, strand_id u, func_id c, strand_id w,
+                strand_id v) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_spawn(p, u, c, w, v);
+  }
+  void on_create(func_id p, strand_id u, func_id c, strand_id w,
+                 strand_id v) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_create(p, u, c, w, v);
+  }
+  void on_return(func_id c, strand_id last, func_id p) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_return(c, last, p);
+  }
+  void on_sync(const sync_event& e) override {
+    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_sync(e);
+  }
+  void on_get(func_id fn, strand_id u, strand_id v, func_id fut, strand_id w,
+              strand_id creator) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      listeners_[i]->on_get(fn, u, v, fut, w, creator);
+  }
+
+ private:
+  static constexpr std::size_t kMax = 8;
+  execution_listener* listeners_[kMax] = {};
+  std::size_t count_ = 0;
+};
+
+}  // namespace frd::rt

@@ -1,0 +1,242 @@
+// Scheduler internals for the parallel runtime: Chase-Lev deques, the
+// worker pool, and the help-while-waiting loops.
+#include "runtime/parallel.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace frd::rt::par {
+
+namespace {
+
+// Chase-Lev work-stealing deque (memory orders per Le et al., PPoPP'13).
+// Owner pushes/pops at the bottom; thieves steal from the top.
+class work_deque {
+ public:
+  work_deque() {
+    rings_.push_back(std::make_unique<ring>(kInitialCap));
+    active_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+  work_deque(const work_deque&) = delete;
+  work_deque& operator=(const work_deque&) = delete;
+
+  void push(task* t) {
+    std::size_t b = bottom_.load(std::memory_order_relaxed);
+    std::size_t tp = top_.load(std::memory_order_acquire);
+    ring* r = active_.load(std::memory_order_relaxed);
+    if (b - tp >= r->capacity - 1) {
+      r = grow(r, b, tp);
+    }
+    r->put(b, t);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  task* pop() {
+    std::size_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* r = active_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::size_t tp = top_.load(std::memory_order_relaxed);
+    if (tp > b) {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    task* x = r->get(b);
+    if (tp == b) {  // last element: race against thieves
+      if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        x = nullptr;  // lost to a thief
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  task* steal() {
+    std::size_t tp = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::size_t b = bottom_.load(std::memory_order_acquire);
+    if (tp >= b) return nullptr;
+    ring* r = active_.load(std::memory_order_consume);
+    task* x = r->get(tp);
+    if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; caller retries elsewhere
+    }
+    return x;
+  }
+
+ private:
+  static constexpr std::size_t kInitialCap = 256;
+
+  struct ring {
+    explicit ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(cap) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::vector<std::atomic<task*>> slots;
+    task* get(std::size_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::size_t i, task* t) {
+      slots[i & mask].store(t, std::memory_order_relaxed);
+    }
+  };
+
+  ring* grow(ring* old, std::size_t b, std::size_t tp) {
+    auto bigger = std::make_unique<ring>(old->capacity * 2);
+    for (std::size_t i = tp; i < b; ++i) bigger->put(i, old->get(i));
+    ring* raw = bigger.get();
+    // Old rings stay alive until the deque dies so in-flight thieves can
+    // still read (stale) slots safely; their CAS on top_ will fail.
+    rings_.push_back(std::move(bigger));
+    active_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::size_t> top_{1};
+  std::atomic<std::size_t> bottom_{1};
+  std::atomic<ring*> active_{nullptr};
+  std::vector<std::unique_ptr<ring>> rings_;
+};
+
+struct worker {
+  explicit worker(unsigned idx) : index(idx) {}
+  unsigned index;
+  work_deque deque;
+  frame* current_frame = nullptr;
+};
+
+thread_local worker* tls_worker = nullptr;
+
+}  // namespace
+
+struct scheduler::impl {
+  explicit impl(unsigned n) {
+    if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned i = 0; i < n; ++i) workers.push_back(std::make_unique<worker>(i));
+    for (unsigned i = 1; i < n; ++i)
+      threads.emplace_back([this, i] { pool_loop(*workers[i]); });
+  }
+
+  ~impl() {
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    // Drain anything left (shouldn't happen after clean runs).
+    for (auto& w : workers) {
+      while (task* t = w->deque.pop()) delete t;
+    }
+  }
+
+  // Steals from a random victim; returns null on a failed round.
+  task* steal_once(worker& self, prng& rng) {
+    const std::size_t n = workers.size();
+    if (n <= 1) return nullptr;
+    const std::size_t victim =
+        (self.index + 1 + rng.below(n - 1)) % n;  // anyone but self
+    return workers[victim]->deque.steal();
+  }
+
+  // One scheduling round from `self`: own deque first, then a steal attempt.
+  task* acquire(worker& self, prng& rng) {
+    if (task* t = self.deque.pop()) return t;
+    return steal_once(self, rng);
+  }
+
+  void execute(scheduler& owner, worker& self, task* t) {
+    frame* saved = self.current_frame;
+    t->execute(owner);
+    self.current_frame = saved;
+    delete t;
+  }
+
+  void pool_loop(worker& self) {
+    tls_worker = &self;
+    prng rng(0x9e3779b9u + self.index);
+    unsigned idle_rounds = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (task* t = acquire(self, rng)) {
+        execute(*owner_backref, self, t);
+        idle_rounds = 0;
+      } else if (++idle_rounds > 64) {
+        std::this_thread::yield();
+      }
+    }
+    tls_worker = nullptr;
+  }
+
+  std::vector<std::unique_ptr<worker>> workers;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  scheduler* owner_backref = nullptr;
+};
+
+scheduler::scheduler(unsigned workers) : impl_(std::make_unique<impl>(workers)) {
+  impl_->owner_backref = this;
+}
+
+scheduler::~scheduler() = default;
+
+unsigned scheduler::worker_count() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void scheduler::enter_host() {
+  FRD_CHECK_MSG(tls_worker == nullptr, "nested parallel_runtime::run");
+  tls_worker = impl_->workers[0].get();
+}
+
+void scheduler::leave_host() {
+  FRD_CHECK(tls_worker == impl_->workers[0].get());
+  tls_worker = nullptr;
+}
+
+void scheduler::push_task(task* t) {
+  FRD_CHECK_MSG(tls_worker != nullptr,
+                "task submitted from a thread outside the runtime");
+  tls_worker->deque.push(t);
+}
+
+frame* scheduler::current_frame() const {
+  return tls_worker ? tls_worker->current_frame : nullptr;
+}
+
+frame* scheduler::swap_current_frame(frame* fr) {
+  FRD_CHECK(tls_worker != nullptr);
+  frame* prev = tls_worker->current_frame;
+  tls_worker->current_frame = fr;
+  return prev;
+}
+
+void scheduler::wait_frame(frame& fr) {
+  worker& self = *tls_worker;
+  prng rng(0xabcdef01u + self.index);
+  unsigned idle = 0;
+  while (fr.pending.load(std::memory_order_acquire) != 0) {
+    if (task* t = impl_->acquire(self, rng)) {
+      impl_->execute(*this, self, t);
+      idle = 0;
+    } else if (++idle > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void scheduler::wait_future(future_state_base& st) {
+  worker& self = *tls_worker;
+  prng rng(0x5eedc0deu + self.index);
+  unsigned idle = 0;
+  while (!st.done()) {
+    if (task* t = impl_->acquire(self, rng)) {
+      impl_->execute(*this, self, t);
+      idle = 0;
+    } else if (++idle > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace frd::rt::par

@@ -1,0 +1,202 @@
+// Parallel work-stealing runtime.
+//
+// The paper's detector runs sequentially, but the substrate it instruments
+// is a Cilk-style parallel platform; this runtime is our stand-in for Intel
+// Cilk Plus when detection is OFF (examples, speedup measurements). It is a
+// child-stealing scheduler: `spawn` enqueues the child on the worker's
+// Chase-Lev deque and the parent continues; `sync` helps (pops own deque,
+// then steals) until every child of the frame has completed. Futures are
+// eagerly *created* tasks; `get` claims the task and runs it inline if no
+// one has started it, otherwise helps until it is done.
+//
+// A waiting worker never blocks on a lock: it executes other ready tasks,
+// so there is no scheduler-induced deadlock for forward-pointing futures
+// (the only kind the paper's detector accepts, §2).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace frd::rt {
+namespace par {
+
+// The dynamic scope of one function instance: counts direct spawned
+// children that have not completed yet (sync waits on this).
+struct frame {
+  std::atomic<std::uint64_t> pending{0};
+};
+
+class scheduler;
+
+struct task {
+  virtual ~task() = default;
+  // Runs the task body. Called exactly once by whoever dequeued/claimed it;
+  // the caller deletes the task afterwards.
+  virtual void execute(scheduler& sched) = 0;
+};
+
+struct future_state_base {
+  enum class status : int { pending, running, done };
+  std::atomic<status> st{status::pending};
+
+  // True if the caller won the right to run the body.
+  bool claim() {
+    status expected = status::pending;
+    return st.compare_exchange_strong(expected, status::running,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+  bool done() const { return st.load(std::memory_order_acquire) == status::done; }
+  void mark_done() { st.store(status::done, std::memory_order_release); }
+};
+
+template <typename T>
+struct future_state : future_state_base {
+  std::optional<T> value;
+};
+template <>
+struct future_state<void> : future_state_base {};
+
+// Worker pool + deques + TLS bindings; definition in parallel.cpp.
+class scheduler {
+ public:
+  explicit scheduler(unsigned workers);  // 0 = hardware_concurrency
+  ~scheduler();
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  unsigned worker_count() const;
+
+  void enter_host();  // binds the calling thread as worker 0
+  void leave_host();
+
+  void push_task(task* t);              // current worker's deque
+  void wait_frame(frame& fr);           // help until fr.pending == 0
+  void wait_future(future_state_base& st);  // help until st.done()
+
+  frame* current_frame() const;
+  frame* swap_current_frame(frame* fr);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+// Runs `fn` as a Cilk function instance: fresh frame for its spawns, and an
+// implicit sync before it returns.
+template <typename F>
+void run_as_function(scheduler& s, F& fn) {
+  frame fr;
+  frame* prev = s.swap_current_frame(&fr);
+  fn();
+  if (fr.pending.load(std::memory_order_acquire) != 0) s.wait_frame(fr);
+  s.swap_current_frame(prev);
+}
+
+template <typename F>
+struct child_task final : task {
+  child_task(frame* parent, F&& fn) : parent_(parent), fn_(std::move(fn)) {}
+  void execute(scheduler& sched) override {
+    run_as_function(sched, fn_);
+    parent_->pending.fetch_sub(1, std::memory_order_release);
+  }
+  frame* parent_;
+  F fn_;
+};
+
+template <typename State, typename F>
+struct future_task final : task {
+  future_task(std::shared_ptr<State> st, F&& fn)
+      : state_(std::move(st)), fn_(std::move(fn)) {}
+  void execute(scheduler& sched) override {
+    if (!state_->claim()) return;  // a get() got there first
+    auto body = [this] {
+      if constexpr (requires { state_->value; }) {
+        state_->value.emplace(fn_());
+      } else {
+        fn_();
+      }
+    };
+    run_as_function(sched, body);
+    state_->mark_done();
+  }
+  std::shared_ptr<State> state_;
+  F fn_;
+};
+
+}  // namespace par
+
+// Shared-state handle to a parallel future. Copyable (shared state), so
+// general programs can stash handles in arrays and touch them repeatedly.
+template <typename T>
+class pfuture {
+ public:
+  pfuture() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->done(); }
+
+ private:
+  friend class parallel_runtime;
+  explicit pfuture(std::shared_ptr<par::future_state<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<par::future_state<T>> state_;
+};
+
+class parallel_runtime {
+ public:
+  explicit parallel_runtime(unsigned workers = 0) : sched_(workers) {}
+
+  unsigned worker_count() const { return sched_.worker_count(); }
+
+  // Runs root to completion (including everything it transitively spawned).
+  template <typename F>
+  void run(F&& root) {
+    sched_.enter_host();
+    par::run_as_function(sched_, root);
+    sched_.leave_host();
+  }
+
+  template <typename F>
+  void spawn(F&& f) {
+    par::frame* fr = sched_.current_frame();
+    FRD_CHECK_MSG(fr != nullptr, "spawn outside run()");
+    fr->pending.fetch_add(1, std::memory_order_relaxed);
+    sched_.push_task(new par::child_task<std::decay_t<F>>(fr, std::forward<F>(f)));
+  }
+
+  void sync() {
+    par::frame* fr = sched_.current_frame();
+    FRD_CHECK_MSG(fr != nullptr, "sync outside run()");
+    if (fr->pending.load(std::memory_order_acquire) != 0) sched_.wait_frame(*fr);
+  }
+
+  template <typename F>
+  auto create_future(F&& f) -> pfuture<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto state = std::make_shared<par::future_state<R>>();
+    sched_.push_task(new par::future_task<par::future_state<R>, std::decay_t<F>>(
+        state, std::forward<F>(f)));
+    return pfuture<R>{std::move(state)};
+  }
+
+  template <typename T>
+  const T& get(pfuture<T>& fut) {
+    FRD_CHECK_MSG(fut.state_ != nullptr, "get() on an invalid pfuture");
+    sched_.wait_future(*fut.state_);
+    return *fut.state_->value;
+  }
+  void get(pfuture<void>& fut) {
+    FRD_CHECK_MSG(fut.state_ != nullptr, "get() on an invalid pfuture");
+    sched_.wait_future(*fut.state_);
+  }
+
+ private:
+  par::scheduler sched_;
+};
+
+}  // namespace frd::rt

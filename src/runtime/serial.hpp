@@ -1,0 +1,258 @@
+// Serial depth-first eager task runtime (the detection substrate).
+//
+// Race detection in the paper always executes the program *sequentially in
+// depth-first eager order* (§2): `spawn` and `create_fut` run the child to
+// completion before the parent's continuation resumes, so a `sync` never
+// waits and a forward-pointing `get_fut` always finds its future finished.
+// This runtime realizes exactly that order, mints strand/function ids, and
+// streams the dag-growth events of events.hpp to an execution_listener.
+//
+// API sketch (mirrors Cilk + the paper's future primitives):
+//
+//   serial_runtime rt{&detector};
+//   rt.run([&] {
+//     rt.spawn([&] { left(); });
+//     right();
+//     rt.sync();
+//     auto h = rt.create_future([&] { return produce(); });
+//     ...
+//     int x = rt.get(h);
+//   });
+//
+// Functions have Cilk semantics: an implicit sync runs when a spawned or
+// future function body returns with outstanding children.
+#pragma once
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/events.hpp"
+#include "support/check.hpp"
+
+namespace frd::rt {
+
+class serial_runtime;
+
+namespace detail {
+// State shared by future<T> for every payload type.
+struct future_core {
+  serial_runtime* rt = nullptr;
+  func_id fn = kNoFunc;
+  strand_id last_strand = kNoStrand;
+  strand_id creator_strand = kNoStrand;  // u at create_fut; structured check
+  int touches = 0;
+  bool valid = false;
+};
+}  // namespace detail
+
+// Handle to an eagerly evaluated future. Move-only: the handle *is* the
+// future's bookkeeping record (no heap allocation per future), so copies
+// would fork the touch count that single-touch enforcement relies on.
+// General (multi-touch) programs call get() repeatedly on the same handle.
+template <typename T>
+class future {
+ public:
+  future() = default;
+  future(future&& o) noexcept = default;
+  future& operator=(future&& o) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  bool valid() const { return core_.valid; }
+  int touch_count() const { return core_.touches; }
+
+  // Joins with the future: emits the get_fut event and returns the value.
+  // Defined after serial_runtime (needs its definition).
+  const T& get();
+
+ private:
+  friend class serial_runtime;
+  detail::future_core core_;
+  std::optional<T> value_;
+};
+
+template <>
+class future<void> {
+ public:
+  future() = default;
+  future(future&&) noexcept = default;
+  future& operator=(future&&) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  bool valid() const { return core_.valid; }
+  int touch_count() const { return core_.touches; }
+  void get();
+
+ private:
+  friend class serial_runtime;
+  detail::future_core core_;
+};
+
+class serial_runtime {
+ public:
+  explicit serial_runtime(execution_listener* listener = nullptr)
+      : listener_(listener) {}
+  serial_runtime(const serial_runtime&) = delete;
+  serial_runtime& operator=(const serial_runtime&) = delete;
+
+  // When true, get() aborts on a second touch of the same future handle —
+  // the paper's structured-future "single-touch" restriction (§2).
+  void enforce_single_touch(bool on) { single_touch_ = on; }
+
+  // Runs `root` as the main function of a fresh program; reusable.
+  template <typename F>
+  void run(F&& root) {
+    FRD_CHECK_MSG(stack_.empty(), "serial_runtime::run is not reentrant");
+    next_strand_ = 0;
+    next_func_ = 0;
+    const func_id main_fn = next_func_++;
+    cur_strand_ = next_strand_++;
+    if (listener_) listener_->on_program_begin(main_fn, cur_strand_);
+    stack_.push_back(frame{main_fn, {}});
+    if (listener_) listener_->on_strand_begin(cur_strand_, main_fn);
+    root();
+    if (!stack_.back().children.empty()) sync();
+    stack_.pop_back();
+    if (listener_) listener_->on_program_end(cur_strand_);
+  }
+
+  // Spawns child function `f`; logically parallel with the continuation,
+  // executed eagerly here. The child joins at the enclosing sync.
+  template <typename F>
+  void spawn(F&& f) {
+    FRD_CHECK_MSG(!stack_.empty(), "spawn outside run()");
+    const strand_id u = cur_strand_;
+    const func_id parent = stack_.back().fn;
+    const func_id child = next_func_++;
+    const strand_id w = next_strand_++;  // child's first strand
+    const strand_id v = next_strand_++;  // parent's continuation strand
+    if (listener_) listener_->on_spawn(parent, u, child, w, v);
+    const strand_id child_last = run_child(child, w, parent, std::forward<F>(f));
+    stack_.back().children.push_back(child_record{child, u, w, child_last, v});
+    cur_strand_ = v;
+    if (listener_) listener_->on_strand_begin(v, parent);
+  }
+
+  // Joins every child spawned in the current function scope since the last
+  // sync. No-op when there are none (like Cilk's sync).
+  void sync() {
+    FRD_CHECK_MSG(!stack_.empty(), "sync outside run()");
+    frame& fr = stack_.back();
+    if (fr.children.empty()) return;
+    join_scratch_.clear();
+    for (std::size_t i = 0; i < fr.children.size(); ++i)
+      join_scratch_.push_back(next_strand_++);
+    if (listener_) {
+      execution_listener::sync_event e{fr.fn, cur_strand_, fr.children,
+                                       join_scratch_};
+      listener_->on_sync(e);
+    }
+    cur_strand_ = join_scratch_.back();
+    fr.children.clear();
+    if (listener_) listener_->on_strand_begin(cur_strand_, fr.fn);
+  }
+
+  // Creates a future running `f` as its own function instance. The future
+  // escapes sync scopes; it joins only at get().
+  template <typename F>
+  auto create_future(F&& f) -> future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    FRD_CHECK_MSG(!stack_.empty(), "create_future outside run()");
+    const strand_id u = cur_strand_;
+    const func_id parent = stack_.back().fn;
+    const func_id child = next_func_++;
+    const strand_id w = next_strand_++;
+    const strand_id v = next_strand_++;
+    if (listener_) listener_->on_create(parent, u, child, w, v);
+    future<R> fut;
+    strand_id child_last;
+    if constexpr (std::is_void_v<R>) {
+      child_last = run_child(child, w, parent, std::forward<F>(f));
+    } else {
+      child_last = run_child(child, w, parent,
+                             [&] { fut.value_.emplace(f()); });
+    }
+    fut.core_ = detail::future_core{this, child, child_last, u, 0, true};
+    cur_strand_ = v;
+    if (listener_) listener_->on_strand_begin(v, parent);
+    return fut;
+  }
+
+  // Joins with `fut` (emits the get_fut event). Value access is on the
+  // future itself; most callers use fut.get().
+  void touch(detail::future_core& core) {
+    FRD_CHECK_MSG(core.valid, "get() on an invalid future handle");
+    FRD_CHECK_MSG(core.rt == this, "future joined on a different runtime");
+    ++core.touches;
+    FRD_CHECK_MSG(!single_touch_ || core.touches == 1,
+                  "structured futures are single-touch (paper S2); second "
+                  "get() on the same handle");
+    const strand_id u = cur_strand_;
+    const func_id fn = stack_.back().fn;
+    const strand_id v = next_strand_++;
+    if (listener_)
+      listener_->on_get(fn, u, v, core.fn, core.last_strand, core.creator_strand);
+    cur_strand_ = v;
+    if (listener_) listener_->on_strand_begin(v, fn);
+  }
+
+  template <typename T>
+  const T& get(future<T>& fut) {
+    return fut.get();
+  }
+  void get(future<void>& fut) { fut.get(); }
+
+  strand_id current_strand() const { return cur_strand_; }
+  func_id current_function() const {
+    return stack_.empty() ? kNoFunc : stack_.back().fn;
+  }
+  std::uint32_t strand_count() const { return next_strand_; }
+  std::uint32_t function_count() const { return next_func_; }
+  execution_listener* listener() const { return listener_; }
+
+ private:
+  struct frame {
+    func_id fn;
+    std::vector<child_record> children;
+  };
+
+  // Runs a child function body eagerly in its own frame; returns the child's
+  // last strand id and fires on_return.
+  template <typename F>
+  strand_id run_child(func_id child, strand_id first, func_id parent, F&& body) {
+    stack_.push_back(frame{child, {}});
+    cur_strand_ = first;
+    if (listener_) listener_->on_strand_begin(first, child);
+    body();
+    if (!stack_.back().children.empty()) sync();  // Cilk's implicit sync
+    const strand_id last = cur_strand_;
+    stack_.pop_back();
+    if (listener_) listener_->on_return(child, last, parent);
+    return last;
+  }
+
+  execution_listener* listener_;
+  std::vector<frame> stack_;
+  std::vector<strand_id> join_scratch_;
+  strand_id cur_strand_ = kNoStrand;
+  std::uint32_t next_strand_ = 0;
+  std::uint32_t next_func_ = 0;
+  bool single_touch_ = false;
+};
+
+template <typename T>
+const T& future<T>::get() {
+  FRD_CHECK_MSG(core_.rt != nullptr, "get() on a default-constructed future");
+  core_.rt->touch(core_);
+  return *value_;
+}
+
+inline void future<void>::get() {
+  FRD_CHECK_MSG(core_.rt != nullptr, "get() on a default-constructed future");
+  core_.rt->touch(core_);
+}
+
+}  // namespace frd::rt

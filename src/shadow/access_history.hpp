@@ -1,0 +1,125 @@
+// Access history: per-location reader/writer shadow state (paper §3, §6).
+//
+// For every 4-byte granule the detector keeps
+//   * last-writer(l): the single most recent writer strand, and
+//   * reader-list(l): arbitrarily many reader strands. Futures break the
+//     constant-reader property of series-parallel detectors, so the list
+//     must grow; it is emptied whenever a write commits (every later strand
+//     parallel to a purged reader is also parallel to the new writer, so no
+//     race is lost — §3).
+//
+// Layout follows the paper's "two-level direct-mapped cache": the high bits
+// of addr>>2 select a second-level page, the low bits index into it. The
+// paper's artifact used a flat top-level table; with 47-bit user address
+// spaces we key pages by a hash map instead and keep a one-entry hot-page
+// cache, which preserves the two-level lookup cost on the fast path
+// (documented substitution, DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/events.hpp"
+
+namespace frd::shadow {
+
+using rt::strand_id;
+
+// Reader list with small inline capacity; overflow spills to a heap vector
+// that is retained (cleared, not freed) across writer purges so steady-state
+// writes allocate nothing.
+class granule_record {
+ public:
+  granule_record() = default;
+  granule_record(const granule_record&) = delete;
+  granule_record& operator=(const granule_record&) = delete;
+  ~granule_record() { delete overflow_; }
+
+  strand_id writer = rt::kNoStrand;
+
+  std::size_t reader_count() const { return n_readers_; }
+  bool has_readers() const { return n_readers_ != 0; }
+
+  // Most recently appended reader (kNoStrand when empty). The detector uses
+  // it to dedupe consecutive reads by the same strand — in a serial
+  // execution a strand's reads of l are contiguous, so checking the tail is
+  // a complete dedupe.
+  strand_id last_reader() const {
+    if (n_readers_ == 0) return rt::kNoStrand;
+    if (n_readers_ <= kInline) return inline_[n_readers_ - 1];
+    return (*overflow_)[n_readers_ - kInline - 1];
+  }
+
+  void append_reader(strand_id s) {
+    if (n_readers_ < kInline) {
+      inline_[n_readers_++] = s;
+      return;
+    }
+    if (overflow_ == nullptr) overflow_ = new std::vector<strand_id>();
+    overflow_->push_back(s);
+    ++n_readers_;
+  }
+
+  void clear_readers() {
+    n_readers_ = 0;
+    if (overflow_ != nullptr) overflow_->clear();
+  }
+
+  template <typename Fn>
+  void for_each_reader(Fn&& fn) const {
+    const std::size_t inl = n_readers_ < kInline ? n_readers_ : kInline;
+    for (std::size_t i = 0; i < inl; ++i) fn(inline_[i]);
+    if (n_readers_ > kInline) {
+      for (std::size_t i = 0; i < n_readers_ - kInline; ++i)
+        fn((*overflow_)[i]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInline = 3;
+  std::uint32_t n_readers_ = 0;
+  strand_id inline_[kInline] = {};
+  std::vector<strand_id>* overflow_ = nullptr;
+};
+
+class access_history {
+ public:
+  // page_bits selects the second-level page size: 2^page_bits granules.
+  explicit access_history(unsigned page_bits = 16);
+  access_history(const access_history&) = delete;
+  access_history& operator=(const access_history&) = delete;
+
+  static constexpr std::uintptr_t granule_of(std::uintptr_t addr) {
+    return addr >> 2;
+  }
+
+  // Shadow record for the granule containing addr; allocates the page on
+  // first touch.
+  granule_record& record_for(std::uintptr_t addr);
+
+  // Lookup without allocation (tests / stats); null if never touched.
+  const granule_record* find(std::uintptr_t addr) const;
+
+  std::size_t page_count() const { return pages_.size(); }
+  std::size_t bytes_reserved() const;
+
+ private:
+  struct page {
+    explicit page(std::size_t n) : records(n) {}
+    std::vector<granule_record> records;
+  };
+
+  page& page_for(std::uintptr_t page_id);
+
+  const unsigned page_bits_;
+  const std::uintptr_t page_mask_;
+  // Hot-page cache: benchmark kernels touch long runs within one page.
+  std::uintptr_t cached_id_ = static_cast<std::uintptr_t>(-1);
+  page* cached_page_ = nullptr;
+  std::unordered_map<std::uintptr_t, std::unique_ptr<page>> pages_;
+};
+
+}  // namespace frd::shadow

@@ -1,0 +1,44 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace frd {
+
+void* arena::allocate(std::size_t bytes, std::size_t align) {
+  FRD_DCHECK(align != 0 && (align & (align - 1)) == 0);
+  auto ip = reinterpret_cast<std::uintptr_t>(cursor_);
+  std::uintptr_t aligned = (ip + align - 1) & ~(std::uintptr_t{align} - 1);
+  std::byte* p = reinterpret_cast<std::byte*>(aligned);
+  if (p == nullptr || p + bytes > end_) {
+    grow(bytes + align);
+    ip = reinterpret_cast<std::uintptr_t>(cursor_);
+    aligned = (ip + align - 1) & ~(std::uintptr_t{align} - 1);
+    p = reinterpret_cast<std::byte*>(aligned);
+  }
+  cursor_ = p + bytes;
+  bytes_allocated_ += bytes;
+  return p;
+}
+
+void arena::grow(std::size_t at_least) {
+  std::size_t size = std::max(block_bytes_, at_least);
+  auto* base = static_cast<std::byte*>(std::malloc(size));
+  FRD_CHECK_MSG(base != nullptr, "arena out of memory");
+  blocks_.push_back({base, size});
+  cursor_ = base;
+  end_ = base + size;
+  // Geometric growth keeps the block count logarithmic in total footprint.
+  block_bytes_ = std::min<std::size_t>(block_bytes_ * 2, std::size_t{1} << 24);
+}
+
+void arena::release() {
+  for (block& b : blocks_) std::free(b.base);
+  blocks_.clear();
+  cursor_ = end_ = nullptr;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace frd

@@ -1,0 +1,62 @@
+// Monotonic arena allocator.
+//
+// Bag payloads, attached-set descriptors and reader-list overflow blocks are
+// allocated at high rate and freed all at once when a detection run ends.
+// The arena hands out pointer-stable storage (no reallocation), which the
+// detector relies on: DNSP attached-set payloads are referenced by attPred /
+// attSucc proxies for the rest of the run (DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace frd {
+
+class arena {
+ public:
+  explicit arena(std::size_t block_bytes = 1 << 16) : block_bytes_(block_bytes) {}
+  arena(const arena&) = delete;
+  arena& operator=(const arena&) = delete;
+  arena(arena&&) noexcept = default;
+  arena& operator=(arena&&) noexcept = default;
+  ~arena() { release(); }
+
+  // Allocates raw storage with the given size/alignment. Never returns null.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // Constructs a T in arena storage. T must be trivially destructible, since
+  // the arena never runs destructors (enforced at compile time).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Drops every allocation. Pointers handed out become invalid.
+  void release();
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct block {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least);
+
+  std::vector<block> blocks_;
+  std::byte* cursor_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t block_bytes_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace frd

@@ -1,0 +1,42 @@
+#include "support/bitvec.hpp"
+
+#include <algorithm>
+
+namespace frd {
+
+void bitvec::or_with(const bitvec& other) {
+  if (other.nbits_ > nbits_) resize(other.nbits_);
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] |= other.words_[i];
+}
+
+bool bitvec::intersects(const bitvec& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+std::size_t bitvec::count() const {
+  std::size_t total = 0;
+  for (word w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool bitvec::any() const {
+  for (word w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool bitvec::operator==(const bitvec& other) const {
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    word a = i < words_.size() ? words_[i] : 0;
+    word b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace frd

@@ -1,0 +1,67 @@
+// Dynamic bit vector used for the transitive closure of R (MultiBags+) and
+// for the graph oracle's reachability rows. The closure workload is
+// dominated by whole-row ORs, so the representation is a flat word array
+// with explicit word-level operations ("parallel bit operations" in the
+// paper's artifact description, §6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace frd {
+
+class bitvec {
+ public:
+  using word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  bitvec() = default;
+  explicit bitvec(std::size_t nbits) { resize(nbits); }
+
+  std::size_t size() const { return nbits_; }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize((nbits + kWordBits - 1) / kWordBits, 0);
+  }
+
+  void set(std::size_t i) { words_[i / kWordBits] |= word{1} << (i % kWordBits); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~(word{1} << (i % kWordBits)); }
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void clear() { words_.assign(words_.size(), 0); }
+
+  // this |= other. Rows in a closure matrix share a common capacity, but the
+  // oracle grows rows lazily, so |other| may be shorter.
+  void or_with(const bitvec& other);
+
+  // True iff (this & other) has any set bit.
+  bool intersects(const bitvec& other) const;
+
+  std::size_t count() const;
+  bool any() const;
+
+  // Calls fn(index) for every set bit, in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      word w = words_[wi];
+      while (w != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+        fn(wi * kWordBits + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  bool operator==(const bitvec& other) const;
+
+ private:
+  std::vector<word> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace frd

@@ -1,0 +1,36 @@
+// Invariant checking for FutureRD.
+//
+// FRD_CHECK is always on: it guards invariants whose violation would make
+// race reports meaningless (e.g. a bag payload missing from a DSU root).
+// FRD_DCHECK compiles away in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace frd {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "FutureRD invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace frd
+
+#define FRD_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::frd::check_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define FRD_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::frd::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define FRD_DCHECK(expr) ((void)0)
+#else
+#define FRD_DCHECK(expr) FRD_CHECK(expr)
+#endif

@@ -1,0 +1,127 @@
+#include "support/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace frd {
+
+flag_parser::flag_parser(int argc, char** argv) {
+  prog_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+flag_parser::flag* flag_parser::find(std::string_view name) {
+  for (const auto& f : flags_)
+    if (f->name == name) return f.get();
+  return nullptr;
+}
+
+std::int64_t& flag_parser::int_flag(std::string name, std::int64_t def,
+                                    std::string help) {
+  auto f = std::make_unique<flag>(
+      flag{std::move(name), kind::integer, std::move(help), std::to_string(def),
+           0, 0, {}, false});
+  f->int_val = def;
+  flags_.push_back(std::move(f));
+  return flags_.back()->int_val;
+}
+
+double& flag_parser::double_flag(std::string name, double def, std::string help) {
+  auto f = std::make_unique<flag>(
+      flag{std::move(name), kind::real, std::move(help), std::to_string(def),
+           0, 0, {}, false});
+  f->dbl_val = def;
+  flags_.push_back(std::move(f));
+  return flags_.back()->dbl_val;
+}
+
+std::string& flag_parser::string_flag(std::string name, std::string def,
+                                      std::string help) {
+  auto f = std::make_unique<flag>(
+      flag{std::move(name), kind::text, std::move(help), def, 0, 0, {}, false});
+  f->str_val = std::move(def);
+  flags_.push_back(std::move(f));
+  return flags_.back()->str_val;
+}
+
+bool& flag_parser::bool_flag(std::string name, bool def, std::string help) {
+  auto f = std::make_unique<flag>(
+      flag{std::move(name), kind::boolean, std::move(help),
+           def ? "true" : "false", 0, 0, {}, false});
+  f->bool_val = def;
+  flags_.push_back(std::move(f));
+  return flags_.back()->bool_val;
+}
+
+std::string flag_parser::usage() const {
+  std::string out = "usage: " + prog_ + " [flags]\n";
+  for (const auto& f : flags_) {
+    out += "  --" + f->name + " (default " + f->def_text + "): " + f->help + "\n";
+  }
+  return out;
+}
+
+void flag_parser::parse() {
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    std::string_view a = args_[i];
+    if (a == "--help" || a == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (a.size() < 3 || a.substr(0, 2) != "--") {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s", args_[i].c_str(),
+                   usage().c_str());
+      std::exit(1);
+    }
+    flag* f = find(a.substr(2));
+    if (f == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s'\n%s", args_[i].c_str(),
+                   usage().c_str());
+      std::exit(1);
+    }
+    if (f->k == kind::boolean) {
+      // Booleans accept an optional explicit value; bare flag means true.
+      if (i + 1 < args_.size() &&
+          (args_[i + 1] == "true" || args_[i + 1] == "false")) {
+        f->bool_val = args_[++i] == "true";
+      } else {
+        f->bool_val = true;
+      }
+      continue;
+    }
+    if (i + 1 >= args_.size()) {
+      std::fprintf(stderr, "flag '%s' needs a value\n%s", args_[i].c_str(),
+                   usage().c_str());
+      std::exit(1);
+    }
+    const std::string& v = args_[++i];
+    char* end = nullptr;
+    switch (f->k) {
+      case kind::integer:
+        f->int_val = std::strtoll(v.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n",
+                       f->name.c_str(), v.c_str());
+          std::exit(1);
+        }
+        break;
+      case kind::real:
+        f->dbl_val = std::strtod(v.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "flag --%s expects a number, got '%s'\n",
+                       f->name.c_str(), v.c_str());
+          std::exit(1);
+        }
+        break;
+      case kind::text:
+        f->str_val = v;
+        break;
+      case kind::boolean:
+        break;  // handled above
+    }
+  }
+}
+
+}  // namespace frd

@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for benchmark harnesses and examples.
+//
+// Flags look like:  --n 2048 --base 32 --mode full --verbose
+// Unrecognized flags abort with a usage message, so typos in experiment
+// scripts fail loudly instead of silently benchmarking the default config.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frd {
+
+class flag_parser {
+ public:
+  flag_parser(int argc, char** argv);
+
+  // Registration must happen before parse(). Each returns the parsed value
+  // location so call sites read naturally:
+  //   auto& n = flags.int_flag("n", 2048, "problem size");
+  std::int64_t& int_flag(std::string name, std::int64_t def, std::string help);
+  double& double_flag(std::string name, double def, std::string help);
+  std::string& string_flag(std::string name, std::string def, std::string help);
+  bool& bool_flag(std::string name, bool def, std::string help);
+
+  // Parses argv; on --help prints usage and exits 0; on unknown flag prints
+  // usage and exits 1.
+  void parse();
+
+  std::string usage() const;
+
+ private:
+  enum class kind { integer, real, text, boolean };
+  struct flag {
+    std::string name;
+    kind k;
+    std::string help;
+    std::string def_text;
+    // Exactly one of these is active, selected by `k`. Values live inside the
+    // flag object; unique_ptr indirection keeps their addresses stable while
+    // more flags are registered (callers hold references into them).
+    std::int64_t int_val = 0;
+    double dbl_val = 0;
+    std::string str_val;
+    bool bool_val = false;
+  };
+
+  flag* find(std::string_view name);
+
+  std::string prog_;
+  std::vector<std::string> args_;
+  std::vector<std::unique_ptr<flag>> flags_;
+};
+
+}  // namespace frd

@@ -1,0 +1,40 @@
+// Small statistics helpers for the benchmark harnesses: the paper reports
+// the average of 5 runs (with <5% stddev) and geometric-mean overheads
+// across benchmarks (§6).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace frd {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+// Relative standard deviation (as a fraction of the mean).
+inline double rel_stddev(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  return m > 0 ? stddev(xs) / m : 0;
+}
+
+}  // namespace frd

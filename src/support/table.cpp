@@ -1,0 +1,60 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace frd {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string text_table::seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string text_table::multiplier(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", x);
+  return buf;
+}
+
+std::string text_table::seconds_with_overhead(double s, double baseline_s) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.3f (%.2fx)", s,
+                baseline_s > 0 ? s / baseline_s : 0.0);
+  return buf;
+}
+
+}  // namespace frd

@@ -1,0 +1,30 @@
+// Column-aligned plain-text table printer. The benchmark harnesses print
+// the same row layout as the paper's Figures 6-8 (benchmark, baseline,
+// per-configuration seconds with overhead multipliers in parentheses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace frd {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with two-space column gaps; columns sized to fit.
+  std::string render() const;
+
+  // Convenience formatters used by the bench harnesses.
+  static std::string seconds(double s);
+  static std::string seconds_with_overhead(double s, double baseline_s);
+  static std::string multiplier(double x);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace frd

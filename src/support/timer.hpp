@@ -1,0 +1,22 @@
+// Wall-clock timing for the benchmark harnesses (the paper reports seconds
+// of wall time per configuration).
+#pragma once
+
+#include <chrono>
+
+namespace frd {
+
+class wall_timer {
+ public:
+  wall_timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace frd

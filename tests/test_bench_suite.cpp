@@ -1,0 +1,367 @@
+// Correctness tests for the six paper benchmarks: every kernel variant must
+// match its uninstrumented serial reference, be race-free under full
+// detection, and (for the structured variants) respect the structured
+// discipline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_suite/bst.hpp"
+#include "bench_suite/dedup.hpp"
+#include "bench_suite/heartwall.hpp"
+#include "bench_suite/lcs.hpp"
+#include "bench_suite/mm.hpp"
+#include "bench_suite/sw.hpp"
+#include "detect/detector.hpp"
+#include "support/prng.hpp"
+
+namespace frd::bench {
+namespace {
+
+using detect::algorithm;
+using detect::detector;
+using detect::level;
+using detect::hooks::active;
+using detect::hooks::none;
+
+struct full_detection {
+  explicit full_detection(algorithm alg)
+      : det(alg, level::full), bind(&det), rt(&det) {}
+  detector det;
+  detect::scoped_global_detector bind;
+  rt::serial_runtime rt;
+};
+
+// ---------------------------------------------------------------- lcs ----
+TEST(LcsKernel, StructuredMatchesReference) {
+  const auto in = make_lcs_input(160, 1);
+  rt::serial_runtime rt;
+  EXPECT_EQ(lcs_structured<none>(rt, in, 32), lcs_reference(in));
+}
+
+TEST(LcsKernel, GeneralMatchesReference) {
+  const auto in = make_lcs_input(160, 2);
+  rt::serial_runtime rt;
+  EXPECT_EQ(lcs_general<none>(rt, in, 32), lcs_reference(in));
+}
+
+TEST(LcsKernel, UnevenTileSizes) {
+  // n not divisible by base: ragged edge tiles.
+  const auto in = make_lcs_input(100, 3);
+  rt::serial_runtime rt;
+  EXPECT_EQ(lcs_structured<none>(rt, in, 32), lcs_reference(in));
+  EXPECT_EQ(lcs_general<none>(rt, in, 32), lcs_reference(in));
+}
+
+TEST(LcsKernel, SingleTileDegenerate) {
+  const auto in = make_lcs_input(24, 4);
+  rt::serial_runtime rt;
+  EXPECT_EQ(lcs_structured<none>(rt, in, 64), lcs_reference(in));
+}
+
+TEST(LcsKernel, StructuredIsRaceFreeAndDisciplined) {
+  const auto in = make_lcs_input(96, 5);
+  full_detection h(algorithm::multibags);
+  EXPECT_EQ(lcs_structured<active>(h.rt, in, 16), lcs_reference(in));
+  EXPECT_FALSE(h.det.report().any()) << "wavefront must be race-free";
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+  EXPECT_GT(h.det.access_count(), 0u);
+}
+
+TEST(LcsKernel, GeneralIsRaceFreeUnderMultiBagsPlus) {
+  const auto in = make_lcs_input(96, 6);
+  full_detection h(algorithm::multibags_plus);
+  EXPECT_EQ(lcs_general<active>(h.rt, in, 16), lcs_reference(in));
+  EXPECT_FALSE(h.det.report().any());
+}
+
+TEST(LcsKernel, DetectorCatchesInjectedDependenceBug) {
+  // Drop the left-dependence get (simulated by base == n: single column,
+  // then hand-roll a racy variant): two tiles writing the same row without
+  // ordering must be reported.
+  const auto in = make_lcs_input(64, 7);
+  full_detection h(algorithm::multibags_plus);
+  const tile_grid g(in.a.size(), 32);
+  std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
+  h.rt.run([&] {
+    // Both tiles of row 0 run as unordered futures (left-get omitted).
+    auto f0 = h.rt.create_future([&] {
+      detail::lcs_tile<active>(in, d, g, 0, 0);
+      return 1;
+    });
+    auto f1 = h.rt.create_future([&] {
+      detail::lcs_tile<active>(in, d, g, 0, 1);  // reads (0,0)'s column!
+      return 1;
+    });
+    f0.get();
+    f1.get();
+  });
+  EXPECT_TRUE(h.det.report().any())
+      << "removing the wavefront dependence must produce a detected race";
+}
+
+// ----------------------------------------------------------------- sw ----
+TEST(SwKernel, StructuredMatchesReference) {
+  const auto in = make_sw_input(72, 11);
+  rt::serial_runtime rt;
+  EXPECT_EQ(sw_structured<none>(rt, in, 24), sw_reference(in));
+}
+
+TEST(SwKernel, GeneralMatchesReference) {
+  const auto in = make_sw_input(72, 12);
+  rt::serial_runtime rt;
+  EXPECT_EQ(sw_general<none>(rt, in, 24), sw_reference(in));
+}
+
+TEST(SwKernel, ScoresArePositiveOnRealInputs) {
+  const auto in = make_sw_input(72, 13);
+  rt::serial_runtime rt;
+  EXPECT_GT(sw_structured<none>(rt, in, 24), 0);
+}
+
+TEST(SwKernel, StructuredRaceFree) {
+  const auto in = make_sw_input(48, 14);
+  full_detection h(algorithm::multibags);
+  EXPECT_EQ(sw_structured<active>(h.rt, in, 16), sw_reference(in));
+  EXPECT_FALSE(h.det.report().any());
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+}
+
+// ----------------------------------------------------------------- mm ----
+TEST(MmKernel, StructuredMatchesReference) {
+  const auto in = make_mm_input(64, 21);
+  rt::serial_runtime rt;
+  EXPECT_EQ(mm_structured<none>(rt, in, 16), mm_reference(in));
+}
+
+TEST(MmKernel, GeneralMatchesReference) {
+  const auto in = make_mm_input(64, 22);
+  rt::serial_runtime rt;
+  EXPECT_EQ(mm_general<none>(rt, in, 16), mm_reference(in));
+}
+
+TEST(MmKernel, BaseEqualsNDegenerate) {
+  const auto in = make_mm_input(32, 23);
+  rt::serial_runtime rt;
+  EXPECT_EQ(mm_structured<none>(rt, in, 32), mm_reference(in));
+}
+
+TEST(MmKernel, StructuredRaceFreeAndDisciplined) {
+  const auto in = make_mm_input(32, 24);
+  full_detection h(algorithm::multibags);
+  EXPECT_EQ(mm_structured<active>(h.rt, in, 8), mm_reference(in));
+  EXPECT_FALSE(h.det.report().any());
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+}
+
+TEST(MmKernel, GeneralRaceFreeUnderMultiBagsPlus) {
+  const auto in = make_mm_input(32, 25);
+  full_detection h(algorithm::multibags_plus);
+  EXPECT_EQ(mm_general<active>(h.rt, in, 8), mm_reference(in));
+  EXPECT_FALSE(h.det.report().any());
+}
+
+TEST(MmKernel, DetectorCatchesUnserializedAccumulation) {
+  // Two k-partials of the same C block as unordered futures: the classic
+  // "no temporaries" bug the chain exists to prevent.
+  const auto in = make_mm_input(16, 26);
+  full_detection h(algorithm::multibags_plus);
+  std::vector<float> c(in.n * in.n, 0.0f);
+  h.rt.run([&] {
+    auto f0 = h.rt.create_future([&] {
+      detail::mm_block<active>(in, c, 8, 0, 0, 0);
+      return 1;
+    });
+    auto f1 = h.rt.create_future([&] {
+      detail::mm_block<active>(in, c, 8, 0, 0, 1);
+      return 1;
+    });
+    f0.get();
+    f1.get();
+  });
+  EXPECT_TRUE(h.det.report().any());
+}
+
+// ---------------------------------------------------------------- bst ----
+TEST(BstKernel, StructuredMergePreservesAllKeys) {
+  auto in = make_bst_input(3000, 1500, 31);
+  rt::serial_runtime rt;
+  bst_node* m = bst_structured<none>(rt, in, 6);
+  EXPECT_EQ(bst_count(m), 4500u);
+  EXPECT_TRUE(bst_is_search_tree(m));
+}
+
+TEST(BstKernel, GeneralMergePreservesAllKeys) {
+  auto in = make_bst_input(3000, 1500, 32);
+  rt::serial_runtime rt;
+  bst_node* m = bst_general<none>(rt, in, 6);
+  EXPECT_EQ(bst_count(m), 4500u);
+  EXPECT_TRUE(bst_is_search_tree(m));
+}
+
+TEST(BstKernel, KeySumConserved) {
+  auto in = make_bst_input(2000, 1000, 33);
+  const std::int64_t want = bst_key_sum(in.t1) + bst_key_sum(in.t2);
+  rt::serial_runtime rt;
+  bst_node* m = bst_structured<none>(rt, in, 5);
+  EXPECT_EQ(bst_key_sum(m), want);
+}
+
+TEST(BstKernel, CutoffZeroIsFullySerial) {
+  auto in = make_bst_input(500, 250, 34);
+  rt::serial_runtime rt;
+  bst_node* m = bst_structured<none>(rt, in, 0);
+  EXPECT_EQ(bst_count(m), 750u);
+  EXPECT_TRUE(bst_is_search_tree(m));
+}
+
+TEST(BstKernel, EmptySideMerges) {
+  auto in = make_bst_input(100, 0, 35);
+  rt::serial_runtime rt;
+  EXPECT_EQ(bst_count(bst_structured<none>(rt, in, 4)), 100u);
+  auto in2 = make_bst_input(0, 100, 36);
+  rt::serial_runtime rt2;
+  EXPECT_EQ(bst_count(bst_structured<none>(rt2, in2, 4)), 100u);
+}
+
+TEST(BstKernel, StructuredRaceFreeAndDisciplined) {
+  auto in = make_bst_input(800, 400, 37);
+  full_detection h(algorithm::multibags);
+  bst_node* m = bst_structured<active>(h.rt, in, 5);
+  EXPECT_TRUE(bst_is_search_tree(m));
+  EXPECT_FALSE(h.det.report().any());
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+}
+
+TEST(BstKernel, GeneralJoinOrderViolatesDiscipline) {
+  // The bottom-up resolver touches handles whose creators are parallel —
+  // MultiBags flags it (and MultiBags+ handles it without complaint).
+  auto in = make_bst_input(800, 400, 38);
+  {
+    full_detection h(algorithm::multibags);
+    bst_node* m = bst_general<active>(h.rt, in, 5);
+    EXPECT_TRUE(bst_is_search_tree(m));
+    EXPECT_GT(h.det.structured_violations(), 0u);
+  }
+  auto in2 = make_bst_input(800, 400, 38);
+  {
+    full_detection h(algorithm::multibags_plus);
+    bst_node* m = bst_general<active>(h.rt, in2, 5);
+    EXPECT_TRUE(bst_is_search_tree(m));
+    EXPECT_FALSE(h.det.report().any());
+  }
+}
+
+// ----------------------------------------------------------- heartwall ---
+TEST(HeartwallKernel, StructuredMatchesReference) {
+  const auto in = make_heartwall_input(96, 96, 8, 5, 41);
+  rt::serial_runtime rt;
+  const auto got = heartwall_structured<none>(rt, in);
+  const auto want = heartwall_reference(in);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t p = 0; p < got.size(); ++p) {
+    EXPECT_EQ(got[p].x, want[p].x);
+    EXPECT_EQ(got[p].y, want[p].y);
+  }
+}
+
+TEST(HeartwallKernel, GeneralTracksTheWall) {
+  const auto in = make_heartwall_input(96, 96, 8, 5, 42);
+  rt::serial_runtime rt;
+  const auto got = heartwall_general<none>(rt, in);
+  const double r = in.seq.radius_at(in.n_frames - 1);
+  for (const auto& p : got) {
+    const double d = std::hypot(p.x - 48.0, p.y - 48.0);
+    EXPECT_NEAR(d, r, 6.0);
+  }
+}
+
+TEST(HeartwallKernel, StructuredRaceFreeAndDisciplined) {
+  const auto in = make_heartwall_input(64, 64, 6, 4, 43);
+  full_detection h(algorithm::multibags);
+  (void)heartwall_structured<active>(h.rt, in);
+  EXPECT_FALSE(h.det.report().any());
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+}
+
+TEST(HeartwallKernel, GeneralRaceFreeUnderMultiBagsPlus) {
+  const auto in = make_heartwall_input(64, 64, 6, 4, 44);
+  full_detection h(algorithm::multibags_plus);
+  (void)heartwall_general<active>(h.rt, in);
+  EXPECT_FALSE(h.det.report().any());
+}
+
+// --------------------------------------------------------------- dedup ---
+TEST(DedupKernel, PipelineMatchesReference) {
+  const auto in = make_dedup_corpus(1 << 19, 60, 51);
+  rt::serial_runtime rt;
+  const auto got = dedup_pipeline<none, none>(rt, in, 1 << 15);
+  EXPECT_EQ(got, dedup_reference(in, 1 << 15));
+}
+
+TEST(DedupKernel, RedundancyDrivesDedupRate) {
+  rt::serial_runtime rt;
+  const auto low = make_dedup_corpus(1 << 19, 5, 52);
+  const auto high = make_dedup_corpus(1 << 19, 90, 52);
+  const auto r_low = dedup_pipeline<none, none>(rt, low, 1 << 16);
+  const auto r_high = dedup_pipeline<none, none>(rt, high, 1 << 16);
+  const double uniq_low =
+      static_cast<double>(r_low.unique_chunks) / r_low.total_chunks;
+  const double uniq_high =
+      static_cast<double>(r_high.unique_chunks) / r_high.total_chunks;
+  EXPECT_GT(uniq_low, uniq_high + 0.2);
+}
+
+TEST(DedupKernel, StructuredRaceFreeAndDisciplined) {
+  const auto in = make_dedup_corpus(1 << 17, 50, 53);
+  full_detection h(algorithm::multibags);
+  const auto got = dedup_pipeline<active, none>(h.rt, in, 1 << 14);
+  EXPECT_EQ(got, dedup_reference(in, 1 << 14));
+  EXPECT_FALSE(h.det.report().any());
+  EXPECT_EQ(h.det.structured_violations(), 0u);
+}
+
+TEST(DedupKernel, InstrumentedCompressorStillCorrect) {
+  const auto in = make_dedup_corpus(1 << 16, 50, 54);
+  full_detection h(algorithm::multibags_plus);
+  const auto got = dedup_pipeline<active, active>(h.rt, in, 1 << 14);
+  EXPECT_EQ(got, dedup_reference(in, 1 << 14));
+  EXPECT_FALSE(h.det.report().any());
+}
+
+TEST(DedupKernel, DetectorCatchesUnchainedTableAccess) {
+  // Remove the pipeline chain: two fragments update the dedup table in
+  // parallel. The corpus is one 32 KiB block repeated, so both fragments
+  // insert the same keys and the same table slots are touched from parallel
+  // strands.
+  dedup_input in;
+  {
+    prng rng(55);
+    std::vector<std::uint8_t> block(32 << 10);
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng.next());
+    for (int rep = 0; rep < 4; ++rep)
+      in.corpus.insert(in.corpus.end(), block.begin(), block.end());
+  }
+  full_detection h(algorithm::multibags_plus);
+  detail::dedup_table table(1024);
+  h.rt.run([&] {
+    auto frag_task = [&](std::size_t off, std::size_t len) {
+      const std::span<const std::uint8_t> frag(in.corpus.data() + off, len);
+      for (const auto& c : compress::chunk_bytes(frag)) {
+        const std::span<const std::uint8_t> chunk(frag.data() + c.offset,
+                                                  c.size);
+        table.insert<active>(compress::sha1_key64(compress::sha1(chunk)));
+      }
+      return 1;
+    };
+    auto f0 = h.rt.create_future([&] { return frag_task(0, 1 << 16); });
+    auto f1 = h.rt.create_future([&] { return frag_task(1 << 16, 1 << 16); });
+    f0.get();
+    f1.get();
+  });
+  EXPECT_TRUE(h.det.report().any())
+      << "parallel unordered dedup-table updates must race";
+}
+
+}  // namespace
+}  // namespace frd::bench

@@ -1,0 +1,225 @@
+// Tests for the compress substrate: LZ codec round-trips, chunker
+// properties, SHA-1 against FIPS test vectors.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "compress/chunker.hpp"
+#include "compress/digest.hpp"
+#include "compress/lz.hpp"
+#include "detect/detector.hpp"
+#include "support/prng.hpp"
+
+namespace frd::compress {
+namespace {
+
+using detect::hooks::none;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// ------------------------------------------------------------------- lz ---
+TEST(Lz, VarintRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t vals[] = {0, 1, 127, 128, 300, 1u << 20, (1ull << 56) + 5};
+  for (auto v : vals) put_varint(buf, v);
+  std::size_t pos = 0;
+  for (auto v : vals) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Lz, EmptyInput) {
+  const std::vector<std::uint8_t> in;
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+}
+
+TEST(Lz, AllLiteralsRoundTrip) {
+  auto in = bytes_of("abcdefgh12345678ZYXW");  // no repeats >= 4
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+}
+
+TEST(Lz, RepetitiveInputCompresses) {
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 1000; ++i) {
+    const auto piece = bytes_of("the quick brown fox jumps over the lazy dog. ");
+    in.insert(in.end(), piece.begin(), piece.end());
+  }
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+  EXPECT_LT(c.size(), in.size() / 5) << "repetitive text must compress well";
+}
+
+TEST(Lz, OverlappingMatchRunLength) {
+  // 'aaaa...' forces dist < len copies (RLE through the window).
+  std::vector<std::uint8_t> in(5000, 'a');
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+  EXPECT_LT(c.size(), 64u);
+}
+
+TEST(Lz, BinaryRandomDataRoundTrips) {
+  prng rng(2024);
+  std::vector<std::uint8_t> in(100000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+  EXPECT_GE(c.size(), in.size()) << "incompressible data should not shrink";
+}
+
+TEST(Lz, MixedRedundancyRoundTrips) {
+  prng rng(7);
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> motif(300);
+  for (auto& b : motif) b = static_cast<std::uint8_t>(rng.next());
+  for (int i = 0; i < 200; ++i) {
+    if (rng.chance(2, 3)) {
+      in.insert(in.end(), motif.begin(), motif.end());
+    } else {
+      for (int k = 0; k < 100; ++k)
+        in.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+  }
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c), in);
+  EXPECT_LT(c.size(), in.size());
+}
+
+TEST(LzDeath, RejectsCorruptStream) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::vector<std::uint8_t> garbage{0x02, 0x10, 0xFF};  // match past history
+  EXPECT_DEATH((void)lz_decompress(garbage), "match distance|truncated");
+}
+
+TEST(Lz, InstrumentedVariantProducesIdenticalOutput) {
+  // hooks::active with no bound detector must not change results.
+  auto in = bytes_of("abababababababab repeated payload payload payload");
+  auto plain = lz_compress<none>(in);
+  auto hooked = lz_compress<detect::hooks::active>(in);
+  EXPECT_EQ(plain, hooked);
+}
+
+// -------------------------------------------------------------- chunker ---
+TEST(Chunker, CoversInputExactly) {
+  prng rng(99);
+  std::vector<std::uint8_t> data(200000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  auto chunks = chunk_bytes(data);
+  std::size_t off = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, off);
+    off += c.size;
+  }
+  EXPECT_EQ(off, data.size());
+}
+
+TEST(Chunker, RespectsSizeBounds) {
+  prng rng(5);
+  std::vector<std::uint8_t> data(500000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  chunk_params p;
+  auto chunks = chunk_bytes(data, p);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {  // last may be short
+    EXPECT_GE(chunks[i].size, p.min_size);
+    EXPECT_LE(chunks[i].size, p.max_size);
+  }
+  // Average should be in the right ballpark (loose: CDC variance is high).
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  EXPECT_GT(avg, p.min_size);
+  EXPECT_LT(avg, p.max_size);
+}
+
+TEST(Chunker, IdenticalContentChunksIdentically) {
+  prng rng(13);
+  std::vector<std::uint8_t> data(100000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  auto a = chunk_bytes(data);
+  auto b = chunk_bytes(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(Chunker, InsertionOnlyShiftsLocalChunks) {
+  // The CDC property: prepending bytes must not re-chunk the far tail.
+  prng rng(21);
+  std::vector<std::uint8_t> data(150000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> shifted(64, 0xAB);
+  shifted.insert(shifted.end(), data.begin(), data.end());
+
+  auto base = chunk_bytes(data);
+  auto moved = chunk_bytes(shifted);
+
+  // Compare the last few chunks by content hash: most must coincide.
+  auto tail_hashes = [&](const std::vector<chunk_ref>& chunks,
+                         std::span<const std::uint8_t> src) {
+    std::vector<std::uint64_t> hs;
+    const std::size_t take = std::min<std::size_t>(10, chunks.size());
+    for (std::size_t i = chunks.size() - take; i < chunks.size(); ++i)
+      hs.push_back(fnv1a64(src.subspan(chunks[i].offset, chunks[i].size)));
+    return hs;
+  };
+  auto h1 = tail_hashes(base, data);
+  auto h2 = tail_hashes(moved, shifted);
+  int common = 0;
+  for (auto h : h1)
+    for (auto g : h2)
+      if (h == g) ++common;
+  EXPECT_GE(common, 8) << "content-defined boundaries must resynchronize";
+}
+
+TEST(Chunker, GearTableIsDeterministic) {
+  const std::uint64_t* t = gear_table();
+  EXPECT_EQ(t, gear_table());
+  // Spot-check variability.
+  int distinct = 0;
+  for (int i = 1; i < 256; ++i) distinct += t[i] != t[0];
+  EXPECT_GT(distinct, 250);
+}
+
+// --------------------------------------------------------------- digest ---
+TEST(Sha1, FipsTestVectors) {
+  EXPECT_EQ(to_hex(sha1(bytes_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(sha1(bytes_of(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(sha1(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  std::vector<std::uint8_t> in(1000000, 'a');
+  EXPECT_EQ(to_hex(sha1(in)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all hash distinctly.
+  std::set<std::string> seen;
+  for (std::size_t n : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    std::vector<std::uint8_t> in(n, 'x');
+    EXPECT_TRUE(seen.insert(to_hex(sha1(in))).second) << n;
+  }
+}
+
+TEST(Digest, Fnv1a64KnownValues) {
+  EXPECT_EQ(fnv1a64(bytes_of("")), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 12638187200555641996ULL);
+}
+
+TEST(Digest, Sha1Key64IsStable) {
+  auto d = sha1(bytes_of("abc"));
+  EXPECT_EQ(sha1_key64(d), sha1_key64(sha1(bytes_of("abc"))));
+  EXPECT_NE(sha1_key64(d), sha1_key64(sha1(bytes_of("abd"))));
+}
+
+}  // namespace
+}  // namespace frd::compress

@@ -1,0 +1,148 @@
+// Unit + property tests for the disjoint-set forest with payloads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dsu/disjoint_set.hpp"
+#include "support/arena.hpp"
+#include "support/prng.hpp"
+
+namespace frd::dsu {
+namespace {
+
+struct tag {
+  int id;
+};
+
+TEST(Dsu, SingletonsAreTheirOwnRoots) {
+  forest<tag> f;
+  tag t0{0}, t1{1};
+  const element a = f.make_set(&t0);
+  const element b = f.make_set(&t1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(f.find(a), a);
+  EXPECT_EQ(f.find(b), b);
+  EXPECT_EQ(f.payload(a)->id, 0);
+  EXPECT_EQ(f.payload(b)->id, 1);
+}
+
+TEST(Dsu, UnionIntoKeepsFirstPayload) {
+  forest<tag> f;
+  tag ta{10}, tb{20};
+  const element a = f.make_set(&ta);
+  const element b = f.make_set(&tb);
+  f.union_into(a, b);
+  EXPECT_TRUE(f.same_set(a, b));
+  // Paper semantics: Union(A, B) destroys B; the merged set is A.
+  EXPECT_EQ(f.payload(a)->id, 10);
+  EXPECT_EQ(f.payload(b)->id, 10);
+}
+
+TEST(Dsu, PayloadSurvivesWhicheverRootRankPicks) {
+  // Build a high-rank set B, then union it INTO a singleton A: rank makes
+  // B's root the physical root, but A's payload must prevail.
+  forest<tag> f;
+  tag ta{1}, tb{2};
+  const element a = f.make_set(&ta);
+  element b0 = f.make_set(&tb);
+  for (int i = 0; i < 16; ++i) {
+    element x = f.make_set(nullptr);
+    f.union_into(b0, x);
+  }
+  f.union_into(a, b0);
+  EXPECT_EQ(f.payload(a)->id, 1);
+  EXPECT_EQ(f.payload(b0)->id, 1);
+}
+
+TEST(Dsu, UnionSameSetIsNoop) {
+  forest<tag> f;
+  tag t{5};
+  const element a = f.make_set(&t);
+  const element b = f.make_set(nullptr);
+  f.union_into(a, b);
+  const auto unions_before = f.stats().unions;
+  f.union_into(a, b);
+  f.union_into(b, a);
+  EXPECT_EQ(f.stats().unions, unions_before);
+  EXPECT_EQ(f.payload(b)->id, 5);
+}
+
+TEST(Dsu, SetPayloadRebindsCurrentRoot) {
+  forest<tag> f;
+  tag t1{1}, t2{2};
+  const element a = f.make_set(&t1);
+  const element b = f.make_set(nullptr);
+  f.union_into(a, b);
+  f.set_payload(b, &t2);  // set payload via a non-root member
+  EXPECT_EQ(f.payload(a)->id, 2);
+}
+
+TEST(Dsu, ChainUnionsCollapseUnderPathCompression) {
+  forest<tag> f;
+  std::vector<element> es;
+  for (int i = 0; i < 1000; ++i) es.push_back(f.make_set(nullptr));
+  for (int i = 1; i < 1000; ++i) f.union_into(es[0], es[i]);
+  const element root = f.find(es[0]);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(f.find(es[i]), root);
+  // After compression, finds are single-hop: hops/find must stay small.
+  const auto& st = f.stats();
+  EXPECT_LT(static_cast<double>(st.parent_hops) /
+                static_cast<double>(st.finds),
+            2.0);
+}
+
+// Property: against a quadratic reference partition, under a random workload.
+class DsuRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsuRandomized, MatchesReferencePartition) {
+  prng rng(GetParam());
+  forest<tag> f;
+  arena payloads;
+  std::vector<element> elems;
+  std::vector<int> ref;  // reference: ref[i] = representative index
+  std::vector<int> payload_id;
+
+  auto ref_find = [&](int x) {
+    while (ref[x] != x) x = ref[x];
+    return x;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto action = rng.below(elems.empty() ? 1 : 10);
+    if (action < 3) {  // make_set
+      const int id = static_cast<int>(elems.size());
+      elems.push_back(f.make_set(payloads.create<tag>(tag{id})));
+      ref.push_back(id);
+      payload_id.push_back(id);
+    } else if (action < 7) {  // union
+      const auto a = static_cast<int>(rng.below(elems.size()));
+      const auto b = static_cast<int>(rng.below(elems.size()));
+      f.union_into(elems[a], elems[b]);
+      const int ra = ref_find(a), rb = ref_find(b);
+      // Reference semantics match union_into: the merged set keeps a's
+      // identity (and therefore a's payload).
+      if (ra != rb) ref[rb] = ra;
+    } else {  // verify a random pair
+      const auto a = static_cast<int>(rng.below(elems.size()));
+      const auto b = static_cast<int>(rng.below(elems.size()));
+      EXPECT_EQ(f.same_set(elems[a], elems[b]), ref_find(a) == ref_find(b));
+      EXPECT_EQ(f.payload(elems[a])->id, payload_id[ref_find(a)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsuRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Dsu, NoPathCompressionStillCorrect) {
+  forest<tag> f(/*path_compress=*/false);
+  std::vector<element> es;
+  for (int i = 0; i < 200; ++i) es.push_back(f.make_set(nullptr));
+  for (int i = 1; i < 200; ++i) f.union_into(es[i - 1], es[i]);
+  const element root = f.find(es[0]);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(f.find(es[i]), root);
+}
+
+}  // namespace
+}  // namespace frd::dsu

@@ -1,0 +1,139 @@
+// Tests for the flag parser and the listener multiplexer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/events.hpp"
+#include "runtime/serial.hpp"
+#include "support/flags.hpp"
+
+namespace frd {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& storage) {
+  std::vector<char*> out;
+  out.reserve(storage.size());
+  for (auto& s : storage) out.push_back(s.data());
+  return out;
+}
+
+TEST(Flags, ParsesAllKinds) {
+  std::vector<std::string> args{"prog",    "--n",    "2048", "--ratio",
+                                "0.5",     "--mode", "full", "--verbose"};
+  auto argv = argv_of(args);
+  flag_parser p(static_cast<int>(argv.size()), argv.data());
+  auto& n = p.int_flag("n", 1, "size");
+  auto& ratio = p.double_flag("ratio", 0.0, "ratio");
+  auto& mode = p.string_flag("mode", "base", "mode");
+  auto& verbose = p.bool_flag("verbose", false, "talk");
+  p.parse();
+  EXPECT_EQ(n, 2048);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+  EXPECT_EQ(mode, "full");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  flag_parser p(static_cast<int>(argv.size()), argv.data());
+  auto& n = p.int_flag("n", 42, "size");
+  auto& b = p.bool_flag("flag", true, "b");
+  p.parse();
+  EXPECT_EQ(n, 42);
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, ExplicitBoolValues) {
+  std::vector<std::string> args{"prog", "--a", "false", "--b", "true"};
+  auto argv = argv_of(args);
+  flag_parser p(static_cast<int>(argv.size()), argv.data());
+  auto& a = p.bool_flag("a", true, "a");
+  auto& b = p.bool_flag("b", false, "b");
+  p.parse();
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, UsageMentionsEveryFlag) {
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  flag_parser p(static_cast<int>(argv.size()), argv.data());
+  p.int_flag("alpha", 1, "the alpha knob");
+  p.string_flag("beta", "x", "the beta knob");
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("the beta knob"), std::string::npos);
+}
+
+TEST(FlagsDeath, UnknownFlagExits) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::vector<std::string> args{"prog", "--nope", "1"};
+  auto argv = argv_of(args);
+  EXPECT_EXIT(
+      {
+        flag_parser p(static_cast<int>(argv.size()), argv.data());
+        p.parse();
+      },
+      ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(FlagsDeath, NonNumericIntExits) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  std::vector<std::string> args{"prog", "--n", "abc"};
+  auto argv = argv_of(args);
+  EXPECT_EXIT(
+      {
+        flag_parser p(static_cast<int>(argv.size()), argv.data());
+        p.int_flag("n", 0, "n");
+        p.parse();
+      },
+      ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+// ------------------------------------------------------------------ mux ---
+class counting_listener final : public rt::execution_listener {
+ public:
+  int spawns = 0, creates = 0, gets = 0, syncs = 0, strands = 0;
+  void on_strand_begin(rt::strand_id, rt::func_id) override { ++strands; }
+  void on_spawn(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
+                rt::strand_id) override {
+    ++spawns;
+  }
+  void on_create(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
+                 rt::strand_id) override {
+    ++creates;
+  }
+  void on_sync(const sync_event&) override { ++syncs; }
+  void on_get(rt::func_id, rt::strand_id, rt::strand_id, rt::func_id,
+              rt::strand_id, rt::strand_id) override {
+    ++gets;
+  }
+};
+
+TEST(ListenerMux, AllListenersSeeIdenticalStreams) {
+  counting_listener a, b, c;
+  rt::listener_mux mux;
+  mux.add(&a);
+  mux.add(&b);
+  mux.add(&c);
+  rt::serial_runtime rt(&mux);
+  rt.run([&] {
+    rt.spawn([&] {});
+    auto f = rt.create_future([] { return 0; });
+    rt.sync();
+    f.get();
+  });
+  EXPECT_EQ(a.spawns, 1);
+  EXPECT_EQ(a.creates, 1);
+  EXPECT_EQ(a.syncs, 1);
+  EXPECT_EQ(a.gets, 1);
+  EXPECT_GT(a.strands, 3);
+  EXPECT_EQ(a.spawns, b.spawns);
+  EXPECT_EQ(a.strands, c.strands);
+  EXPECT_EQ(a.gets, c.gets);
+}
+
+}  // namespace
+}  // namespace frd

@@ -1,0 +1,113 @@
+// Tests for the heartwall substrate: phantom generation and point tracking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/detector.hpp"
+#include "image/phantom.hpp"
+#include "image/tracking.hpp"
+
+namespace frd::image {
+namespace {
+
+using detect::hooks::none;
+
+TEST(Phantom, FrameDimensionsAndRange) {
+  phantom_sequence seq(96, 96, 8, 42);
+  frame f = seq.make_frame(0);
+  EXPECT_EQ(f.width, 96);
+  EXPECT_EQ(f.height, 96);
+  EXPECT_EQ(f.pixels.size(), 96u * 96u);
+  for (float v : f.pixels) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Phantom, DeterministicPerSeedAndTime) {
+  phantom_sequence a(64, 64, 4, 7), b(64, 64, 4, 7), c(64, 64, 4, 8);
+  EXPECT_EQ(a.make_frame(3).pixels, b.make_frame(3).pixels);
+  EXPECT_NE(a.make_frame(3).pixels, c.make_frame(3).pixels);
+  EXPECT_NE(a.make_frame(3).pixels, a.make_frame(4).pixels);
+}
+
+TEST(Phantom, WallIsBrighterThanBackground) {
+  phantom_sequence seq(128, 128, 8, 1);
+  frame f = seq.make_frame(0);
+  const double r = seq.radius_at(0);
+  const int cx = 64, cy = 64;
+  // On-ring pixel vs centre pixel.
+  const float on_wall = f.at(cx + static_cast<int>(r), cy);
+  const float centre = f.at(cx, cy);
+  EXPECT_GT(on_wall, centre + 0.3f);
+}
+
+TEST(Phantom, RadiusPulses) {
+  phantom_sequence seq(64, 64, 4, 3);
+  double lo = 1e9, hi = -1e9;
+  for (int t = 0; t < 16; ++t) {
+    lo = std::min(lo, seq.radius_at(t));
+    hi = std::max(hi, seq.radius_at(t));
+  }
+  EXPECT_GT(hi / lo, 1.1);
+}
+
+TEST(Phantom, InitialPointsLieOnWall) {
+  phantom_sequence seq(128, 128, 16, 9);
+  frame f = seq.make_frame(0);
+  for (const point& p : seq.initial_points()) {
+    ASSERT_TRUE(f.contains(p.x, p.y));
+    EXPECT_GT(f.at(p.x, p.y), 0.4f) << "sample point must sit on the bright wall";
+  }
+}
+
+TEST(Tracking, FollowsThePulsingWall) {
+  phantom_sequence seq(128, 128, 8, 11);
+  auto pts = seq.initial_points();
+  frame prev = seq.make_frame(0);
+  const double cx = 64, cy = 64;
+  for (int t = 1; t <= 8; ++t) {
+    frame cur = seq.make_frame(t);
+    for (auto& p : pts) p = track_point<none>(prev, cur, p, 3, 4);
+    // Each tracked point should sit near the current ground-truth radius.
+    const double r = seq.radius_at(t);
+    for (const auto& p : pts) {
+      const double d = std::hypot(p.x - cx, p.y - cy);
+      EXPECT_NEAR(d, r, 4.5) << "t=" << t;
+    }
+    prev = std::move(cur);
+  }
+}
+
+TEST(Tracking, StationaryTargetStaysPut) {
+  // Tracking a frame against itself must return the original position.
+  phantom_sequence seq(96, 96, 4, 5);
+  frame f = seq.make_frame(2);
+  for (const point& p : seq.initial_points()) {
+    const point q = track_point<none>(f, f, p, 3, 3);
+    EXPECT_EQ(q.x, p.x);
+    EXPECT_EQ(q.y, p.y);
+  }
+}
+
+TEST(Tracking, EdgePointsDoNotEscapeTheFrame) {
+  phantom_sequence seq(64, 64, 4, 2);
+  frame a = seq.make_frame(0), b = seq.make_frame(1);
+  const point corner{2, 2};
+  const point q = track_point<none>(a, b, corner, 3, 5);
+  EXPECT_TRUE(b.contains(q.x, q.y));
+}
+
+TEST(Tracking, InstrumentedVariantSameResult) {
+  phantom_sequence seq(96, 96, 4, 6);
+  frame a = seq.make_frame(0), b = seq.make_frame(1);
+  for (const point& p : seq.initial_points()) {
+    const point q1 = track_point<none>(a, b, p, 3, 4);
+    const point q2 = track_point<detect::hooks::active>(a, b, p, 3, 4);
+    EXPECT_EQ(q1.x, q2.x);
+    EXPECT_EQ(q1.y, q2.y);
+  }
+}
+
+}  // namespace
+}  // namespace frd::image

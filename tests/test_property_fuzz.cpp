@@ -1,0 +1,203 @@
+// Oracle-checked property tests (the empirical Theorems 4.2 / 5.2).
+//
+// For each seed we generate-and-execute a random future program. Four
+// listeners observe the same event stream:
+//   * the detector(s) under test (full level),
+//   * the exact online reachability oracle, and
+//   * the reference (naive, quadratic) race detector.
+// At every memory access we check every prior accessor's reachability answer
+// against the oracle, and at the end the racy-granule sets must be equal.
+// Structured programs additionally require MultiBags and MultiBags+ to agree
+// with each other.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/vector_clock.hpp"
+#include "graph/fuzz.hpp"
+#include "graph/oracle.hpp"
+#include "graph/reference_detector.hpp"
+#include "runtime/serial.hpp"
+
+namespace frd {
+namespace {
+
+constexpr std::uint32_t kMaxCells = 16;
+
+struct fuzz_run {
+  explicit fuzz_run(const graph::fuzz_config& cfg, bool with_multibags)
+      : plus(detect::algorithm::multibags_plus, detect::level::full),
+        reference(oracle) {
+    if (with_multibags)
+      bags = std::make_unique<detect::detector>(detect::algorithm::multibags,
+                                                detect::level::full);
+    mux.add(&plus);
+    if (bags) mux.add(bags.get());
+    mux.add(&oracle);
+    mux.add(&vc);
+    rt = std::make_unique<rt::serial_runtime>(&mux);
+
+    graph::fuzzer fz(*rt, cfg, [this](std::uint32_t cell, bool write) {
+      access(cell, write);
+    });
+    fz.run();
+    futures = fz.futures_created();
+    gets = fz.gets_performed();
+  }
+
+  void access(std::uint32_t cell, bool write) {
+    int* p = &cells[cell];
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+
+    // Cross-check every prior accessor of this granule against the oracle
+    // *before* the access mutates any state.
+    const rt::strand_id cur = rt->current_strand();
+    for (const auto& prior : reference.accessors_of(addr & ~std::uintptr_t{3})) {
+      if (prior.strand == cur) continue;
+      const bool want = oracle.precedes(prior.strand, cur);
+      ASSERT_EQ(plus.precedes_current(prior.strand), want)
+          << "multibags+ disagrees with oracle: strand " << prior.strand
+          << " vs current " << cur;
+      if (bags) {
+        ASSERT_EQ(bags->precedes_current(prior.strand), want)
+            << "multibags disagrees with oracle: strand " << prior.strand
+            << " vs current " << cur;
+      }
+      ASSERT_EQ(vc.precedes_current(prior.strand), want)
+          << "vector-clock baseline disagrees with oracle: strand "
+          << prior.strand << " vs current " << cur;
+      ++queries_checked;
+    }
+
+    if (write) {
+      plus.on_write(p, 4);
+      if (bags) bags->on_write(p, 4);
+      reference.on_access(addr, 4, true, cur);
+      *p += 1;
+    } else {
+      plus.on_read(p, 4);
+      if (bags) bags->on_read(p, 4);
+      reference.on_access(addr, 4, false, cur);
+      sink += *p;
+    }
+  }
+
+  detect::detector plus;
+  std::unique_ptr<detect::detector> bags;
+  detect::vector_clock_backend vc;
+  graph::online_oracle oracle;
+  graph::reference_detector reference;
+  rt::listener_mux mux;
+  std::unique_ptr<rt::serial_runtime> rt;
+  std::array<int, kMaxCells> cells{};
+  long long sink = 0;
+  std::size_t futures = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t queries_checked = 0;
+};
+
+graph::fuzz_config structured_cfg(std::uint64_t seed) {
+  graph::fuzz_config cfg;
+  cfg.seed = seed;
+  cfg.structured = true;
+  cfg.max_depth = 5;
+  cfg.max_actions_per_body = 10;
+  cfg.n_cells = 6;
+  cfg.max_futures = 48;
+  return cfg;
+}
+
+graph::fuzz_config general_cfg(std::uint64_t seed) {
+  graph::fuzz_config cfg = structured_cfg(seed);
+  cfg.structured = false;
+  cfg.max_touches_per_future = 3;
+  return cfg;
+}
+
+class StructuredFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+class GeneralFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuredFuzz, DetectorsMatchOracleAndEachOther) {
+  fuzz_run run(structured_cfg(GetParam()), /*with_multibags=*/true);
+
+  EXPECT_EQ(run.plus.report().racy_granules(),
+            run.reference.racy_granules())
+      << "multibags+ racy-granule set diverged from the reference";
+  EXPECT_EQ(run.bags->report().racy_granules(), run.reference.racy_granules())
+      << "multibags racy-granule set diverged from the reference";
+  EXPECT_EQ(run.bags->structured_violations(), 0u)
+      << "the structured fuzzer must generate discipline-conforming programs";
+  // A run with zero checked queries would be vacuous.
+  EXPECT_GT(run.queries_checked, 0u);
+}
+
+TEST_P(GeneralFuzz, MultiBagsPlusMatchesOracle) {
+  fuzz_run run(general_cfg(GetParam()), /*with_multibags=*/false);
+  EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_GT(run.queries_checked, 0u);
+}
+
+// 32 seeds each: thousands of strands and tens of thousands of
+// oracle-checked queries per suite run.
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// Heavier configurations: deeper nesting, more futures, more cells.
+TEST(FuzzHeavy, StructuredDeep) {
+  graph::fuzz_config cfg = structured_cfg(777);
+  cfg.max_depth = 8;
+  cfg.max_actions_per_body = 14;
+  cfg.max_futures = 200;
+  cfg.n_cells = kMaxCells;
+  fuzz_run run(cfg, true);
+  EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_EQ(run.bags->report().racy_granules(), run.reference.racy_granules());
+}
+
+TEST(FuzzHeavy, GeneralManyTouches) {
+  graph::fuzz_config cfg = general_cfg(888);
+  cfg.max_depth = 7;
+  cfg.max_futures = 150;
+  cfg.max_touches_per_future = 5;
+  cfg.w_get = 5;
+  cfg.n_cells = kMaxCells;
+  fuzz_run run(cfg, false);
+  EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_GT(run.gets, 0u);
+}
+
+TEST(FuzzHeavy, SpawnOnlySeriesParallelPrograms) {
+  // No futures at all: both algorithms degenerate to SP-bags behaviour.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    graph::fuzz_config cfg = structured_cfg(seed);
+    cfg.w_create = 0;
+    cfg.w_get = 0;
+    cfg.w_spawn = 4;
+    fuzz_run run(cfg, true);
+    EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+    EXPECT_EQ(run.bags->report().racy_granules(),
+              run.reference.racy_granules());
+  }
+}
+
+TEST(FuzzHeavy, FutureOnlyPrograms) {
+  // No spawns: pure future dags exercise create/get paths exclusively.
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    graph::fuzz_config cfg = general_cfg(seed);
+    cfg.w_spawn = 0;
+    cfg.w_sync = 0;
+    cfg.w_create = 3;
+    cfg.w_get = 4;
+    fuzz_run run(cfg, false);
+    EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+  }
+}
+
+}  // namespace
+}  // namespace frd

@@ -1,0 +1,137 @@
+// Unit + property tests for R's incremental transitive closure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/rgraph.hpp"
+#include "support/prng.hpp"
+
+namespace frd::detect {
+namespace {
+
+TEST(Rgraph, EmptyAndSelf) {
+  rgraph r;
+  const auto a = r.add_node();
+  const auto b = r.add_node();
+  EXPECT_FALSE(r.reaches(a, b));
+  EXPECT_FALSE(r.reaches(a, a)) << "strict reachability";
+}
+
+TEST(Rgraph, DirectArc) {
+  rgraph r;
+  const auto a = r.add_node();
+  const auto b = r.add_node();
+  r.add_arc(a, b);
+  EXPECT_TRUE(r.reaches(a, b));
+  EXPECT_FALSE(r.reaches(b, a));
+}
+
+TEST(Rgraph, TransitiveThroughChain) {
+  rgraph r;
+  std::vector<rgraph::node> n;
+  for (int i = 0; i < 50; ++i) n.push_back(r.add_node());
+  for (int i = 0; i + 1 < 50; ++i) r.add_arc(n[i], n[i + 1]);
+  for (int i = 0; i < 50; ++i)
+    for (int j = 0; j < 50; ++j)
+      EXPECT_EQ(r.reaches(n[i], n[j]), i < j) << i << "->" << j;
+}
+
+TEST(Rgraph, ArcBetweenExistingClosedSubgraphs) {
+  // The MultiBags+ sync case adds arcs between nodes that both already have
+  // predecessors and successors; closure must propagate both ways.
+  rgraph r;
+  const auto a0 = r.add_node(), a1 = r.add_node(), a2 = r.add_node();
+  const auto b0 = r.add_node(), b1 = r.add_node(), b2 = r.add_node();
+  r.add_arc(a0, a1);
+  r.add_arc(a1, a2);
+  r.add_arc(b0, b1);
+  r.add_arc(b1, b2);
+  EXPECT_FALSE(r.reaches(a0, b2));
+  r.add_arc(a2, b0);  // bridge
+  for (auto x : {a0, a1, a2})
+    for (auto y : {b0, b1, b2}) EXPECT_TRUE(r.reaches(x, y));
+  EXPECT_FALSE(r.reaches(b0, a2));
+}
+
+TEST(Rgraph, RedundantArcsAreCheap) {
+  rgraph r;
+  const auto a = r.add_node(), b = r.add_node(), c = r.add_node();
+  r.add_arc(a, b);
+  r.add_arc(b, c);
+  const auto arcs = r.stats().arcs;
+  r.add_arc(a, c);  // already implied
+  EXPECT_EQ(r.stats().arcs, arcs);
+  EXPECT_EQ(r.stats().redundant_arcs, 1u);
+}
+
+TEST(Rgraph, SelfArcIgnored) {
+  rgraph r;
+  const auto a = r.add_node();
+  r.add_arc(a, a);
+  EXPECT_FALSE(r.reaches(a, a));
+  EXPECT_EQ(r.stats().arcs, 0u);
+}
+
+TEST(Rgraph, DiamondBothPaths) {
+  rgraph r;
+  const auto s = r.add_node(), l = r.add_node(), rr = r.add_node(),
+             j = r.add_node();
+  r.add_arc(s, l);
+  r.add_arc(s, rr);
+  r.add_arc(l, j);
+  r.add_arc(rr, j);
+  EXPECT_TRUE(r.reaches(s, j));
+  EXPECT_FALSE(r.reaches(l, rr));
+  EXPECT_FALSE(r.reaches(rr, l));
+}
+
+// Property test: random dag (arcs only from lower to higher ids, as in R,
+// where arcs always point at later-created attached sets or bridge earlier
+// ones) against a Floyd-Warshall reference.
+class RgraphRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RgraphRandom, MatchesFloydWarshall) {
+  frd::prng rng(GetParam());
+  const int n = 60;
+  rgraph r;
+  std::vector<rgraph::node> nodes;
+  std::vector<std::vector<bool>> ref(n, std::vector<bool>(n, false));
+
+  for (int i = 0; i < n; ++i) nodes.push_back(r.add_node());
+  // Interleave arc insertion with queries to exercise incrementality.
+  for (int round = 0; round < 200; ++round) {
+    int i = static_cast<int>(rng.below(n - 1));
+    int j = i + 1 + static_cast<int>(rng.below(n - i - 1));
+    r.add_arc(nodes[i], nodes[j]);
+    ref[i][j] = true;
+    // close the reference
+    for (int k = 0; k < n; ++k)
+      for (int a = 0; a < n; ++a)
+        if (ref[a][k])
+          for (int b = 0; b < n; ++b)
+            if (ref[k][b]) ref[a][b] = true;
+    // spot-check a handful of pairs
+    for (int q = 0; q < 30; ++q) {
+      int a = static_cast<int>(rng.below(n));
+      int b = static_cast<int>(rng.below(n));
+      EXPECT_EQ(r.reaches(nodes[a], nodes[b]), a != b && ref[a][b])
+          << a << "->" << b << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RgraphRandom, ::testing::Values(1, 7, 42, 1234));
+
+TEST(Rgraph, ClosureBytesGrowWithNodes) {
+  rgraph r;
+  auto prev = r.closure_bytes();
+  for (int i = 0; i < 100; ++i) {
+    auto a = r.add_node();
+    if (i > 0) r.add_arc(static_cast<rgraph::node>(i - 1), a);
+  }
+  EXPECT_GT(r.closure_bytes(), prev);
+  EXPECT_EQ(r.size(), 100u);
+}
+
+}  // namespace
+}  // namespace frd::detect

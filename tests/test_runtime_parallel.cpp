@@ -1,0 +1,175 @@
+// Tests for the work-stealing parallel runtime (the detection-off substrate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace frd::rt {
+namespace {
+
+TEST(ParallelRuntime, RunsRootToCompletion) {
+  parallel_runtime rt(4);
+  int x = 0;
+  rt.run([&] { x = 42; });
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ParallelRuntime, SpawnSyncJoinsAllChildren) {
+  parallel_runtime rt(8);
+  std::atomic<int> count{0};
+  rt.run([&] {
+    for (int i = 0; i < 100; ++i)
+      rt.spawn([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    rt.sync();
+    EXPECT_EQ(count.load(), 100);
+  });
+}
+
+TEST(ParallelRuntime, NestedSpawnTreeSumsCorrectly) {
+  parallel_runtime rt(8);
+  std::atomic<long long> sum{0};
+  std::function<void(int, int)> go = [&](int lo, int hi) {
+    if (hi - lo <= 8) {
+      long long s = 0;
+      for (int i = lo; i < hi; ++i) s += i;
+      sum.fetch_add(s, std::memory_order_relaxed);
+      return;
+    }
+    const int mid = lo + (hi - lo) / 2;
+    rt.spawn([&, lo, mid] { go(lo, mid); });
+    go(mid, hi);
+    rt.sync();
+  };
+  rt.run([&] { go(0, 100000); });
+  EXPECT_EQ(sum.load(), 100000LL * 99999 / 2);
+}
+
+TEST(ParallelRuntime, ImplicitSyncOnChildReturn) {
+  parallel_runtime rt(4);
+  std::atomic<int> grandchildren{0};
+  rt.run([&] {
+    rt.spawn([&] {
+      for (int i = 0; i < 10; ++i)
+        rt.spawn([&] { grandchildren.fetch_add(1); });
+      // no explicit sync: child's frame must sync before completing
+    });
+    rt.sync();
+    EXPECT_EQ(grandchildren.load(), 10);
+  });
+}
+
+TEST(ParallelRuntime, FutureValueDelivered) {
+  parallel_runtime rt(4);
+  rt.run([&] {
+    auto f = rt.create_future([] { return 123; });
+    EXPECT_EQ(rt.get(f), 123);
+  });
+}
+
+TEST(ParallelRuntime, VoidFuture) {
+  parallel_runtime rt(4);
+  std::atomic<bool> ran{false};
+  rt.run([&] {
+    auto f = rt.create_future([&] { ran.store(true); });
+    rt.get(f);
+    EXPECT_TRUE(ran.load());
+  });
+}
+
+TEST(ParallelRuntime, GetClaimsUnstartedFutureInline) {
+  // With one worker nothing steals, so get() must claim and run the task.
+  parallel_runtime rt(1);
+  rt.run([&] {
+    auto f = rt.create_future([] { return 7; });
+    EXPECT_EQ(rt.get(f), 7);
+  });
+}
+
+TEST(ParallelRuntime, ManyFuturesAllResolve) {
+  parallel_runtime rt(8);
+  rt.run([&] {
+    std::vector<pfuture<int>> futs;
+    futs.reserve(500);
+    for (int i = 0; i < 500; ++i)
+      futs.push_back(rt.create_future([i] { return i * i; }));
+    long long total = 0;
+    for (int i = 0; i < 500; ++i) total += rt.get(futs[i]);
+    long long want = 0;
+    for (int i = 0; i < 500; ++i) want += 1LL * i * i;
+    EXPECT_EQ(total, want);
+  });
+}
+
+TEST(ParallelRuntime, MultiTouchGetIsIdempotent) {
+  parallel_runtime rt(4);
+  rt.run([&] {
+    auto f = rt.create_future([] { return 5; });
+    EXPECT_EQ(rt.get(f), 5);
+    EXPECT_EQ(rt.get(f), 5);
+    auto copy = f;  // shared state
+    EXPECT_EQ(rt.get(copy), 5);
+  });
+}
+
+TEST(ParallelRuntime, FuturePipelineAcrossWorkers) {
+  parallel_runtime rt(4);
+  rt.run([&] {
+    auto s1 = rt.create_future([] { return 1; });
+    auto s2 = rt.create_future([&] { return rt.get(s1) + 1; });
+    auto s3 = rt.create_future([&] { return rt.get(s2) + 1; });
+    EXPECT_EQ(rt.get(s3), 3);
+  });
+}
+
+TEST(ParallelRuntime, StressInterleavedSpawnAndFutures) {
+  parallel_runtime rt(0);  // hardware concurrency
+  std::atomic<long long> acc{0};
+  rt.run([&] {
+    std::vector<pfuture<int>> futs;
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 20; ++i)
+        rt.spawn([&, i] { acc.fetch_add(i, std::memory_order_relaxed); });
+      futs.push_back(rt.create_future([round] { return round; }));
+      rt.sync();
+    }
+    int fsum = 0;
+    for (auto& f : futs) fsum += rt.get(f);
+    EXPECT_EQ(fsum, 19 * 20 / 2);
+  });
+  EXPECT_EQ(acc.load(), 20LL * (19 * 20 / 2));
+}
+
+TEST(ParallelRuntime, RunReusableAcrossCalls) {
+  parallel_runtime rt(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> n{0};
+    rt.run([&] {
+      for (int i = 0; i < 50; ++i) rt.spawn([&] { n.fetch_add(1); });
+      rt.sync();
+    });
+    EXPECT_EQ(n.load(), 50);
+  }
+}
+
+TEST(ParallelRuntime, ActuallyRunsConcurrently) {
+  // Two tasks that each wait for the other to have started: only terminates
+  // if they genuinely overlap in time.
+  parallel_runtime rt(4);
+  std::atomic<int> phase{0};
+  rt.run([&] {
+    rt.spawn([&] {
+      phase.fetch_add(1);
+      while (phase.load() < 2) std::this_thread::yield();
+    });
+    phase.fetch_add(1);
+    while (phase.load() < 2) std::this_thread::yield();
+    rt.sync();
+  });
+  EXPECT_EQ(phase.load(), 2);
+}
+
+}  // namespace
+}  // namespace frd::rt

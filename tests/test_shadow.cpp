@@ -1,0 +1,123 @@
+// Unit tests for the access-history shadow memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "shadow/access_history.hpp"
+
+namespace frd::shadow {
+namespace {
+
+TEST(GranuleRecord, InlineThenOverflowReaders) {
+  granule_record rec;
+  EXPECT_EQ(rec.reader_count(), 0u);
+  EXPECT_EQ(rec.last_reader(), rt::kNoStrand);
+  for (strand_id s = 1; s <= 10; ++s) {
+    rec.append_reader(s);
+    EXPECT_EQ(rec.last_reader(), s);
+    EXPECT_EQ(rec.reader_count(), s);
+  }
+  std::vector<strand_id> got;
+  rec.for_each_reader([&](strand_id s) { got.push_back(s); });
+  const std::vector<strand_id> want{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(got, want);
+}
+
+TEST(GranuleRecord, ClearRetainsOverflowCapacity) {
+  granule_record rec;
+  for (strand_id s = 0; s < 100; ++s) rec.append_reader(s);
+  rec.clear_readers();
+  EXPECT_EQ(rec.reader_count(), 0u);
+  EXPECT_FALSE(rec.has_readers());
+  rec.append_reader(7);
+  EXPECT_EQ(rec.last_reader(), 7u);
+  EXPECT_EQ(rec.reader_count(), 1u);
+}
+
+TEST(GranuleRecord, ExactlyInlineBoundary) {
+  granule_record rec;
+  rec.append_reader(1);
+  rec.append_reader(2);
+  rec.append_reader(3);  // fills inline capacity
+  EXPECT_EQ(rec.last_reader(), 3u);
+  rec.append_reader(4);  // first overflow
+  EXPECT_EQ(rec.last_reader(), 4u);
+  std::vector<strand_id> got;
+  rec.for_each_reader([&](strand_id s) { got.push_back(s); });
+  EXPECT_EQ(got, (std::vector<strand_id>{1, 2, 3, 4}));
+}
+
+TEST(AccessHistory, FourByteGranularity) {
+  access_history h;
+  // Bytes 0-3 of a word share a granule; byte 4 starts the next.
+  const std::uintptr_t base = 0x1000;
+  granule_record& a = h.record_for(base + 0);
+  granule_record& b = h.record_for(base + 3);
+  granule_record& c = h.record_for(base + 4);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(AccessHistory, PagesAllocatedLazily) {
+  access_history h(/*page_bits=*/8);  // 256 granules = 1 KiB of address space
+  EXPECT_EQ(h.page_count(), 0u);
+  h.record_for(0x10000);
+  EXPECT_EQ(h.page_count(), 1u);
+  h.record_for(0x10004);  // same page
+  EXPECT_EQ(h.page_count(), 1u);
+  h.record_for(0x90000);  // far away: new page
+  EXPECT_EQ(h.page_count(), 2u);
+}
+
+TEST(AccessHistory, FindWithoutAllocation) {
+  access_history h;
+  EXPECT_EQ(h.find(0x2000), nullptr);
+  h.record_for(0x2000).writer = 9;
+  const granule_record* rec = h.find(0x2000);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->writer, 9u);
+  // A neighbouring granule on the same (now allocated) page exists but is
+  // pristine; a granule on a never-touched page is absent entirely.
+  const granule_record* neighbour = h.find(0x2000 + 4);
+  ASSERT_NE(neighbour, nullptr);
+  EXPECT_EQ(neighbour->writer, rt::kNoStrand);
+  EXPECT_FALSE(neighbour->has_readers());
+  EXPECT_EQ(h.find(0x2000 + (std::uintptr_t{1} << 30)), nullptr);
+}
+
+TEST(AccessHistory, DistinctAddressesKeepDistinctState) {
+  access_history h;
+  std::vector<std::uintptr_t> addrs;
+  for (std::uintptr_t i = 0; i < 1000; ++i) addrs.push_back(0x4000 + i * 4);
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    h.record_for(addrs[i]).writer = static_cast<strand_id>(i);
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    EXPECT_EQ(h.record_for(addrs[i]).writer, static_cast<strand_id>(i));
+}
+
+TEST(AccessHistory, HotPageCacheSurvivesInterleaving) {
+  access_history h(/*page_bits=*/4);  // tiny pages force frequent switches
+  for (int round = 0; round < 3; ++round) {
+    for (std::uintptr_t a = 0; a < 64; ++a) {
+      h.record_for(0x1000 + a * 4).writer = 1;
+      h.record_for(0x8000 + a * 4).writer = 2;
+    }
+  }
+  for (std::uintptr_t a = 0; a < 64; ++a) {
+    EXPECT_EQ(h.record_for(0x1000 + a * 4).writer, 1u);
+    EXPECT_EQ(h.record_for(0x8000 + a * 4).writer, 2u);
+  }
+}
+
+TEST(AccessHistory, BytesReservedTracksPages) {
+  access_history h(/*page_bits=*/8);
+  h.record_for(0x1000);
+  const std::size_t one = h.bytes_reserved();
+  EXPECT_GT(one, 0u);
+  h.record_for(0x100000);
+  EXPECT_EQ(h.bytes_reserved(), 2 * one);
+}
+
+}  // namespace
+}  // namespace frd::shadow

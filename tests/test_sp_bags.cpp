@@ -1,0 +1,134 @@
+// Direct unit tests of the shared S/P-bag machinery (detect/sp_bags.hpp) —
+// the bag lifecycle of paper Figure 1, independent of any runtime.
+#include <gtest/gtest.h>
+
+#include "detect/sp_bags.hpp"
+
+namespace frd::detect {
+namespace {
+
+TEST(SpBags, ActiveFunctionStrandsAreInSBags) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  EXPECT_TRUE(b.in_s_bag(0));
+  b.add_strand(0, 1);
+  b.add_strand(0, 2);
+  EXPECT_TRUE(b.in_s_bag(1));
+  EXPECT_TRUE(b.in_s_bag(2));
+}
+
+TEST(SpBags, ReturnRenamesSToP) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);  // child function 1, first strand 1
+  b.add_strand(1, 2);
+  EXPECT_TRUE(b.in_s_bag(1));
+  EXPECT_TRUE(b.in_s_bag(2));
+  b.child_return(1);
+  // The rename flips *all* the child's strands at once (that is the paper's
+  // key O(1) move — no per-strand work).
+  EXPECT_FALSE(b.in_s_bag(1));
+  EXPECT_FALSE(b.in_s_bag(2));
+  EXPECT_TRUE(b.has_p_bag(1));
+}
+
+TEST(SpBags, JoinAbsorbsPBagIntoJoinersSBag) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);
+  b.add_strand(1, 2);
+  b.child_return(1);
+  b.join_child(0, 1);
+  EXPECT_TRUE(b.in_s_bag(1));
+  EXPECT_TRUE(b.in_s_bag(2));
+  EXPECT_FALSE(b.has_p_bag(1)) << "P-bag destroyed by the join";
+}
+
+TEST(SpBags, NestedRenamesCompose) {
+  // F creates G creates H; H returns, G joins H, G returns: H's strands
+  // must ride along into G's P-bag, then into F's S-bag at F's join.
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);   // G
+  b.child_begin(2, 2);   // H (created by G)
+  b.child_return(2);     // P_H
+  EXPECT_FALSE(b.in_s_bag(2));
+  b.join_child(1, 2);    // G joins H
+  EXPECT_TRUE(b.in_s_bag(2));
+  b.child_return(1);     // P_G: H's strands flip too
+  EXPECT_FALSE(b.in_s_bag(1));
+  EXPECT_FALSE(b.in_s_bag(2));
+  b.join_child(0, 1);    // F joins G
+  EXPECT_TRUE(b.in_s_bag(1));
+  EXPECT_TRUE(b.in_s_bag(2));
+}
+
+TEST(SpBags, UnjoinedSiblingStaysParallel) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);
+  b.child_return(1);
+  b.child_begin(2, 2);
+  b.child_return(2);
+  b.join_child(0, 1);
+  EXPECT_TRUE(b.in_s_bag(1));
+  EXPECT_FALSE(b.in_s_bag(2)) << "the other future is still outstanding";
+}
+
+TEST(SpBags, AddStrandIsIdempotent) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.add_strand(0, 1);
+  b.add_strand(0, 1);  // virtual join strands get re-announced
+  EXPECT_TRUE(b.in_s_bag(1));
+}
+
+TEST(SpBags, KnowsStrand) {
+  sp_bags b;
+  b.program_begin(0, 0);
+  EXPECT_TRUE(b.knows_strand(0));
+  EXPECT_FALSE(b.knows_strand(7));
+  b.add_strand(0, 7);
+  EXPECT_TRUE(b.knows_strand(7));
+}
+
+TEST(SpBagsDeath, DoubleJoinIsRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);
+  b.child_return(1);
+  b.join_child(0, 1);
+  // A second join of the same function is the multi-touch pattern MultiBags
+  // cannot absorb; the invariant check must fire loudly, not corrupt bags.
+  EXPECT_DEATH(b.join_child(0, 1), "P-bag");
+}
+
+TEST(SpBagsDeath, ReturnWithoutSBagRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  sp_bags b;
+  b.program_begin(0, 0);
+  b.child_begin(1, 1);
+  b.child_return(1);
+  EXPECT_DEATH(b.child_return(1), "S-bag");
+}
+
+TEST(SpBags, ManyFunctionsStressBagIdentity) {
+  // 1000 futures created by main, joined in a random-ish order: every join
+  // must flip exactly that function's strands.
+  sp_bags b;
+  b.program_begin(0, 0);
+  const int n = 1000;
+  for (int i = 1; i <= n; ++i) {
+    b.child_begin(static_cast<rt::func_id>(i), static_cast<rt::strand_id>(i));
+    b.child_return(static_cast<rt::func_id>(i));
+  }
+  for (int i = 1; i <= n; ++i) EXPECT_FALSE(b.in_s_bag(static_cast<rt::strand_id>(i)));
+  // Join odd functions only.
+  for (int i = 1; i <= n; i += 2) b.join_child(0, static_cast<rt::func_id>(i));
+  for (int i = 1; i <= n; ++i)
+    EXPECT_EQ(b.in_s_bag(static_cast<rt::strand_id>(i)), i % 2 == 1) << i;
+}
+
+}  // namespace
+}  // namespace frd::detect

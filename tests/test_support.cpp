@@ -1,0 +1,230 @@
+// Unit tests for the support substrate: arena, bitvec, prng, stats, table.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "support/arena.hpp"
+#include "support/bitvec.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace frd {
+namespace {
+
+// ---------------------------------------------------------------- arena ---
+TEST(Arena, HandsOutDistinctAlignedStorage) {
+  arena a;
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = a.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pointer";
+  }
+  EXPECT_GE(a.bytes_allocated(), 24000u);
+}
+
+TEST(Arena, PointersStableAcrossGrowth) {
+  arena a(64);  // tiny blocks force many growths
+  struct rec {
+    int x;
+    int y;
+  };
+  std::vector<rec*> ptrs;
+  for (int i = 0; i < 500; ++i) ptrs.push_back(a.create<rec>(rec{i, -i}));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(ptrs[i]->x, i);
+    EXPECT_EQ(ptrs[i]->y, -i);
+  }
+  EXPECT_GT(a.blocks(), 1u);
+}
+
+TEST(Arena, LargeAllocationExceedingBlockSize) {
+  arena a(128);
+  void* p = a.allocate(10000, 16);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 10000);  // must be fully usable
+}
+
+TEST(Arena, ReleaseResetsEverything) {
+  arena a;
+  a.allocate(100, 8);
+  a.release();
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.blocks(), 0u);
+  void* p = a.allocate(16, 8);  // usable after release
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, MixedAlignments) {
+  arena a;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = a.allocate(align * 3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+// --------------------------------------------------------------- bitvec ---
+TEST(Bitvec, SetTestReset) {
+  bitvec v(200);
+  EXPECT_FALSE(v.test(0));
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(199);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(199));
+  EXPECT_FALSE(v.test(100));
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(Bitvec, OrWithGrowsToOtherSize) {
+  bitvec a(10), b(300);
+  b.set(250);
+  a.or_with(b);
+  EXPECT_GE(a.size(), 300u);
+  EXPECT_TRUE(a.test(250));
+}
+
+TEST(Bitvec, OrWithShorterOther) {
+  bitvec a(300), b(10);
+  b.set(5);
+  a.set(200);
+  a.or_with(b);
+  EXPECT_TRUE(a.test(5));
+  EXPECT_TRUE(a.test(200));
+}
+
+TEST(Bitvec, Intersects) {
+  bitvec a(128), b(128);
+  a.set(70);
+  b.set(71);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(70);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Bitvec, ForEachSetVisitsInOrder) {
+  bitvec v(500);
+  const std::size_t expect[] = {3, 64, 65, 128, 499};
+  for (std::size_t i : expect) v.set(i);
+  std::vector<std::size_t> got;
+  v.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::size_t>(std::begin(expect), std::end(expect)));
+}
+
+TEST(Bitvec, EqualityIgnoresTrailingZeros) {
+  bitvec a(64), b(640);
+  a.set(10);
+  b.set(10);
+  EXPECT_TRUE(a == b);
+  b.set(600);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitvec, CountAndAny) {
+  bitvec v(1000);
+  EXPECT_FALSE(v.any());
+  for (std::size_t i = 0; i < 1000; i += 7) v.set(i);
+  EXPECT_TRUE(v.any());
+  EXPECT_EQ(v.count(), (1000 + 6) / 7);
+  v.clear();
+  EXPECT_FALSE(v.any());
+}
+
+// ----------------------------------------------------------------- prng ---
+TEST(Prng, DeterministicPerSeed) {
+  prng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  prng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  prng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Prng, RangeInclusiveBounds) {
+  prng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = r.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, Uniform01InUnitInterval) {
+  prng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------- stats ---
+TEST(Stats, MeanStddevGeomean) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_NEAR(mean(xs), 7.0 / 3, 1e-12);
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}),
+              2.13808993529939, 1e-9);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, GeomeanMatchesPaperStyleOverheads) {
+  // The paper reports geometric-mean overheads across benchmarks (§6).
+  const std::vector<double> overheads{24.77, 22.00, 33.61, 24.54, 8.02};
+  const double g = geomean(overheads);
+  EXPECT_GT(g, 18.0);
+  EXPECT_LT(g, 25.0);
+}
+
+// ---------------------------------------------------------------- table ---
+TEST(Table, RendersAlignedColumns) {
+  text_table t({"bench", "baseline", "full"});
+  t.add_row({"lcs", "2.19", "54.27 (24.77x)"});
+  t.add_row({"sw", "14.78", "325.10 (22.00x)"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("bench"), std::string::npos);
+  EXPECT_NE(out.find("54.27 (24.77x)"), std::string::npos);
+  // All rows share the same width.
+  std::size_t prev = std::string::npos;
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    std::size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    ++lines;
+    pos = nl + 1;
+    (void)prev;
+  }
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(text_table::seconds(1.23456), "1.235");
+  EXPECT_EQ(text_table::multiplier(24.773), "24.77x");
+  EXPECT_EQ(text_table::seconds_with_overhead(54.27, 2.19), "54.270 (24.78x)");
+}
+
+}  // namespace
+}  // namespace frd
