@@ -7,8 +7,8 @@
 // overhead should climb toward the other benchmarks'.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_suite/dedup.hpp"
-#include "detect/detector.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -30,11 +30,12 @@ double timed(const dedup_input& in, std::size_t frag, detect::level lvl,
       (void)dedup_pipeline<H, CH>(runtime, in, frag);
       ts.push_back(t.seconds());
     } else {
-      detect::detector det(detect::algorithm::multibags, lvl);
-      detect::scoped_global_detector bind(&det);
-      rt::serial_runtime runtime(&det);
+      frd::session s(frd::session::options{.backend = "multibags", .level = lvl});
+      s.runtime();  // untimed construction, like the baseline branch
       wall_timer t;
-      (void)dedup_pipeline<H, CH>(runtime, in, frag);
+      s.run([&](rt::serial_runtime& runtime) {
+        (void)dedup_pipeline<H, CH>(runtime, in, frag);
+      });
       ts.push_back(t.seconds());
     }
   }

@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <functional>
 
-#include "detect/multibags.hpp"
-#include "detect/multibags_plus.hpp"
-#include "detect/vector_clock.hpp"
+#include "api/session.hpp"
 #include "runtime/serial.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
@@ -42,26 +40,18 @@ void workload(rt::serial_runtime& rt, int chain, int tree_depth) {
   (void)prev.get();
 }
 
-template <typename Backend>
-double timed(int chain, int depth, int reps, Backend* (*make)(),
-             void (*destroy)(Backend*)) {
+// Times the reachability-only configuration of the named registry backend.
+double timed(const char* backend, int chain, int depth, int reps) {
   std::vector<double> ts;
   for (int r = 0; r < reps; ++r) {
-    Backend* b = make();
-    rt::serial_runtime rt(b);
+    frd::session s(frd::session::options{
+        .backend = backend, .level = frd::detect::level::reachability});
+    rt::serial_runtime& rt = s.runtime();
     wall_timer t;
-    rt.run([&] { workload(rt, chain, depth); });
+    s.run([&] { workload(rt, chain, depth); });
     ts.push_back(t.seconds());
-    destroy(b);
   }
   return mean(ts);
-}
-
-template <typename Backend>
-double timed(int chain, int depth, int reps) {
-  return timed<Backend>(
-      chain, depth, reps, +[]() { return new Backend(); },
-      +[](Backend* b) { delete b; });
 }
 
 }  // namespace
@@ -81,9 +71,9 @@ int main(int argc, char** argv) {
                   "vector-clock", "VC / MB+"});
     for (int depth : {9, 11, 13}) {
       const int chain = 64;
-      const double mb = timed<detect::multibags>(chain, depth, n);
-      const double mbp = timed<detect::multibags_plus>(chain, depth, n);
-      const double vc = timed<detect::vector_clock_backend>(chain, depth, n);
+      const double mb = timed("multibags", chain, depth, n);
+      const double mbp = timed("multibags+", chain, depth, n);
+      const double vc = timed("vector-clock", chain, depth, n);
       char ratio[32];
       std::snprintf(ratio, sizeof ratio, "%.1fx", vc / mbp);
       t.add_row({std::to_string((1 << (depth + 1)) - 2), std::to_string(chain),
@@ -103,9 +93,9 @@ int main(int argc, char** argv) {
                   "VC / MB"});
     for (int chain : {512, 2048, 8192}) {
       const int depth = 6;
-      const double mb = timed<detect::multibags>(chain, depth, n);
-      const double mbp = timed<detect::multibags_plus>(chain, depth, n);
-      const double vc = timed<detect::vector_clock_backend>(chain, depth, n);
+      const double mb = timed("multibags", chain, depth, n);
+      const double mbp = timed("multibags+", chain, depth, n);
+      const double vc = timed("vector-clock", chain, depth, n);
       char ratio[32];
       std::snprintf(ratio, sizeof ratio, "%.1fx", vc / mb);
       t.add_row({std::to_string(chain), text_table::seconds(mb),

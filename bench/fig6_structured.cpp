@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   cases.push_back({"bst", make_bst_case(sz, variant::structured), true, true});
 
   auto result = run_four_config_table(
-      cases, detect::algorithm::multibags, static_cast<int>(reps),
+      cases, "multibags", static_cast<int>(reps),
       "\n== Figure 6: structured futures, MultiBags ==");
   print_geomeans(result, "MultiBags");
   std::puts("paper reference (Fig 6): reachability geomean 1.06x; full "

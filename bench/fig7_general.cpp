@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   cases.push_back({"bst", make_bst_case(sz, variant::general), true, false});
 
   auto result = run_four_config_table(
-      cases, detect::algorithm::multibags_plus, static_cast<int>(reps),
+      cases, "multibags+", static_cast<int>(reps),
       "\n== Figure 7: general futures, MultiBags+ ==");
   print_geomeans(result, "MultiBags+");
   std::puts("paper reference (Fig 7): reachability geomean 1.40x (dedup "

@@ -9,9 +9,9 @@
 // calls out as the second cost driver at small base cases.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench/config.hpp"
 #include "bench/harness.hpp"
-#include "detect/multibags.hpp"
 #include "detect/multibags_plus.hpp"
 #include "support/flags.hpp"
 
@@ -52,10 +52,11 @@ row_out run_case(const kernel_fn& kernel, int reps) {
   {
     std::vector<double> ts;
     for (int r = 0; r < reps; ++r) {
-      detect::multibags mb;
-      rt::serial_runtime runtime(&mb);
+      frd::session s(frd::session::options{
+          .backend = "multibags", .level = detect::level::reachability});
+      s.runtime();  // untimed construction, like the baseline branch
       wall_timer t;
-      kernel(runtime, false);
+      s.run([&](rt::serial_runtime& runtime) { kernel(runtime, false); });
       ts.push_back(t.seconds());
     }
     out.mb_s = mean(ts);
@@ -63,11 +64,13 @@ row_out run_case(const kernel_fn& kernel, int reps) {
   {
     std::vector<double> ts;
     for (int r = 0; r < reps; ++r) {
-      detect::multibags_plus mbp;
-      rt::serial_runtime runtime(&mbp);
+      frd::session s(frd::session::options{
+          .backend = "multibags+", .level = detect::level::reachability});
+      s.runtime();  // untimed construction, like the baseline branch
       wall_timer t;
-      kernel(runtime, false);
+      s.run([&](rt::serial_runtime& runtime) { kernel(runtime, false); });
       ts.push_back(t.seconds());
+      const auto& mbp = dynamic_cast<const detect::multibags_plus&>(s.backend());
       out.r_bytes = mbp.r().closure_bytes();
       out.r_nodes = mbp.r().size();
       out.k = mbp.r().stats().arcs;  // proxy scale; exact k printed by fig6/7

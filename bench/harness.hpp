@@ -5,12 +5,16 @@
 // not). The harness times it under the paper's four configurations:
 //
 //   baseline         serial runtime, no listener, hooks::none
-//   reachability     detector listening, hooks::none
-//   instrumentation  detector listening, hooks::active, no history work
-//   full             detector listening, hooks::active, full race detection
+//   reachability     session listening, hooks::none
+//   instrumentation  session listening, hooks::active, no history work
+//   full             session listening, hooks::active, full race detection
 //
-// Each configuration runs `reps` times; the mean is reported with the
-// overhead multiplier against the baseline, in the paper's row format.
+// Each configuration runs `reps` times in a fresh frd::session (sessions are
+// one-shot, matching the runtime's dense id minting); the mean is reported
+// with the overhead multiplier against the baseline, in the paper's row
+// format. Backends are named by their registry key ("multibags",
+// "multibags+", ...), so a new backend is benchable without touching this
+// file.
 #pragma once
 
 #include <cstdio>
@@ -18,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "detect/detector.hpp"
+#include "api/session.hpp"
 #include "runtime/serial.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -39,7 +43,7 @@ struct timing {
   std::uint64_t gets = 0;
 };
 
-inline timing time_config(const kernel_fn& kernel, detect::algorithm alg,
+inline timing time_config(const kernel_fn& kernel, const std::string& backend,
                           detect::level lvl, int reps) {
   timing out;
   std::vector<double> times;
@@ -57,17 +61,16 @@ inline timing time_config(const kernel_fn& kernel, detect::algorithm alg,
       times.push_back(t.seconds());
       continue;
     }
-    detect::detector det(alg, lvl);
-    detect::scoped_global_detector bind(&det);
-    rt::serial_runtime runtime(&det);
+    session s(session::options{.backend = backend, .level = lvl});
+    s.runtime();  // build the runtime outside the timed region (baseline parity)
     const bool instrumented = lvl == detect::level::instrumentation ||
                               lvl == detect::level::full;
     wall_timer t;
-    kernel(runtime, instrumented);
+    s.run([&](rt::serial_runtime& runtime) { kernel(runtime, instrumented); });
     times.push_back(t.seconds());
-    out.races = det.report().total();
-    out.violations = det.structured_violations();
-    out.gets = det.get_count();
+    out.races = s.report().total();
+    out.violations = s.structured_violations();
+    out.gets = s.get_count();
   }
   out.seconds = mean(times);
   out.rel_stddev = rel_stddev(times);
@@ -81,7 +84,7 @@ struct case_row {
   bool expect_disciplined = false;  // assert 0 structured violations
 };
 
-// Runs the Figure 6/7 shape: all four configurations under one algorithm.
+// Runs the Figure 6/7 shape: all four configurations under one backend.
 // Returns per-benchmark overheads for the geomean summary.
 struct fig_result {
   std::vector<double> reach_overheads;
@@ -90,7 +93,7 @@ struct fig_result {
 };
 
 inline fig_result run_four_config_table(const std::vector<case_row>& cases,
-                                        detect::algorithm alg, int reps,
+                                        const std::string& backend, int reps,
                                         const char* caption) {
   text_table table({"bench", "baseline", "reachability", "instr", "full",
                     "k(gets)", "races"});
@@ -98,15 +101,15 @@ inline fig_result run_four_config_table(const std::vector<case_row>& cases,
   for (const case_row& c : cases) {
     std::fprintf(stderr, "[fig] %s: baseline...\n", c.name.c_str());
     const timing base =
-        time_config(c.kernel, alg, detect::level::baseline, reps);
+        time_config(c.kernel, backend, detect::level::baseline, reps);
     std::fprintf(stderr, "[fig] %s: reachability...\n", c.name.c_str());
     const timing reach =
-        time_config(c.kernel, alg, detect::level::reachability, reps);
+        time_config(c.kernel, backend, detect::level::reachability, reps);
     std::fprintf(stderr, "[fig] %s: instrumentation...\n", c.name.c_str());
     const timing instr =
-        time_config(c.kernel, alg, detect::level::instrumentation, reps);
+        time_config(c.kernel, backend, detect::level::instrumentation, reps);
     std::fprintf(stderr, "[fig] %s: full...\n", c.name.c_str());
-    const timing full = time_config(c.kernel, alg, detect::level::full, reps);
+    const timing full = time_config(c.kernel, backend, detect::level::full, reps);
 
     if (c.expect_race_free && full.races != 0) {
       std::fprintf(stderr, "WARNING: %s reported %llu races; expected none\n",

@@ -5,8 +5,7 @@
 // reachability overhead to its tiny work-per-construct ratio.
 #include <benchmark/benchmark.h>
 
-#include "detect/multibags.hpp"
-#include "detect/multibags_plus.hpp"
+#include "api/session.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/serial.hpp"
 
@@ -21,22 +20,28 @@ void spawn_tree(serial_runtime& rt, int depth) {
   rt.sync();
 }
 
-// Reachability backends are one-shot (fresh ids per program), so each
-// iteration builds its own backend + runtime; the loop body cost is
-// dominated by the 2^11 constructs, not the small allocations.
+const char* backend_of(int which) {
+  return which == 1 ? "multibags" : "multibags+";
+}
+
+// Sessions (like the ids the runtime mints) are one-shot, so each iteration
+// builds its own; the loop body cost is dominated by the 2^11 constructs,
+// not the small allocations.
 void BM_SerialSpawnSync(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    frd::detect::multibags mb;
-    frd::detect::multibags_plus mbp;
-    frd::rt::execution_listener* l = nullptr;
-    if (which == 1) l = &mb;
-    if (which == 2) l = &mbp;
-    serial_runtime rt(l);
-    rt.run([&] { spawn_tree(rt, 10); });  // 2^11-2 spawns
+    if (which == 0) {
+      serial_runtime rt;
+      rt.run([&] { spawn_tree(rt, 10); });  // 2^11-2 spawns
+    } else {
+      frd::session s(frd::session::options{
+          .backend = backend_of(which),
+          .level = frd::detect::level::reachability});
+      serial_runtime& rt = s.runtime();
+      rt.run([&] { spawn_tree(rt, 10); });
+    }
   }
-  state.SetLabel(which == 0 ? "no detector"
-                            : which == 1 ? "multibags" : "multibags+");
+  state.SetLabel(which == 0 ? "no detector" : backend_of(which));
   state.SetItemsProcessed(state.iterations() * ((1 << 11) - 2));
 }
 BENCHMARK(BM_SerialSpawnSync)->Arg(0)->Arg(1)->Arg(2);
@@ -44,13 +49,7 @@ BENCHMARK(BM_SerialSpawnSync)->Arg(0)->Arg(1)->Arg(2);
 void BM_SerialFutureChain(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   const int n = 1024;
-  for (auto _ : state) {
-    frd::detect::multibags mb;
-    frd::detect::multibags_plus mbp;
-    frd::rt::execution_listener* l = nullptr;
-    if (which == 1) l = &mb;
-    if (which == 2) l = &mbp;
-    serial_runtime rt(l);
+  auto chain = [n](serial_runtime& rt) {
     rt.run([&] {
       frd::rt::future<int> prev;
       for (int i = 0; i < n; ++i) {
@@ -61,9 +60,19 @@ void BM_SerialFutureChain(benchmark::State& state) {
       }
       benchmark::DoNotOptimize(prev.get());
     });
+  };
+  for (auto _ : state) {
+    if (which == 0) {
+      serial_runtime rt;
+      chain(rt);
+    } else {
+      frd::session s(frd::session::options{
+          .backend = backend_of(which),
+          .level = frd::detect::level::reachability});
+      chain(s.runtime());
+    }
   }
-  state.SetLabel(which == 0 ? "no detector"
-                            : which == 1 ? "multibags" : "multibags+");
+  state.SetLabel(which == 0 ? "no detector" : backend_of(which));
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SerialFutureChain)->Arg(0)->Arg(1)->Arg(2);

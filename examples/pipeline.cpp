@@ -10,8 +10,8 @@
 // FutureRD pinpoints it.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_suite/dedup.hpp"
-#include "detect/detector.hpp"
 #include "support/flags.hpp"
 #include "support/timer.hpp"
 
@@ -30,13 +30,12 @@ int main(int argc, char** argv) {
   const std::size_t fragment = 1 << 16;
 
   {  // The correct, chained pipeline.
-    det::detector detector(det::algorithm::multibags, det::level::full);
-    det::scoped_global_detector bind(&detector);
-    rt::serial_runtime runtime(&detector);
+    frd::session s("multibags");
     frd::wall_timer t;
-    const auto res =
-        dedup_pipeline<det::hooks::active, det::hooks::none>(runtime, in,
-                                                             fragment);
+    const auto res = s.run([&](rt::serial_runtime& runtime) {
+      return dedup_pipeline<det::hooks::active, det::hooks::none>(runtime, in,
+                                                                  fragment);
+    });
     std::printf("pipeline: %zu fragments, %zu chunks, %zu unique (%.1f%%), "
                 "%zu -> %zu bytes, %.3fs\n",
                 res.fragments, res.total_chunks, res.unique_chunks,
@@ -44,16 +43,15 @@ int main(int argc, char** argv) {
                     static_cast<double>(res.total_chunks ? res.total_chunks : 1),
                 in.corpus.size(), res.compressed_bytes, t.seconds());
     std::printf("races: %llu (expected 0 — the chain orders the table)\n\n",
-                static_cast<unsigned long long>(detector.report().total()));
+                static_cast<unsigned long long>(s.report().total()));
   }
 
   {  // The broken pipeline: stage B futures without the chain.
-    det::detector detector(det::algorithm::multibags_plus, det::level::full);
-    det::scoped_global_detector bind(&detector);
-    rt::serial_runtime runtime(&detector);
+    frd::session s("multibags+");
 
     detail::dedup_table table(in.corpus.size() / 1024 + 64);
-    runtime.run([&] {
+    s.run([&] {
+      auto& runtime = s.runtime();
       std::vector<rt::future<int>> stage_b;
       const std::size_t n_frags = in.corpus.size() / fragment;
       for (std::size_t f = 0; f < n_frags; ++f) {
@@ -72,9 +70,9 @@ int main(int argc, char** argv) {
       for (auto& f : stage_b) f.get();
     });
     std::printf("without the ordering chain: %llu races on %zu table slots\n",
-                static_cast<unsigned long long>(detector.report().total()),
-                detector.report().racy_granules().size());
-    if (!detector.report().any())
+                static_cast<unsigned long long>(s.report().total()),
+                s.report().racy_granules().size());
+    if (!s.report().any())
       std::puts("(corpus had no repeated chunks this run; raise --redundancy)");
   }
   return 0;

@@ -1,6 +1,6 @@
 // Quickstart: find a determinacy race in a program that uses futures.
 //
-//   $ ./examples/quickstart
+//   $ ./quickstart
 //
 // The program below looks innocent: it creates a future, syncs its spawned
 // child, and then writes a location the future also writes. But a sync does
@@ -9,15 +9,14 @@
 // FutureRD runs the program sequentially and reports it.
 #include <cstdio>
 
-#include "detect/detector.hpp"
-#include "runtime/serial.hpp"
+#include "api/session.hpp"
 
 namespace det = frd::detect;
-namespace rt = frd::rt;
 
 // Shorthand for instrumented accesses. A real deployment would instrument
 // loads/stores with a compiler pass; this library exposes the same hooks as
-// explicit calls (see DESIGN.md).
+// explicit calls (see DESIGN.md). The calls route into whichever session is
+// currently running.
 using hooks = det::hooks::active;
 template <typename T>
 T ld(const T& x) { return det::hooks::ld<hooks>(x); }
@@ -25,14 +24,17 @@ template <typename T, typename V>
 void st(T& x, V v) { det::hooks::st<hooks>(x, v); }
 
 int main() {
-  // A detector = reachability algorithm + measurement level.
-  det::detector detector(det::algorithm::multibags, det::level::full);
-  det::scoped_global_detector bind(&detector);
-  rt::serial_runtime runtime(&detector);
+  // A session = reachability backend (by registry name) + measurement level
+  // + detection options, owning the runtime and the race report for one run.
+  frd::session s(frd::session::options{.backend = "multibags",
+                                       .level = frd::level::full,
+                                       .granule = 4,
+                                       .max_retained_races = 64});
 
   int shared = 0;
 
-  runtime.run([&] {
+  s.run([&] {
+    auto& runtime = s.runtime();
     auto fut = runtime.create_future([&] {
       st(shared, 1);  // first write, inside the future
       return 1;
@@ -47,9 +49,11 @@ int main() {
     st(shared, 3);  // this write is safe
   });
 
-  std::printf("races detected: %llu\n",
-              static_cast<unsigned long long>(detector.report().total()));
-  for (const auto& r : detector.report().retained()) {
+  std::printf("backend %s (%s): races detected: %llu\n",
+              std::string(s.backend_name()).c_str(),
+              s.info().paper_section.c_str(),
+              static_cast<unsigned long long>(s.report().total()));
+  for (const auto& r : s.report().retained()) {
     std::printf("  race @%p: strand %u (%s) vs strand %u (%s)\n",
                 reinterpret_cast<void*>(r.granule_addr), r.prior,
                 r.prior_kind == det::access_kind::write ? "write" : "read",
@@ -57,7 +61,7 @@ int main() {
                 r.current_kind == det::access_kind::write ? "write" : "read");
   }
 
-  if (!detector.report().any()) {
+  if (!s.report().any()) {
     std::puts("unexpected: the race was missed!");
     return 1;
   }

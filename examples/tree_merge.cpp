@@ -10,8 +10,8 @@
 // MultiBags+ handles it.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_suite/bst.hpp"
-#include "detect/detector.hpp"
 #include "support/flags.hpp"
 #include "support/timer.hpp"
 
@@ -29,34 +29,33 @@ int main(int argc, char** argv) {
   {  // structured join order, MultiBags
     auto in = make_bst_input(static_cast<std::size_t>(n1),
                              static_cast<std::size_t>(n2), 1);
-    det::detector detector(det::algorithm::multibags, det::level::full);
-    det::scoped_global_detector bind(&detector);
-    rt::serial_runtime runtime(&detector);
+    frd::session s("multibags");
     frd::wall_timer t;
-    bst_node* merged =
-        bst_structured<det::hooks::active>(runtime, in, static_cast<int>(cutoff));
+    bst_node* merged = s.run([&](rt::serial_runtime& runtime) {
+      return bst_structured<det::hooks::active>(runtime, in,
+                                                static_cast<int>(cutoff));
+    });
     std::printf("structured merge: %zu nodes, bst=%s, %.3fs, races=%llu, "
                 "violations=%llu\n",
                 bst_count(merged), bst_is_search_tree(merged) ? "yes" : "NO",
                 t.seconds(),
-                static_cast<unsigned long long>(detector.report().total()),
-                static_cast<unsigned long long>(
-                    detector.structured_violations()));
+                static_cast<unsigned long long>(s.report().total()),
+                static_cast<unsigned long long>(s.structured_violations()));
   }
 
   {  // general join order, MultiBags+
     auto in = make_bst_input(static_cast<std::size_t>(n1),
                              static_cast<std::size_t>(n2), 1);
-    det::detector detector(det::algorithm::multibags_plus, det::level::full);
-    det::scoped_global_detector bind(&detector);
-    rt::serial_runtime runtime(&detector);
+    frd::session s("multibags+");
     frd::wall_timer t;
-    bst_node* merged =
-        bst_general<det::hooks::active>(runtime, in, static_cast<int>(cutoff));
+    bst_node* merged = s.run([&](rt::serial_runtime& runtime) {
+      return bst_general<det::hooks::active>(runtime, in,
+                                             static_cast<int>(cutoff));
+    });
     std::printf("general merge:    %zu nodes, bst=%s, %.3fs, races=%llu\n",
                 bst_count(merged), bst_is_search_tree(merged) ? "yes" : "NO",
                 t.seconds(),
-                static_cast<unsigned long long>(detector.report().total()));
+                static_cast<unsigned long long>(s.report().total()));
   }
   return 0;
 }

@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/session.hpp"
 #include "bench_suite/lcs.hpp"
-#include "detect/detector.hpp"
 #include "runtime/parallel.hpp"
 #include "support/flags.hpp"
 #include "support/timer.hpp"
@@ -69,18 +69,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(n), static_cast<long long>(base), want);
 
   {  // 1. race detection
-    det::detector detector(det::algorithm::multibags, det::level::full);
-    det::scoped_global_detector bind(&detector);
-    rt::serial_runtime srt(&detector);
+    frd::session s("multibags");
     frd::wall_timer t;
-    const int got = lcs_structured<det::hooks::active>(
-        srt, in, static_cast<std::size_t>(base));
+    const int got = s.run([&](rt::serial_runtime& srt) {
+      return lcs_structured<det::hooks::active>(srt, in,
+                                                static_cast<std::size_t>(base));
+    });
     std::printf("  detected run:  %.3fs  answer=%d  races=%llu  "
                 "discipline-violations=%llu\n",
                 t.seconds(), got,
-                static_cast<unsigned long long>(detector.report().total()),
-                static_cast<unsigned long long>(
-                    detector.structured_violations()));
+                static_cast<unsigned long long>(s.report().total()),
+                static_cast<unsigned long long>(s.structured_violations()));
   }
 
   {  // 2. serial baseline

@@ -1,0 +1,48 @@
+#include "api/session.hpp"
+
+#include "support/check.hpp"
+
+namespace frd {
+
+session::session(options opt) : opt_(std::move(opt)) {
+  const detect::backend_registry& reg = detect::backend_registry::instance();
+  info_ = &reg.at(opt_.backend);  // throws backend_error listing names
+  det_ = std::make_unique<detect::detector>(
+      info_->make(), detect::detector_config{
+                         .lvl = opt_.level,
+                         .granule = opt_.granule,
+                         .max_retained_races = opt_.max_retained_races,
+                         .shadow_page_bits = opt_.shadow_page_bits,
+                         .futures = info_->futures,
+                     });
+}
+
+session::~session() = default;
+
+void session::add_listener(rt::execution_listener* l) {
+  FRD_CHECK_MSG(rt_ == nullptr,
+                "add_listener must run before the session's runtime is built "
+                "(first runtime()/run() call)");
+  FRD_CHECK_MSG(l != nullptr, "null execution listener");
+  extras_.push_back(l);
+}
+
+rt::serial_runtime& session::runtime() {
+  if (rt_ == nullptr) {
+    rt::execution_listener* listener = nullptr;
+    const bool track = opt_.level != detect::level::baseline;
+    if (track && extras_.empty()) {
+      listener = det_.get();
+    } else if (track || !extras_.empty()) {
+      mux_ = std::make_unique<rt::listener_mux>();
+      if (track) mux_->add(det_.get());
+      for (rt::execution_listener* l : extras_) mux_->add(l);
+      listener = mux_.get();
+    }
+    rt_ = std::make_unique<rt::serial_runtime>(listener);
+    rt_->enforce_single_touch(opt_.enforce_single_touch);
+  }
+  return *rt_;
+}
+
+}  // namespace frd

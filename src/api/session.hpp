@@ -1,0 +1,130 @@
+// frd::session — the public facade of FutureRD.
+//
+// One session = one detection run: it owns the reachability backend
+// (resolved by name through the backend_registry), the detection core, the
+// serial runtime the program executes on, and the race report; run()
+// installs the session's hook sink RAII-style so instrumented kernels route
+// into this session's detector for exactly the duration of the run, and
+// stacked sessions unwind to the enclosing session's sink.
+//
+//   frd::session s({.backend = "multibags+",
+//                   .level = frd::level::full,
+//                   .granule = 4,
+//                   .max_retained_races = 64});
+//   s.run([&] {
+//     auto f = s.runtime().create_future([&] { ... });
+//     ...
+//     f.get();
+//   });
+//   if (s.report().any()) ...
+//
+// run() accepts either a program body (no arguments; executed under
+// runtime().run) or a driver taking rt::serial_runtime& (for harnesses whose
+// kernels call rt.run themselves); both run with the hook sink installed.
+//
+// Sessions are one-shot like the ids the runtime mints: construct a fresh
+// session per detection run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "detect/registry.hpp"
+#include "runtime/serial.hpp"
+
+namespace frd {
+
+using detect::level;
+
+class session {
+ public:
+  struct options {
+    std::string backend = "multibags+";
+    detect::level level = detect::level::full;
+    // Shadow granule size in bytes (power of two; 4 = the paper's artifact).
+    std::size_t granule = 4;
+    // Full race records kept for diagnostics (counting dedupes regardless).
+    std::size_t max_retained_races = detect::race_report::kDefaultRetained;
+    unsigned shadow_page_bits = 16;
+    // Abort on a second get() of the same future handle (paper §2's
+    // structured single-touch restriction, enforced by the runtime).
+    bool enforce_single_touch = false;
+  };
+
+  session() : session(options{}) {}
+  explicit session(std::string backend_name)
+      : session(options{.backend = std::move(backend_name)}) {}
+  explicit session(const char* backend_name)
+      : session(options{.backend = backend_name}) {}
+  // Throws detect::backend_error when options::backend is not registered.
+  explicit session(options opt);
+  ~session();
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  // Additional execution listeners (oracles, dag recorders) observing this
+  // session's run. Must be called before runtime() / run().
+  void add_listener(rt::execution_listener* l);
+
+  // The runtime this session's program executes on. At level::baseline the
+  // runtime carries no listener (the paper's zero-work configuration).
+  rt::serial_runtime& runtime();
+
+  // Returns whatever a runtime-driver callable returns (void for program
+  // bodies), so kernels can hand their answer straight out:
+  //   int got = s.run([&](rt::serial_runtime& rt) { return kernel(rt); });
+  template <typename F>
+  decltype(auto) run(F&& f) {
+    rt::serial_runtime& rt = runtime();
+    detect::hooks::scoped_sink sink(det_.get());
+    if constexpr (std::is_invocable_v<F&, rt::serial_runtime&>) {
+      return f(rt);
+    } else {
+      rt.run(std::forward<F>(f));
+    }
+  }
+
+  const options& opts() const { return opt_; }
+  const detect::backend_info& info() const { return *info_; }
+  std::string_view backend_name() const { return info_->name; }
+  detect::level lvl() const { return opt_.level; }
+
+  detect::detector& detector() { return *det_; }
+  const detect::detector& detector() const { return *det_; }
+  detect::reachability_backend& backend() { return det_->backend(); }
+  const detect::reachability_backend& backend() const {
+    return det_->backend();
+  }
+
+  const detect::race_report& report() const { return det_->report(); }
+  std::uint64_t access_count() const { return det_->access_count(); }
+  std::uint64_t get_count() const { return det_->get_count(); }
+  std::uint64_t structured_violations() const {
+    return det_->structured_violations();
+  }
+  bool precedes_current(rt::strand_id u) { return det_->precedes_current(u); }
+
+  // Explicit instrumentation points — exactly what hooks::active emits.
+  // Tests and uninstrumented callers mark accesses with these.
+  void read(const void* p, std::size_t bytes = 4) { det_->on_read(p, bytes); }
+  void write(const void* p, std::size_t bytes = 4) { det_->on_write(p, bytes); }
+
+ private:
+  options opt_;
+  const detect::backend_info* info_;
+  std::unique_ptr<detect::detector> det_;
+  std::vector<rt::execution_listener*> extras_;
+  // Built on first use so extra listeners can be attached after
+  // construction; the mux only exists when extras are present, keeping the
+  // common event path a single virtual call (the paper's "reachability"
+  // overhead measurement).
+  std::unique_ptr<rt::listener_mux> mux_;
+  std::unique_ptr<rt::serial_runtime> rt_;
+};
+
+}  // namespace frd

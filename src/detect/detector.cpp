@@ -1,43 +1,73 @@
 #include "detect/detector.hpp"
 
-#include "detect/multibags.hpp"
-#include "detect/multibags_plus.hpp"
-#include "detect/vector_clock.hpp"
+#include <bit>
+#include <string>
+
+#include "detect/registry.hpp"
+#include "support/check.hpp"
 
 namespace frd::detect {
 
-namespace hooks {
-detector* g_detector = nullptr;
-
-void active::read(const void* p, std::size_t n) {
-  if (g_detector != nullptr) g_detector->on_read(p, n);
-}
-void active::write(const void* p, std::size_t n) {
-  if (g_detector != nullptr) g_detector->on_write(p, n);
-}
-}  // namespace hooks
-
 namespace {
-std::unique_ptr<reachability_backend> make_backend(algorithm a) {
-  if (a == algorithm::multibags) return std::make_unique<multibags>();
-  if (a == algorithm::vector_clock)
-    return std::make_unique<vector_clock_backend>();
-  return std::make_unique<multibags_plus>();
+
+// Option validation throws (like an unknown backend name) so embedders can
+// catch and report a bad configuration instead of aborting.
+unsigned granule_shift_of(std::size_t granule) {
+  if (granule < 1 || granule > 4096 || !std::has_single_bit(granule)) {
+    throw backend_error(
+        "detection granule must be a power of two in [1, 4096] bytes, got " +
+        std::to_string(granule));
+  }
+  return static_cast<unsigned>(std::countr_zero(granule));
 }
+
+unsigned checked_page_bits(unsigned page_bits) {
+  if (page_bits < 4 || page_bits > 24) {
+    throw backend_error("shadow_page_bits must be in [4, 24], got " +
+                        std::to_string(page_bits));
+  }
+  return page_bits;
+}
+
 }  // namespace
 
+detector::detector(std::unique_ptr<reachability_backend> backend,
+                   detector_config cfg)
+    : cfg_(cfg),
+      granule_mask_(~(static_cast<std::uintptr_t>(cfg.granule) - 1)),
+      backend_(std::move(backend)),
+      history_(checked_page_bits(cfg.shadow_page_bits),
+               granule_shift_of(cfg.granule)),
+      report_(cfg.max_retained_races) {
+  FRD_CHECK_MSG(backend_ != nullptr, "detector needs a reachability backend");
+}
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 detector::detector(algorithm alg, level lvl)
-    : algo_(alg), level_(lvl), backend_(make_backend(alg)) {}
+    : detector(backend_registry::instance().create(to_string(alg)),
+               detector_config{
+                   .lvl = lvl,
+                   .futures = alg == algorithm::multibags
+                                  ? future_support::structured
+                                  : future_support::general}) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 detector::~detector() = default;
 
 // ---------------------------------------------------------------------------
 // Event forwarding. The baseline level ignores everything so that a single
-// detector type serves all four configurations.
+// detector type serves all four configurations. The capability checks run
+// before forwarding: a construct the backend cannot absorb must surface as a
+// clear error, not as a corrupted bag invariant deeper in.
 // ---------------------------------------------------------------------------
-#define FRD_FORWARD_IF_TRACKING(call)              \
-  do {                                             \
-    if (level_ != level::baseline) backend_->call; \
+#define FRD_FORWARD_IF_TRACKING(call)                  \
+  do {                                                 \
+    if (cfg_.lvl != level::baseline) backend_->call;   \
   } while (0)
 
 void detector::on_program_begin(rt::func_id f, rt::strand_id s) {
@@ -57,6 +87,13 @@ void detector::on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c,
 }
 void detector::on_create(rt::func_id p, rt::strand_id u, rt::func_id c,
                          rt::strand_id w, rt::strand_id v) {
+  if (cfg_.futures == future_support::none) {
+    throw capability_error(
+        "backend '" + std::string(backend_->name()) +
+        "' handles fork-join programs only; this program uses create_fut — "
+        "pick a futures-capable backend (multibags, multibags+, vector-clock, "
+        "reference)");
+  }
   FRD_FORWARD_IF_TRACKING(on_create(p, u, c, w, v));
 }
 void detector::on_return(rt::func_id c, rt::strand_id last, rt::func_id p) {
@@ -65,6 +102,22 @@ void detector::on_return(rt::func_id c, rt::strand_id last, rt::func_id p) {
 void detector::on_sync(const sync_event& e) { FRD_FORWARD_IF_TRACKING(on_sync(e)); }
 void detector::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
                       rt::func_id fut, rt::strand_id w, rt::strand_id creator) {
+  if (cfg_.futures == future_support::none) {
+    throw capability_error(
+        "backend '" + std::string(backend_->name()) +
+        "' handles fork-join programs only; this program uses get_fut");
+  }
+  if (cfg_.futures == future_support::structured) {
+    if (fut >= fut_touched_.size()) fut_touched_.resize(fut + 1, 0);
+    if (fut_touched_[fut] != 0) {
+      throw capability_error(
+          "backend '" + std::string(backend_->name()) +
+          "' supports structured (single-touch) futures only, but this "
+          "program touched the same future twice — run it under a general "
+          "backend (multibags+, vector-clock, reference)");
+    }
+    fut_touched_[fut] = 1;
+  }
   ++gets_;
   FRD_FORWARD_IF_TRACKING(on_get(fn, u, v, fut, w, creator));
 }
@@ -76,20 +129,20 @@ void detector::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
 // ---------------------------------------------------------------------------
 void detector::on_read(const void* p, std::size_t bytes) {
   ++accesses_;
-  if (level_ != level::full) return;  // "instrumentation": the call is the cost
+  if (cfg_.lvl != level::full) return;  // "instrumentation": the call is the cost
   auto addr = reinterpret_cast<std::uintptr_t>(p);
-  const std::uintptr_t first = addr & ~std::uintptr_t{3};
-  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & ~std::uintptr_t{3};
-  for (std::uintptr_t a = first; a <= last; a += 4) check_read(a);
+  const std::uintptr_t first = addr & granule_mask_;
+  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & granule_mask_;
+  for (std::uintptr_t a = first; a <= last; a += cfg_.granule) check_read(a);
 }
 
 void detector::on_write(const void* p, std::size_t bytes) {
   ++accesses_;
-  if (level_ != level::full) return;
+  if (cfg_.lvl != level::full) return;
   auto addr = reinterpret_cast<std::uintptr_t>(p);
-  const std::uintptr_t first = addr & ~std::uintptr_t{3};
-  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & ~std::uintptr_t{3};
-  for (std::uintptr_t a = first; a <= last; a += 4) check_write(a);
+  const std::uintptr_t first = addr & granule_mask_;
+  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & granule_mask_;
+  for (std::uintptr_t a = first; a <= last; a += cfg_.granule) check_write(a);
 }
 
 // Read of l: race iff last-writer(l) is logically parallel with the current

@@ -1,59 +1,86 @@
-// FutureRD detector facade: access history + reachability backend + the
-// paper's four measurement configurations (§6).
+// FutureRD detection core: access history + an injected reachability backend
+// + the paper's four measurement configurations (§6).
 //
-//   baseline         pass nullptr to the runtime and compile kernels with
+//   baseline         runtime gets no listener, kernels compile with
 //                    hooks::none — zero detection work.
-//   reachability     install the detector as the runtime listener, kernels
-//                    still hooks::none — parallel-construct overhead only.
-//   instrumentation  kernels compiled with hooks::active; every access calls
-//                    into the detector, which returns immediately (the call
+//   reachability     the detector listens to parallel-construct events,
+//                    kernels still hooks::none — reachability overhead only.
+//   instrumentation  kernels compiled with hooks::active; every access makes
+//                    one out-of-line call that returns immediately (the call
 //                    itself is the measured cost, like the paper's compiler
 //                    pass with history maintenance disabled).
 //   full             reads/writes maintain the access history and query the
-//                    reachability structures; races are reported.
+//                    reachability structure; races are reported.
 //
-// Typical use:
+// The public entry point is frd::session (src/api/session.hpp), which owns
+// a detector, its backend (resolved by name through the backend_registry),
+// the runtime binding, and the hook-sink installation:
 //
-//   detect::detector det(detect::algorithm::multibags, detect::level::full);
-//   rt::serial_runtime rt(&det);
-//   detect::scoped_global_detector bind(&det);     // route hook calls
-//   rt.run([&] { ... instrumented program ... });
-//   if (det.report().any()) ...
+//   frd::session s({.backend = "multibags+", .level = frd::level::full});
+//   s.run([&] { ... instrumented program on s.runtime() ... });
+//   if (s.report().any()) ...
+//
+// The detector itself is backend-agnostic: it consumes runtime events,
+// forwards them when the level tracks reachability, enforces the backend's
+// declared capability envelope (future_support), and implements the §3
+// access protocol on top of precedes_current().
 #pragma once
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "detect/backend.hpp"
+#include "detect/hooks.hpp"
 #include "detect/types.hpp"
 #include "shadow/access_history.hpp"
 
 namespace frd::detect {
 
-class detector final : public rt::execution_listener {
+struct detector_config {
+  level lvl = level::full;
+  // Shadow granule size in bytes; power of two in [1, 4096]. The paper's
+  // artifact uses 4-byte granules.
+  std::size_t granule = 4;
+  std::size_t max_retained_races = race_report::kDefaultRetained;
+  unsigned shadow_page_bits = 16;
+  // Capability envelope of the backend (from backend_info). Programs that
+  // step outside it raise capability_error instead of silently producing
+  // unsound reports.
+  future_support futures = future_support::general;
+};
+
+class detector final : public rt::execution_listener, public hooks::access_sink {
  public:
-  detector(algorithm alg, level lvl);
+  detector(std::unique_ptr<reachability_backend> backend, detector_config cfg);
+  // DEPRECATED shim (one release): enum-keyed construction. Maps the enum to
+  // its registry name and resolves through the backend_registry.
+  [[deprecated("construct a frd::session, or inject a backend")]] detector(
+      algorithm alg, level lvl);
   ~detector() override;
   detector(const detector&) = delete;
   detector& operator=(const detector&) = delete;
 
-  algorithm algo() const { return algo_; }
-  level lvl() const { return level_; }
+  level lvl() const { return cfg_.lvl; }
+  const detector_config& config() const { return cfg_; }
+  std::string_view backend_name() const { return backend_->name(); }
   const race_report& report() const { return report_; }
   reachability_backend& backend() { return *backend_; }
+  const reachability_backend& backend() const { return *backend_; }
   const shadow::access_history& history() const { return history_; }
   std::uint64_t access_count() const { return accesses_; }
   // k in the paper's bounds: the number of get_fut operations seen.
   std::uint64_t get_count() const { return gets_; }
-  // Structured-future discipline violations (MultiBags only; see backend).
+  // Structured-future discipline violations (backends with
+  // counts_violations; 0 elsewhere).
   std::uint64_t structured_violations() const {
     return backend_->structured_violations();
   }
 
-  // Memory hooks (out of line on purpose: the call is the instrumentation
-  // cost the paper's "instr" configuration measures).
-  void on_read(const void* p, std::size_t bytes);
-  void on_write(const void* p, std::size_t bytes);
+  // Memory hooks (hooks::access_sink; out of line on purpose: the call is
+  // the instrumentation cost the paper's "instr" configuration measures).
+  void on_read(const void* p, std::size_t bytes) override;
+  void on_write(const void* p, std::size_t bytes) override;
 
   // Reachability query against the currently executing strand; exposed for
   // the oracle-validation tests.
@@ -76,66 +103,26 @@ class detector final : public rt::execution_listener {
   void check_read(std::uintptr_t addr);
   void check_write(std::uintptr_t addr);
 
-  const algorithm algo_;
-  const level level_;
+  const detector_config cfg_;
+  const std::uintptr_t granule_mask_;  // clears sub-granule address bits
   std::unique_ptr<reachability_backend> backend_;
   shadow::access_history history_;
   race_report report_;
+  std::vector<std::uint8_t> fut_touched_;  // structured-only: gets per future
   rt::strand_id current_ = rt::kNoStrand;
   std::uint64_t accesses_ = 0;
   std::uint64_t gets_ = 0;
 };
 
-// ---------------------------------------------------------------------------
-// Global hook target. Kernels are compiled against a hooks policy; the
-// `active` policy routes into this pointer. Not thread safe by design: race
-// detection executes sequentially (paper §2).
-// ---------------------------------------------------------------------------
-namespace hooks {
-
-extern detector* g_detector;
-
-// No instrumentation: compiles to nothing (baseline / reachability configs).
-struct none {
-  static constexpr bool enabled = false;
-  static void read(const void*, std::size_t) {}
-  static void write(const void*, std::size_t) {}
-};
-
-// Full instrumentation: one out-of-line call per access.
-struct active {
-  static constexpr bool enabled = true;
-  static void read(const void* p, std::size_t n);
-  static void write(const void* p, std::size_t n);
-};
-
-// Typed access helpers used by kernels: H::read/H::write fire before the
-// underlying load/store, mirroring where a compiler pass would instrument.
-template <typename H, typename T>
-inline T ld(const T& x) {
-  H::read(&x, sizeof(T));
-  return x;
-}
-template <typename H, typename T, typename V>
-inline void st(T& x, V&& v) {
-  H::write(&x, sizeof(T));
-  x = static_cast<T>(std::forward<V>(v));
-}
-
-}  // namespace hooks
-
-// RAII binding of the global hook pointer.
-class scoped_global_detector {
+// DEPRECATED shim (one release): binds a detector as the global hook sink.
+// frd::session installs its sink itself; new code never needs this.
+class [[deprecated("frd::session installs its hook sink itself")]]
+scoped_global_detector {
  public:
-  explicit scoped_global_detector(detector* d) : prev_(hooks::g_detector) {
-    hooks::g_detector = d;
-  }
-  ~scoped_global_detector() { hooks::g_detector = prev_; }
-  scoped_global_detector(const scoped_global_detector&) = delete;
-  scoped_global_detector& operator=(const scoped_global_detector&) = delete;
+  explicit scoped_global_detector(detector* d) : sink_(d) {}
 
  private:
-  detector* prev_;
+  hooks::scoped_sink sink_;
 };
 
 }  // namespace frd::detect

@@ -1,0 +1,23 @@
+#include "detect/hooks.hpp"
+
+namespace frd::detect::hooks {
+
+namespace {
+// The one mutable global of the instrumentation path. Only this translation
+// unit sees it; everything else installs through scoped_sink.
+access_sink* g_sink = nullptr;
+}  // namespace
+
+access_sink* current_sink() { return g_sink; }
+
+scoped_sink::scoped_sink(access_sink* s) : prev_(g_sink) { g_sink = s; }
+scoped_sink::~scoped_sink() { g_sink = prev_; }
+
+void active::read(const void* p, std::size_t n) {
+  if (g_sink != nullptr) g_sink->on_read(p, n);
+}
+void active::write(const void* p, std::size_t n) {
+  if (g_sink != nullptr) g_sink->on_write(p, n);
+}
+
+}  // namespace frd::detect::hooks

@@ -1,0 +1,69 @@
+// Memory-access hooks: the seam between instrumented kernels and a detector.
+//
+// Kernels are compiled against a hooks policy (`none` or `active`). The
+// `active` policy makes one out-of-line call per access — the call itself is
+// the instrumentation cost the paper's "instr" configuration measures, like
+// the compiler pass with history maintenance disabled (§6). The call routes
+// into the currently installed access_sink, which frd::session installs and
+// restores RAII-style around each detection run (scoped_sink), so stacked
+// sessions always unwind to the enclosing session's sink. The sink pointer
+// is an implementation detail of hooks.cpp; nothing else touches it. Not
+// thread safe by design: race detection executes sequentially (paper §2).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace frd::detect::hooks {
+
+// Receiver of instrumented accesses (implemented by detect::detector).
+class access_sink {
+ public:
+  virtual ~access_sink() = default;
+  virtual void on_read(const void* p, std::size_t bytes) = 0;
+  virtual void on_write(const void* p, std::size_t bytes) = 0;
+};
+
+// The sink `active` currently routes into (null when no session is running).
+access_sink* current_sink();
+
+// RAII install/restore of the hook sink; nests like the sessions that own it.
+class scoped_sink {
+ public:
+  explicit scoped_sink(access_sink* s);
+  ~scoped_sink();
+  scoped_sink(const scoped_sink&) = delete;
+  scoped_sink& operator=(const scoped_sink&) = delete;
+
+ private:
+  access_sink* prev_;
+};
+
+// No instrumentation: compiles to nothing (baseline / reachability configs).
+struct none {
+  static constexpr bool enabled = false;
+  static void read(const void*, std::size_t) {}
+  static void write(const void*, std::size_t) {}
+};
+
+// Full instrumentation: one out-of-line call per access.
+struct active {
+  static constexpr bool enabled = true;
+  static void read(const void* p, std::size_t n);
+  static void write(const void* p, std::size_t n);
+};
+
+// Typed access helpers used by kernels: H::read/H::write fire before the
+// underlying load/store, mirroring where a compiler pass would instrument.
+template <typename H, typename T>
+inline T ld(const T& x) {
+  H::read(&x, sizeof(T));
+  return x;
+}
+template <typename H, typename T, typename V>
+inline void st(T& x, V&& v) {
+  H::write(&x, sizeof(T));
+  x = static_cast<T>(std::forward<V>(v));
+}
+
+}  // namespace frd::detect::hooks

@@ -1,0 +1,100 @@
+#include "detect/registry.hpp"
+
+#include <algorithm>
+
+#include "detect/multibags.hpp"
+#include "detect/multibags_plus.hpp"
+#include "detect/sp_bags_backend.hpp"
+#include "detect/vector_clock.hpp"
+#include "graph/oracle_backend.hpp"
+#include "support/check.hpp"
+
+namespace frd::detect {
+
+backend_registry& backend_registry::instance() {
+  static backend_registry reg;
+  return reg;
+}
+
+backend_registry::backend_registry() {
+  add({.name = "multibags",
+       .paper_section = "§4",
+       .bounds = "O(T1·α(m,n)) total",
+       .futures = future_support::structured,
+       .counts_violations = true,
+       .make = []() -> std::unique_ptr<reachability_backend> {
+         return std::make_unique<multibags>();
+       }});
+  add({.name = "multibags+",
+       .paper_section = "§5",
+       .bounds = "O(T1·α(m,n) + k²) total",
+       .futures = future_support::general,
+       .counts_violations = false,
+       .make = []() -> std::unique_ptr<reachability_backend> {
+         return std::make_unique<multibags_plus>();
+       }});
+  add({.name = "vector-clock",
+       .paper_section = "§7 baseline",
+       .bounds = "Θ(n) per construct (Θ(n²) total)",
+       .futures = future_support::general,
+       .counts_violations = false,
+       .make = []() -> std::unique_ptr<reachability_backend> {
+         return std::make_unique<vector_clock_backend>();
+       }});
+  add({.name = "sp-bags",
+       .paper_section = "§2 (Feng & Leiserson)",
+       .bounds = "O(T1·α(m,n)) total, fork-join only",
+       .futures = future_support::none,
+       .counts_violations = false,
+       .make = []() -> std::unique_ptr<reachability_backend> {
+         return std::make_unique<sp_bags_backend>();
+       }});
+  add({.name = "reference",
+       .paper_section = "§3 oracle",
+       .bounds = "quadratic (validation only)",
+       .futures = future_support::general,
+       .counts_violations = false,
+       .make = []() -> std::unique_ptr<reachability_backend> {
+         return std::make_unique<graph::oracle_backend>();
+       }});
+}
+
+void backend_registry::add(backend_info info) {
+  FRD_CHECK_MSG(!info.name.empty() && info.make != nullptr,
+                "backend registration needs a name and a factory");
+  FRD_CHECK_MSG(find(info.name) == nullptr, "backend name already registered");
+  infos_.push_back(std::move(info));
+}
+
+const backend_info* backend_registry::find(std::string_view name) const {
+  for (const backend_info& i : infos_)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+const backend_info& backend_registry::at(std::string_view name) const {
+  if (const backend_info* i = find(name)) return *i;
+  std::string msg = "unknown reachability backend '";
+  msg += name;
+  msg += "'; registered backends:";
+  for (const std::string& n : names()) {
+    msg += ' ';
+    msg += n;
+  }
+  throw backend_error(msg);
+}
+
+std::unique_ptr<reachability_backend> backend_registry::create(
+    std::string_view name) const {
+  return at(name).make();
+}
+
+std::vector<std::string> backend_registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const backend_info& i : infos_) out.push_back(i.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace frd::detect

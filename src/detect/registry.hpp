@@ -1,0 +1,64 @@
+// String-keyed registry of reachability backends.
+//
+// The paper's core claim is that reachability maintenance is pluggable:
+// MultiBags for structured futures (§4), MultiBags+ for general futures
+// (§5), against a vector-clock baseline (§7). The registry makes that
+// pluggability a first-class API: backends are registered under a stable
+// string key with capability flags, and frd::session resolves the key at
+// construction. Out-of-tree backends can register themselves too — the every
+// later scaling PR (parallel detection, sharded shadow memory) plugs in
+// here instead of growing an enum.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/backend.hpp"
+#include "detect/types.hpp"
+
+namespace frd::detect {
+
+struct backend_info {
+  std::string name;           // registry key, e.g. "multibags+"
+  std::string paper_section;  // provenance, e.g. "§5"
+  std::string bounds;         // asymptotic cost note for docs/tools
+  future_support futures = future_support::general;
+  bool counts_violations = false;  // structured-discipline violation counter
+  std::function<std::unique_ptr<reachability_backend>()> make;
+};
+
+class backend_registry {
+ public:
+  // Process-wide registry, pre-populated with the five in-tree backends:
+  // multibags, multibags+, vector-clock, sp-bags, reference.
+  static backend_registry& instance();
+
+  // Registers a backend; the name must be new.
+  void add(backend_info info);
+
+  // Lookup by name; null when unknown.
+  const backend_info* find(std::string_view name) const;
+
+  // Lookup by name; throws backend_error listing every registered name.
+  const backend_info& at(std::string_view name) const;
+
+  // Constructs a fresh backend instance (throws like at()).
+  std::unique_ptr<reachability_backend> create(std::string_view name) const;
+
+  // All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  backend_registry();  // registers the builtins
+
+  // Deque, not vector: find()/at() hand out long-lived pointers (frd::session
+  // caches one for its lifetime), so registration must never relocate
+  // existing entries.
+  std::deque<backend_info> infos_;
+};
+
+}  // namespace frd::detect

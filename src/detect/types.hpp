@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -10,10 +12,45 @@
 
 namespace frd::detect {
 
+// DEPRECATED: the closed algorithm enum survives one release for the
+// detector(algorithm, level) shim only. New code names backends by string
+// through the backend_registry / frd::session ("multibags", "multibags+",
+// "vector-clock", "sp-bags", "reference").
 enum class algorithm : std::uint8_t {
   multibags,       // structured futures (paper §4)
   multibags_plus,  // general futures (paper §5)
   vector_clock,    // FastTrack-style baseline the paper argues against (§7)
+};
+
+// What future constructs a reachability backend can soundly handle.
+enum class future_support : std::uint8_t {
+  none,        // fork-join (spawn/sync) programs only
+  structured,  // single-touch futures, creator precedes getter (§2)
+  general,     // arbitrary multi-touch futures
+};
+
+constexpr std::string_view to_string(future_support f) {
+  switch (f) {
+    case future_support::none: return "fork-join only";
+    case future_support::structured: return "structured futures";
+    case future_support::general: return "general futures";
+  }
+  return "?";
+}
+
+// Raised when a backend name is not in the registry. The message lists every
+// registered name.
+class backend_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Raised when a program uses a construct outside the selected backend's
+// declared capability (e.g. a multi-touch future under a structured-only
+// backend): continuing would produce unsound race reports.
+class capability_error : public backend_error {
+ public:
+  using backend_error::backend_error;
 };
 
 // The paper's four measurement configurations (§6, Figures 6-7).
@@ -47,7 +84,8 @@ enum class access_kind : std::uint8_t { read, write };
 // One determinacy race: two logically parallel accesses to the same granule,
 // at least one a write. `prior` executed first in the serial order.
 struct race {
-  std::uintptr_t granule_addr;  // base address of the 4-byte granule
+  std::uintptr_t granule_addr;  // base address of the racy granule (size is
+                                // the session's granule option; default 4)
   rt::strand_id prior;
   access_kind prior_kind;
   rt::strand_id current;
@@ -55,20 +93,24 @@ struct race {
 };
 
 // Race sink with per-granule deduplication: every distinct racy granule is
-// counted once per conflict kind; the first kRetained full records are kept
-// for diagnostics.
+// counted once per conflict kind; the first max_retained full records are
+// kept for diagnostics (session::options::max_retained_races).
 class race_report {
  public:
-  static constexpr std::size_t kRetained = 64;
+  static constexpr std::size_t kDefaultRetained = 64;
+
+  explicit race_report(std::size_t max_retained = kDefaultRetained)
+      : max_retained_(max_retained) {}
 
   void record(const race& r) {
     ++total_;
     racy_granules_.insert(r.granule_addr);
-    if (races_.size() < kRetained) races_.push_back(r);
+    if (races_.size() < max_retained_) races_.push_back(r);
   }
 
   std::uint64_t total() const { return total_; }
   bool any() const { return total_ != 0; }
+  std::size_t max_retained() const { return max_retained_; }
   const std::vector<race>& retained() const { return races_; }
 
   // Distinct racy granules. The paper's per-location guarantee (§3): a race
@@ -79,6 +121,7 @@ class race_report {
   }
 
  private:
+  std::size_t max_retained_;
   std::uint64_t total_ = 0;
   std::vector<race> races_;
   std::set<std::uintptr_t> racy_granules_;

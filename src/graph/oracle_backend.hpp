@@ -1,0 +1,53 @@
+// The exact reachability oracle packaged as a registry backend ("reference").
+//
+// Quadratic space and per-construct work — never a production choice, but as
+// a backend it turns the full detection pipeline (access history, reader
+// purging, race reporting) into an executable specification: a session on
+// "reference" must agree with every bag-based session on the racy-granule
+// set (the paper's per-location guarantee, §3), which makes it the anchor of
+// the differential property-fuzz suite.
+#pragma once
+
+#include "detect/backend.hpp"
+#include "graph/oracle.hpp"
+
+namespace frd::graph {
+
+class oracle_backend final : public detect::reachability_backend {
+ public:
+  oracle_backend() = default;
+
+  bool precedes_current(rt::strand_id u) override {
+    return oracle_.precedes(u, current_);
+  }
+  std::string_view name() const override { return "reference"; }
+
+  const online_oracle& oracle() const { return oracle_; }
+
+  // execution_listener: forward dag growth to the oracle, track the strand
+  // the runtime is currently executing (the query's right-hand side).
+  void on_program_begin(rt::func_id f, rt::strand_id s) override {
+    current_ = s;
+    oracle_.on_program_begin(f, s);
+  }
+  void on_strand_begin(rt::strand_id s, rt::func_id) override { current_ = s; }
+  void on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                rt::strand_id v) override {
+    oracle_.on_spawn(p, u, c, w, v);
+  }
+  void on_create(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
+                 rt::strand_id v) override {
+    oracle_.on_create(p, u, c, w, v);
+  }
+  void on_sync(const sync_event& e) override { oracle_.on_sync(e); }
+  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
+              rt::strand_id w, rt::strand_id creator) override {
+    oracle_.on_get(fn, u, v, fut, w, creator);
+  }
+
+ private:
+  online_oracle oracle_;
+  rt::strand_id current_ = rt::kNoStrand;
+};
+
+}  // namespace frd::graph

@@ -4,10 +4,12 @@
 
 namespace frd::shadow {
 
-access_history::access_history(unsigned page_bits)
+access_history::access_history(unsigned page_bits, unsigned granule_shift)
     : page_bits_(page_bits),
+      granule_shift_(granule_shift),
       page_mask_((std::uintptr_t{1} << page_bits) - 1) {
   FRD_CHECK_MSG(page_bits >= 4 && page_bits <= 24, "unreasonable page size");
+  FRD_CHECK_MSG(granule_shift <= 12, "unreasonable granule size");
 }
 
 access_history::page& access_history::page_for(std::uintptr_t page_id) {

@@ -88,13 +88,16 @@ class granule_record {
 class access_history {
  public:
   // page_bits selects the second-level page size: 2^page_bits granules.
-  explicit access_history(unsigned page_bits = 16);
+  // granule_shift is log2 of the granule size in bytes (2 = the paper's
+  // 4-byte granules); plumbed from session::options::granule.
+  explicit access_history(unsigned page_bits = 16, unsigned granule_shift = 2);
   access_history(const access_history&) = delete;
   access_history& operator=(const access_history&) = delete;
 
-  static constexpr std::uintptr_t granule_of(std::uintptr_t addr) {
-    return addr >> 2;
+  std::uintptr_t granule_of(std::uintptr_t addr) const {
+    return addr >> granule_shift_;
   }
+  unsigned granule_shift() const { return granule_shift_; }
 
   // Shadow record for the granule containing addr; allocates the page on
   // first touch.
@@ -115,6 +118,7 @@ class access_history {
   page& page_for(std::uintptr_t page_id);
 
   const unsigned page_bits_;
+  const unsigned granule_shift_;
   const std::uintptr_t page_mask_;
   // Hot-page cache: benchmark kernels touch long runs within one page.
   std::uintptr_t cached_id_ = static_cast<std::uintptr_t>(-1);

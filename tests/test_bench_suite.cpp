@@ -1,36 +1,25 @@
 // Correctness tests for the six paper benchmarks: every kernel variant must
 // match its uninstrumented serial reference, be race-free under full
 // detection, and (for the structured variants) respect the structured
-// discipline.
+// discipline. Detection runs go through frd::session.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/session.hpp"
 #include "bench_suite/bst.hpp"
 #include "bench_suite/dedup.hpp"
 #include "bench_suite/heartwall.hpp"
 #include "bench_suite/lcs.hpp"
 #include "bench_suite/mm.hpp"
 #include "bench_suite/sw.hpp"
-#include "detect/detector.hpp"
 #include "support/prng.hpp"
 
 namespace frd::bench {
 namespace {
 
-using detect::algorithm;
-using detect::detector;
-using detect::level;
 using detect::hooks::active;
 using detect::hooks::none;
-
-struct full_detection {
-  explicit full_detection(algorithm alg)
-      : det(alg, level::full), bind(&det), rt(&det) {}
-  detector det;
-  detect::scoped_global_detector bind;
-  rt::serial_runtime rt;
-};
 
 // ---------------------------------------------------------------- lcs ----
 TEST(LcsKernel, StructuredMatchesReference) {
@@ -61,18 +50,22 @@ TEST(LcsKernel, SingleTileDegenerate) {
 
 TEST(LcsKernel, StructuredIsRaceFreeAndDisciplined) {
   const auto in = make_lcs_input(96, 5);
-  full_detection h(algorithm::multibags);
-  EXPECT_EQ(lcs_structured<active>(h.rt, in, 16), lcs_reference(in));
-  EXPECT_FALSE(h.det.report().any()) << "wavefront must be race-free";
-  EXPECT_EQ(h.det.structured_violations(), 0u);
-  EXPECT_GT(h.det.access_count(), 0u);
+  frd::session h("multibags");
+  EXPECT_EQ(h.run([&](rt::serial_runtime& rt) {
+    return lcs_structured<active>(rt, in, 16);
+  }), lcs_reference(in));
+  EXPECT_FALSE(h.report().any()) << "wavefront must be race-free";
+  EXPECT_EQ(h.structured_violations(), 0u);
+  EXPECT_GT(h.access_count(), 0u);
 }
 
 TEST(LcsKernel, GeneralIsRaceFreeUnderMultiBagsPlus) {
   const auto in = make_lcs_input(96, 6);
-  full_detection h(algorithm::multibags_plus);
-  EXPECT_EQ(lcs_general<active>(h.rt, in, 16), lcs_reference(in));
-  EXPECT_FALSE(h.det.report().any());
+  frd::session h("multibags+");
+  EXPECT_EQ(h.run([&](rt::serial_runtime& rt) {
+    return lcs_general<active>(rt, in, 16);
+  }), lcs_reference(in));
+  EXPECT_FALSE(h.report().any());
 }
 
 TEST(LcsKernel, DetectorCatchesInjectedDependenceBug) {
@@ -80,23 +73,25 @@ TEST(LcsKernel, DetectorCatchesInjectedDependenceBug) {
   // then hand-roll a racy variant): two tiles writing the same row without
   // ordering must be reported.
   const auto in = make_lcs_input(64, 7);
-  full_detection h(algorithm::multibags_plus);
+  frd::session h("multibags+");
   const tile_grid g(in.a.size(), 32);
   std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
-  h.rt.run([&] {
-    // Both tiles of row 0 run as unordered futures (left-get omitted).
-    auto f0 = h.rt.create_future([&] {
-      detail::lcs_tile<active>(in, d, g, 0, 0);
-      return 1;
+  h.run([&](rt::serial_runtime& rt) {
+    rt.run([&] {
+      // Both tiles of row 0 run as unordered futures (left-get omitted).
+      auto f0 = rt.create_future([&] {
+        detail::lcs_tile<active>(in, d, g, 0, 0);
+        return 1;
+      });
+      auto f1 = rt.create_future([&] {
+        detail::lcs_tile<active>(in, d, g, 0, 1);  // reads (0,0)'s column!
+        return 1;
+      });
+      f0.get();
+      f1.get();
     });
-    auto f1 = h.rt.create_future([&] {
-      detail::lcs_tile<active>(in, d, g, 0, 1);  // reads (0,0)'s column!
-      return 1;
-    });
-    f0.get();
-    f1.get();
   });
-  EXPECT_TRUE(h.det.report().any())
+  EXPECT_TRUE(h.report().any())
       << "removing the wavefront dependence must produce a detected race";
 }
 
@@ -121,10 +116,12 @@ TEST(SwKernel, ScoresArePositiveOnRealInputs) {
 
 TEST(SwKernel, StructuredRaceFree) {
   const auto in = make_sw_input(48, 14);
-  full_detection h(algorithm::multibags);
-  EXPECT_EQ(sw_structured<active>(h.rt, in, 16), sw_reference(in));
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.structured_violations(), 0u);
+  frd::session h("multibags");
+  EXPECT_EQ(h.run([&](rt::serial_runtime& rt) {
+    return sw_structured<active>(rt, in, 16);
+  }), sw_reference(in));
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.structured_violations(), 0u);
 }
 
 // ----------------------------------------------------------------- mm ----
@@ -148,38 +145,44 @@ TEST(MmKernel, BaseEqualsNDegenerate) {
 
 TEST(MmKernel, StructuredRaceFreeAndDisciplined) {
   const auto in = make_mm_input(32, 24);
-  full_detection h(algorithm::multibags);
-  EXPECT_EQ(mm_structured<active>(h.rt, in, 8), mm_reference(in));
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.structured_violations(), 0u);
+  frd::session h("multibags");
+  EXPECT_EQ(h.run([&](rt::serial_runtime& rt) {
+    return mm_structured<active>(rt, in, 8);
+  }), mm_reference(in));
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.structured_violations(), 0u);
 }
 
 TEST(MmKernel, GeneralRaceFreeUnderMultiBagsPlus) {
   const auto in = make_mm_input(32, 25);
-  full_detection h(algorithm::multibags_plus);
-  EXPECT_EQ(mm_general<active>(h.rt, in, 8), mm_reference(in));
-  EXPECT_FALSE(h.det.report().any());
+  frd::session h("multibags+");
+  EXPECT_EQ(h.run([&](rt::serial_runtime& rt) {
+    return mm_general<active>(rt, in, 8);
+  }), mm_reference(in));
+  EXPECT_FALSE(h.report().any());
 }
 
 TEST(MmKernel, DetectorCatchesUnserializedAccumulation) {
   // Two k-partials of the same C block as unordered futures: the classic
   // "no temporaries" bug the chain exists to prevent.
   const auto in = make_mm_input(16, 26);
-  full_detection h(algorithm::multibags_plus);
+  frd::session h("multibags+");
   std::vector<float> c(in.n * in.n, 0.0f);
-  h.rt.run([&] {
-    auto f0 = h.rt.create_future([&] {
-      detail::mm_block<active>(in, c, 8, 0, 0, 0);
-      return 1;
+  h.run([&](rt::serial_runtime& rt) {
+    rt.run([&] {
+      auto f0 = rt.create_future([&] {
+        detail::mm_block<active>(in, c, 8, 0, 0, 0);
+        return 1;
+      });
+      auto f1 = rt.create_future([&] {
+        detail::mm_block<active>(in, c, 8, 0, 0, 1);
+        return 1;
+      });
+      f0.get();
+      f1.get();
     });
-    auto f1 = h.rt.create_future([&] {
-      detail::mm_block<active>(in, c, 8, 0, 0, 1);
-      return 1;
-    });
-    f0.get();
-    f1.get();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
 // ---------------------------------------------------------------- bst ----
@@ -226,11 +229,13 @@ TEST(BstKernel, EmptySideMerges) {
 
 TEST(BstKernel, StructuredRaceFreeAndDisciplined) {
   auto in = make_bst_input(800, 400, 37);
-  full_detection h(algorithm::multibags);
-  bst_node* m = bst_structured<active>(h.rt, in, 5);
+  frd::session h("multibags");
+  bst_node* m = h.run([&](rt::serial_runtime& rt) {
+    return bst_structured<active>(rt, in, 5);
+  });
   EXPECT_TRUE(bst_is_search_tree(m));
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.structured_violations(), 0u);
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.structured_violations(), 0u);
 }
 
 TEST(BstKernel, GeneralJoinOrderViolatesDiscipline) {
@@ -238,17 +243,21 @@ TEST(BstKernel, GeneralJoinOrderViolatesDiscipline) {
   // MultiBags flags it (and MultiBags+ handles it without complaint).
   auto in = make_bst_input(800, 400, 38);
   {
-    full_detection h(algorithm::multibags);
-    bst_node* m = bst_general<active>(h.rt, in, 5);
+    frd::session h("multibags");
+    bst_node* m = h.run([&](rt::serial_runtime& rt) {
+      return bst_general<active>(rt, in, 5);
+    });
     EXPECT_TRUE(bst_is_search_tree(m));
-    EXPECT_GT(h.det.structured_violations(), 0u);
+    EXPECT_GT(h.structured_violations(), 0u);
   }
   auto in2 = make_bst_input(800, 400, 38);
   {
-    full_detection h(algorithm::multibags_plus);
-    bst_node* m = bst_general<active>(h.rt, in2, 5);
+    frd::session h("multibags+");
+    bst_node* m = h.run([&](rt::serial_runtime& rt) {
+      return bst_general<active>(rt, in2, 5);
+    });
     EXPECT_TRUE(bst_is_search_tree(m));
-    EXPECT_FALSE(h.det.report().any());
+    EXPECT_FALSE(h.report().any());
   }
 }
 
@@ -278,17 +287,21 @@ TEST(HeartwallKernel, GeneralTracksTheWall) {
 
 TEST(HeartwallKernel, StructuredRaceFreeAndDisciplined) {
   const auto in = make_heartwall_input(64, 64, 6, 4, 43);
-  full_detection h(algorithm::multibags);
-  (void)heartwall_structured<active>(h.rt, in);
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.structured_violations(), 0u);
+  frd::session h("multibags");
+  (void)h.run([&](rt::serial_runtime& rt) {
+    return heartwall_structured<active>(rt, in);
+  });
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.structured_violations(), 0u);
 }
 
 TEST(HeartwallKernel, GeneralRaceFreeUnderMultiBagsPlus) {
   const auto in = make_heartwall_input(64, 64, 6, 4, 44);
-  full_detection h(algorithm::multibags_plus);
-  (void)heartwall_general<active>(h.rt, in);
-  EXPECT_FALSE(h.det.report().any());
+  frd::session h("multibags+");
+  (void)h.run([&](rt::serial_runtime& rt) {
+    return heartwall_general<active>(rt, in);
+  });
+  EXPECT_FALSE(h.report().any());
 }
 
 // --------------------------------------------------------------- dedup ---
@@ -314,19 +327,23 @@ TEST(DedupKernel, RedundancyDrivesDedupRate) {
 
 TEST(DedupKernel, StructuredRaceFreeAndDisciplined) {
   const auto in = make_dedup_corpus(1 << 17, 50, 53);
-  full_detection h(algorithm::multibags);
-  const auto got = dedup_pipeline<active, none>(h.rt, in, 1 << 14);
+  frd::session h("multibags");
+  const auto got = h.run([&](rt::serial_runtime& rt) {
+    return dedup_pipeline<active, none>(rt, in, 1 << 14);
+  });
   EXPECT_EQ(got, dedup_reference(in, 1 << 14));
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.structured_violations(), 0u);
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.structured_violations(), 0u);
 }
 
 TEST(DedupKernel, InstrumentedCompressorStillCorrect) {
   const auto in = make_dedup_corpus(1 << 16, 50, 54);
-  full_detection h(algorithm::multibags_plus);
-  const auto got = dedup_pipeline<active, active>(h.rt, in, 1 << 14);
+  frd::session h("multibags+");
+  const auto got = h.run([&](rt::serial_runtime& rt) {
+    return dedup_pipeline<active, active>(rt, in, 1 << 14);
+  });
   EXPECT_EQ(got, dedup_reference(in, 1 << 14));
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
 TEST(DedupKernel, DetectorCatchesUnchainedTableAccess) {
@@ -342,24 +359,26 @@ TEST(DedupKernel, DetectorCatchesUnchainedTableAccess) {
     for (int rep = 0; rep < 4; ++rep)
       in.corpus.insert(in.corpus.end(), block.begin(), block.end());
   }
-  full_detection h(algorithm::multibags_plus);
+  frd::session h("multibags+");
   detail::dedup_table table(1024);
-  h.rt.run([&] {
-    auto frag_task = [&](std::size_t off, std::size_t len) {
-      const std::span<const std::uint8_t> frag(in.corpus.data() + off, len);
-      for (const auto& c : compress::chunk_bytes(frag)) {
-        const std::span<const std::uint8_t> chunk(frag.data() + c.offset,
-                                                  c.size);
-        table.insert<active>(compress::sha1_key64(compress::sha1(chunk)));
-      }
-      return 1;
-    };
-    auto f0 = h.rt.create_future([&] { return frag_task(0, 1 << 16); });
-    auto f1 = h.rt.create_future([&] { return frag_task(1 << 16, 1 << 16); });
-    f0.get();
-    f1.get();
+  h.run([&](rt::serial_runtime& rt) {
+    rt.run([&] {
+      auto frag_task = [&](std::size_t off, std::size_t len) {
+        const std::span<const std::uint8_t> frag(in.corpus.data() + off, len);
+        for (const auto& c : compress::chunk_bytes(frag)) {
+          const std::span<const std::uint8_t> chunk(frag.data() + c.offset,
+                                                    c.size);
+          table.insert<active>(compress::sha1_key64(compress::sha1(chunk)));
+        }
+        return 1;
+      };
+      auto f0 = rt.create_future([&] { return frag_task(0, 1 << 16); });
+      auto f1 = rt.create_future([&] { return frag_task(1 << 16, 1 << 16); });
+      f0.get();
+      f1.get();
+    });
   });
-  EXPECT_TRUE(h.det.report().any())
+  EXPECT_TRUE(h.report().any())
       << "parallel unordered dedup-table updates must race";
 }
 

@@ -7,8 +7,8 @@
 #include <atomic>
 #include <vector>
 
+#include "api/session.hpp"
 #include "bench_suite/lcs.hpp"
-#include "detect/detector.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/serial.hpp"
 
@@ -98,19 +98,18 @@ TEST(CrossRuntime, RacyProgramIsCaughtSeriallyBeforeParallelDeployment) {
   // The workflow the paper enables: a racy program whose parallel runs are
   // nondeterministic is pinned down by one serial detected run.
   int shared = 0;
-  detect::detector det(detect::algorithm::multibags_plus, detect::level::full);
-  rt::serial_runtime srt(&det);
-  srt.run([&] {
-    auto f = srt.create_future([&] {
-      det.on_write(&shared, 4);
+  frd::session s("multibags+");
+  s.run([&] {
+    auto f = s.runtime().create_future([&] {
+      s.write(&shared, 4);
       shared = 1;
       return 1;
     });
-    det.on_write(&shared, 4);
+    s.write(&shared, 4);
     shared = 2;
     f.get();
   });
-  EXPECT_TRUE(det.report().any());
+  EXPECT_TRUE(s.report().any());
 }
 
 }  // namespace

@@ -1,31 +1,35 @@
-// End-to-end detector tests: hand-written racy and race-free programs under
-// the full configuration, level semantics, hook plumbing, granularity.
+// End-to-end detection tests: hand-written racy and race-free programs under
+// the full configuration, level semantics, hook plumbing, granularity — run
+// through the frd::session facade against every futures-capable backend.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstring>
+#include <string>
 #include <vector>
 
-#include "detect/detector.hpp"
+#include "api/session.hpp"
 #include "runtime/serial.hpp"
 
 namespace frd::detect {
 namespace {
 
 struct harness {
-  explicit harness(algorithm alg, level lvl = level::full)
-      : det(alg, lvl), rt(&det) {}
-  detector det;
-  rt::serial_runtime rt;
+  explicit harness(const std::string& backend, level lvl = level::full)
+      : s({.backend = backend, .level = lvl}), rt(s.runtime()) {}
+  frd::session s;
+  rt::serial_runtime& rt;
 
-  void read(const void* p, std::size_t n = 4) { det.on_read(p, n); }
-  void write(const void* p, std::size_t n = 4) { det.on_write(p, n); }
+  void read(const void* p, std::size_t n = 4) { s.read(p, n); }
+  void write(const void* p, std::size_t n = 4) { s.write(p, n); }
+  const race_report& report() const { return s.report(); }
 };
 
-class BothAlgorithms : public ::testing::TestWithParam<algorithm> {};
+// Every backend that can absorb the future constructs these programs use.
+class AllBackends : public ::testing::TestWithParam<const char*> {};
 
 // ------------------------------------------------------------ basic races --
-TEST_P(BothAlgorithms, WriteWriteRaceBetweenSpawnAndContinuation) {
+TEST_P(AllBackends, WriteWriteRaceBetweenSpawnAndContinuation) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -37,11 +41,11 @@ TEST_P(BothAlgorithms, WriteWriteRaceBetweenSpawnAndContinuation) {
     x = 2;
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
-  EXPECT_EQ(h.det.report().racy_granules().size(), 1u);
+  EXPECT_TRUE(h.report().any());
+  EXPECT_EQ(h.report().racy_granules().size(), 1u);
 }
 
-TEST_P(BothAlgorithms, ReadWriteRaceBetweenSpawnAndContinuation) {
+TEST_P(AllBackends, ReadWriteRaceBetweenSpawnAndContinuation) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -50,13 +54,13 @@ TEST_P(BothAlgorithms, ReadWriteRaceBetweenSpawnAndContinuation) {
     x = 1;
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
-  const auto& first = h.det.report().retained().front();
+  EXPECT_TRUE(h.report().any());
+  const auto& first = h.report().retained().front();
   EXPECT_EQ(first.prior_kind, access_kind::read);
   EXPECT_EQ(first.current_kind, access_kind::write);
 }
 
-TEST_P(BothAlgorithms, WriteThenParallelReadRace) {
+TEST_P(AllBackends, WriteThenParallelReadRace) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -67,10 +71,10 @@ TEST_P(BothAlgorithms, WriteThenParallelReadRace) {
     h.read(&x);  // parallel read of the child's write
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, NoRaceWhenOrderedBySync) {
+TEST_P(AllBackends, NoRaceWhenOrderedBySync) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -83,10 +87,10 @@ TEST_P(BothAlgorithms, NoRaceWhenOrderedBySync) {
     x = 2;
     h.read(&x);
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, ParallelReadsAreNotARace) {
+TEST_P(AllBackends, ParallelReadsAreNotARace) {
   harness h(GetParam());
   int x = 42;
   h.rt.run([&] {
@@ -95,11 +99,11 @@ TEST_P(BothAlgorithms, ParallelReadsAreNotARace) {
     h.read(&x);
     h.rt.sync();
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
 // -------------------------------------------------------- futures & races --
-TEST_P(BothAlgorithms, FutureRaceWithContinuationUntilGet) {
+TEST_P(AllBackends, FutureRaceWithContinuationUntilGet) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -112,10 +116,10 @@ TEST_P(BothAlgorithms, FutureRaceWithContinuationUntilGet) {
     x = 2;
     f.get();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, NoRaceAfterGetOrdersTheFuture) {
+TEST_P(AllBackends, NoRaceAfterGetOrdersTheFuture) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -128,10 +132,10 @@ TEST_P(BothAlgorithms, NoRaceAfterGetOrdersTheFuture) {
     h.write(&x);  // ordered by the get edge
     x = 2;
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, SyncDoesNotOrderAFuture) {
+TEST_P(AllBackends, SyncDoesNotOrderAFuture) {
   // The race that sync would have hidden under fork-join: the future escapes.
   harness h(GetParam());
   int x = 0;
@@ -147,10 +151,10 @@ TEST_P(BothAlgorithms, SyncDoesNotOrderAFuture) {
     x = 2;
     f.get();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, PipelineStagesOrderedThroughGetChain) {
+TEST_P(AllBackends, PipelineStagesOrderedThroughGetChain) {
   harness h(GetParam());
   std::array<int, 4> buf{};
   h.rt.run([&] {
@@ -169,12 +173,12 @@ TEST_P(BothAlgorithms, PipelineStagesOrderedThroughGetChain) {
     s2.get();
     h.read(&buf[1]);
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
   EXPECT_EQ(buf[1], 2);
 }
 
 // ----------------------------------------------------- history mechanics --
-TEST_P(BothAlgorithms, ReaderListCatchesAllParallelReaders) {
+TEST_P(AllBackends, ReaderListCatchesAllParallelReaders) {
   // Many parallel readers, then a writer parallel to all of them: the
   // arbitrarily-long reader list (§3) must still hold a witness.
   harness h(GetParam());
@@ -185,10 +189,10 @@ TEST_P(BothAlgorithms, ReaderListCatchesAllParallelReaders) {
     x = 1;
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, WriterPurgeDoesNotLoseRaces) {
+TEST_P(AllBackends, WriterPurgeDoesNotLoseRaces) {
   // Reader r, then an *ordered* writer purges the list, then a strand
   // parallel to r writes: the race must surface against the new writer
   // (paper §3's purge argument).
@@ -202,10 +206,10 @@ TEST_P(BothAlgorithms, WriterPurgeDoesNotLoseRaces) {
     });
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, OwnStrandRereadsAndRewritesAreFine) {
+TEST_P(AllBackends, OwnStrandRereadsAndRewritesAreFine) {
   harness h(GetParam());
   int x = 0;
   h.rt.run([&] {
@@ -216,10 +220,10 @@ TEST_P(BothAlgorithms, OwnStrandRereadsAndRewritesAreFine) {
     x = 2;
     h.read(&x);
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, GranuleSharingDetectedAtFourBytes) {
+TEST_P(AllBackends, GranuleSharingDetectedAtFourBytes) {
   // Two adjacent shorts share one 4-byte granule: flagged (like real
   // shadow-memory tools at their granularity).
   harness h(GetParam());
@@ -236,10 +240,10 @@ TEST_P(BothAlgorithms, GranuleSharingDetectedAtFourBytes) {
     s.b = 2;
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, WideAccessSpansGranules) {
+TEST_P(AllBackends, WideAccessSpansGranules) {
   harness h(GetParam());
   alignas(8) std::uint64_t wide = 0;
   auto* lo = reinterpret_cast<std::uint32_t*>(&wide);
@@ -251,10 +255,10 @@ TEST_P(BothAlgorithms, WideAccessSpansGranules) {
     h.read(lo + 1, 4);  // upper half only: still races
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
-TEST_P(BothAlgorithms, DistinctLocationsNoFalsePositives) {
+TEST_P(AllBackends, DistinctLocationsNoFalsePositives) {
   harness h(GetParam());
   std::array<int, 64> xs{};
   h.rt.run([&] {
@@ -268,11 +272,11 @@ TEST_P(BothAlgorithms, DistinctLocationsNoFalsePositives) {
     }
     h.rt.sync();
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
 // ----------------------------------------------------------- level gates --
-TEST_P(BothAlgorithms, InstrumentationLevelCountsButNeverReports) {
+TEST_P(AllBackends, InstrumentationLevelCountsButNeverReports) {
   harness h(GetParam(), level::instrumentation);
   int x = 0;
   h.rt.run([&] {
@@ -284,51 +288,49 @@ TEST_P(BothAlgorithms, InstrumentationLevelCountsButNeverReports) {
     x = 2;
     h.rt.sync();
   });
-  EXPECT_EQ(h.det.access_count(), 2u);
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.history().page_count(), 0u) << "no history maintained";
+  EXPECT_EQ(h.s.access_count(), 2u);
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.s.detector().history().page_count(), 0u) << "no history maintained";
 }
 
-TEST_P(BothAlgorithms, ReachabilityLevelAnswersQueries) {
+TEST_P(AllBackends, ReachabilityLevelAnswersQueries) {
   harness h(GetParam(), level::reachability);
   rt::strand_id child = rt::kNoStrand;
   h.rt.run([&] {
     h.rt.spawn([&] { child = h.rt.current_strand(); });
-    EXPECT_FALSE(h.det.precedes_current(child));
+    EXPECT_FALSE(h.s.precedes_current(child));
     h.rt.sync();
-    EXPECT_TRUE(h.det.precedes_current(child));
+    EXPECT_TRUE(h.s.precedes_current(child));
   });
 }
 
-TEST_P(BothAlgorithms, GlobalHooksRouteToBoundDetector) {
+TEST_P(AllBackends, SessionRunRoutesActiveHooks) {
   harness h(GetParam());
-  scoped_global_detector bind(&h.det);
   int x = 0;
-  h.rt.run([&] {
+  h.s.run([&] {
     h.rt.spawn([&] {
       hooks::st<hooks::active>(x, 1);
     });
     (void)hooks::ld<hooks::active>(x);
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
-  EXPECT_EQ(h.det.access_count(), 2u);
+  EXPECT_TRUE(h.report().any());
+  EXPECT_EQ(h.s.access_count(), 2u);
 }
 
-TEST_P(BothAlgorithms, NoneHooksCompileToNothing) {
+TEST_P(AllBackends, NoneHooksCompileToNothing) {
   harness h(GetParam());
-  scoped_global_detector bind(&h.det);
   int x = 0;
-  h.rt.run([&] {
+  h.s.run([&] {
     h.rt.spawn([&] { hooks::st<hooks::none>(x, 1); });
     (void)hooks::ld<hooks::none>(x);
     h.rt.sync();
   });
-  EXPECT_FALSE(h.det.report().any());
-  EXPECT_EQ(h.det.access_count(), 0u);
+  EXPECT_FALSE(h.report().any());
+  EXPECT_EQ(h.s.access_count(), 0u);
 }
 
-TEST_P(BothAlgorithms, RaceCountsAndRetention) {
+TEST_P(AllBackends, RaceCountsAndRetention) {
   harness h(GetParam());
   std::array<int, 100> xs{};
   h.rt.run([&] {
@@ -344,24 +346,26 @@ TEST_P(BothAlgorithms, RaceCountsAndRetention) {
     }
     h.rt.sync();
   });
-  EXPECT_EQ(h.det.report().racy_granules().size(), 100u);
-  EXPECT_EQ(h.det.report().retained().size(), race_report::kRetained);
-  EXPECT_GE(h.det.report().total(), 100u);
+  EXPECT_EQ(h.report().racy_granules().size(), 100u);
+  EXPECT_EQ(h.report().retained().size(), race_report::kDefaultRetained);
+  EXPECT_GE(h.report().total(), 100u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Algos, BothAlgorithms,
-                         ::testing::Values(algorithm::multibags,
-                                           algorithm::multibags_plus),
+INSTANTIATE_TEST_SUITE_P(Backends, AllBackends,
+                         ::testing::Values("multibags", "multibags+",
+                                           "vector-clock", "reference"),
                          [](const auto& info) {
-                           return std::string(to_string(info.param)) ==
-                                          "multibags"
-                                      ? "multibags"
-                                      : "multibags_plus";
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '+') c = 'P';
+                             if (c == '-') c = '_';
+                           }
+                           return name;
                          });
 
 // -------------------------------------------------- general-future races --
 TEST(DetectorGeneral, MultiTouchFutureOrdersBothGetters) {
-  harness h(algorithm::multibags_plus);
+  harness h("multibags+");
   int x = 0;
   h.rt.run([&] {
     auto f = h.rt.create_future([&] {
@@ -377,14 +381,14 @@ TEST(DetectorGeneral, MultiTouchFutureOrdersBothGetters) {
     h.read(&x);  // also ordered
     h.rt.sync();
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
 TEST(DetectorGeneral, UnstructuredGetFromParallelBranchStillSound) {
   // Creator and getter are parallel (discipline violation for MultiBags,
   // legal for MultiBags+): accesses ordered through the get must not race,
   // while the getter branch stays parallel to the creator's continuation.
-  harness h(algorithm::multibags_plus);
+  harness h("multibags+");
   int produced = 0, unrelated = 0;
   rt::future<int> f;
   h.rt.run([&] {
@@ -401,11 +405,11 @@ TEST(DetectorGeneral, UnstructuredGetFromParallelBranchStillSound) {
     h.read(&produced);  // ordered through the get edge: no race
     h.rt.sync();
   });
-  EXPECT_FALSE(h.det.report().any());
+  EXPECT_FALSE(h.report().any());
 }
 
 TEST(DetectorGeneral, RaceVisibleOnlyWithoutGetEdge) {
-  harness h(algorithm::multibags_plus);
+  harness h("multibags+");
   int x = 0;
   h.rt.run([&] {
     auto f = h.rt.create_future([&] {
@@ -419,7 +423,7 @@ TEST(DetectorGeneral, RaceVisibleOnlyWithoutGetEdge) {
     f.get();
     h.rt.sync();
   });
-  EXPECT_TRUE(h.det.report().any());
+  EXPECT_TRUE(h.report().any());
 }
 
 }  // namespace

@@ -1,14 +1,15 @@
 // Oracle-checked property tests (the empirical Theorems 4.2 / 5.2).
 //
-// For each seed we generate-and-execute a random future program. Four
-// listeners observe the same event stream:
-//   * the detector(s) under test (full level),
-//   * the exact online reachability oracle, and
-//   * the reference (naive, quadratic) race detector.
-// At every memory access we check every prior accessor's reachability answer
-// against the oracle, and at the end the racy-granule sets must be equal.
-// Structured programs additionally require MultiBags and MultiBags+ to agree
-// with each other.
+// For each seed we generate-and-execute a random future program once, on the
+// primary session's runtime. Sessions for the other backends are attached as
+// extra listeners (a detector is an execution_listener), so every backend
+// observes the same event stream; the exact online oracle and the naive
+// reference detector ride along too. At every memory access we check every
+// prior accessor's reachability answer against the oracle, and at the end
+// all sessions' racy-granule sets must equal the reference's — including the
+// "reference" registry backend, which differentially anchors the §3 purge
+// argument through the full access-history protocol. Structured programs
+// additionally run MultiBags.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -16,8 +17,7 @@
 #include <memory>
 #include <vector>
 
-#include "detect/detector.hpp"
-#include "detect/vector_clock.hpp"
+#include "api/session.hpp"
 #include "graph/fuzz.hpp"
 #include "graph/oracle.hpp"
 #include "graph/reference_detector.hpp"
@@ -30,21 +30,19 @@ constexpr std::uint32_t kMaxCells = 16;
 
 struct fuzz_run {
   explicit fuzz_run(const graph::fuzz_config& cfg, bool with_multibags)
-      : plus(detect::algorithm::multibags_plus, detect::level::full),
-        reference(oracle) {
-    if (with_multibags)
-      bags = std::make_unique<detect::detector>(detect::algorithm::multibags,
-                                                detect::level::full);
-    mux.add(&plus);
-    if (bags) mux.add(bags.get());
-    mux.add(&oracle);
-    mux.add(&vc);
-    rt = std::make_unique<rt::serial_runtime>(&mux);
+      : reference(oracle) {
+    if (with_multibags) bags = std::make_unique<session>("multibags");
+    // One execution, many observers: the primary session's runtime carries
+    // the oracle, the naive reference, and every other session's detector.
+    plus.add_listener(&oracle);
+    plus.add_listener(&vc.detector());
+    plus.add_listener(&ref.detector());
+    if (bags) plus.add_listener(&bags->detector());
 
-    graph::fuzzer fz(*rt, cfg, [this](std::uint32_t cell, bool write) {
+    graph::fuzzer fz(plus.runtime(), cfg, [this](std::uint32_t cell, bool write) {
       access(cell, write);
     });
-    fz.run();
+    plus.run([&](rt::serial_runtime&) { fz.run(); });
     futures = fz.futures_created();
     gets = fz.gets_performed();
   }
@@ -55,7 +53,7 @@ struct fuzz_run {
 
     // Cross-check every prior accessor of this granule against the oracle
     // *before* the access mutates any state.
-    const rt::strand_id cur = rt->current_strand();
+    const rt::strand_id cur = plus.runtime().current_strand();
     for (const auto& prior : reference.accessors_of(addr & ~std::uintptr_t{3})) {
       if (prior.strand == cur) continue;
       const bool want = oracle.precedes(prior.strand, cur);
@@ -70,29 +68,42 @@ struct fuzz_run {
       ASSERT_EQ(vc.precedes_current(prior.strand), want)
           << "vector-clock baseline disagrees with oracle: strand "
           << prior.strand << " vs current " << cur;
+      ASSERT_EQ(ref.precedes_current(prior.strand), want)
+          << "reference backend disagrees with oracle: strand " << prior.strand
+          << " vs current " << cur;
       ++queries_checked;
     }
 
+    auto touch_all = [&](bool w) {
+      if (w) {
+        plus.write(p, 4);
+        vc.write(p, 4);
+        ref.write(p, 4);
+        if (bags) bags->write(p, 4);
+      } else {
+        plus.read(p, 4);
+        vc.read(p, 4);
+        ref.read(p, 4);
+        if (bags) bags->read(p, 4);
+      }
+    };
     if (write) {
-      plus.on_write(p, 4);
-      if (bags) bags->on_write(p, 4);
+      touch_all(true);
       reference.on_access(addr, 4, true, cur);
       *p += 1;
     } else {
-      plus.on_read(p, 4);
-      if (bags) bags->on_read(p, 4);
+      touch_all(false);
       reference.on_access(addr, 4, false, cur);
       sink += *p;
     }
   }
 
-  detect::detector plus;
-  std::unique_ptr<detect::detector> bags;
-  detect::vector_clock_backend vc;
+  session plus{"multibags+"};
+  session vc{"vector-clock"};
+  session ref{"reference"};
+  std::unique_ptr<session> bags;
   graph::online_oracle oracle;
   graph::reference_detector reference;
-  rt::listener_mux mux;
-  std::unique_ptr<rt::serial_runtime> rt;
   std::array<int, kMaxCells> cells{};
   long long sink = 0;
   std::size_t futures = 0;
@@ -129,6 +140,9 @@ TEST_P(StructuredFuzz, DetectorsMatchOracleAndEachOther) {
       << "multibags+ racy-granule set diverged from the reference";
   EXPECT_EQ(run.bags->report().racy_granules(), run.reference.racy_granules())
       << "multibags racy-granule set diverged from the reference";
+  EXPECT_EQ(run.ref.report().racy_granules(), run.reference.racy_granules())
+      << "the reference *backend* must reproduce the naive detector exactly";
+  EXPECT_EQ(run.vc.report().racy_granules(), run.reference.racy_granules());
   EXPECT_EQ(run.bags->structured_violations(), 0u)
       << "the structured fuzzer must generate discipline-conforming programs";
   // A run with zero checked queries would be vacuous.
@@ -138,6 +152,7 @@ TEST_P(StructuredFuzz, DetectorsMatchOracleAndEachOther) {
 TEST_P(GeneralFuzz, MultiBagsPlusMatchesOracle) {
   fuzz_run run(general_cfg(GetParam()), /*with_multibags=*/false);
   EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_EQ(run.ref.report().racy_granules(), run.reference.racy_granules());
   EXPECT_GT(run.queries_checked, 0u);
 }
 

@@ -1,7 +1,13 @@
 // Direct unit tests of the shared S/P-bag machinery (detect/sp_bags.hpp) —
-// the bag lifecycle of paper Figure 1, independent of any runtime.
+// the bag lifecycle of paper Figure 1, independent of any runtime — plus
+// end-to-end runs of the registered "sp-bags" backend on fork-join programs,
+// parameterized alongside "multibags" (on such programs the two must agree).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+
+#include "api/session.hpp"
 #include "detect/sp_bags.hpp"
 
 namespace frd::detect {
@@ -129,6 +135,70 @@ TEST(SpBags, ManyFunctionsStressBagIdentity) {
   for (int i = 1; i <= n; ++i)
     EXPECT_EQ(b.in_s_bag(static_cast<rt::strand_id>(i)), i % 2 == 1) << i;
 }
+
+// ----------------------------------------------- registered backend runs --
+// On fork-join programs SP-bags and MultiBags coincide (a sync joins every
+// outstanding child); both registered backends must produce the same
+// verdicts on the same programs.
+class ForkJoinBackends : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ForkJoinBackends, SpawnContinuationRaceDetected) {
+  frd::session s(GetParam());
+  int x = 0;
+  s.run([&] {
+    s.runtime().spawn([&] { s.write(&x); });
+    s.write(&x);
+    s.runtime().sync();
+  });
+  EXPECT_TRUE(s.report().any());
+  EXPECT_EQ(s.report().racy_granules().size(), 1u);
+}
+
+TEST_P(ForkJoinBackends, SyncOrdersTheChild) {
+  frd::session s(GetParam());
+  int x = 0;
+  s.run([&] {
+    s.runtime().spawn([&] { s.write(&x); });
+    s.runtime().sync();
+    s.write(&x);
+  });
+  EXPECT_FALSE(s.report().any());
+}
+
+TEST_P(ForkJoinBackends, NestedSpawnTreeDistinctCellsRaceFree) {
+  frd::session s(GetParam());
+  static std::array<int, 32> cells;
+  s.run([&] {
+    auto& rt = s.runtime();
+    for (int i = 0; i < 16; ++i) {
+      rt.spawn([&, i] { s.write(&cells[2 * i]); });
+      s.write(&cells[2 * i + 1]);
+    }
+    rt.sync();
+  });
+  EXPECT_FALSE(s.report().any());
+}
+
+TEST_P(ForkJoinBackends, SiblingSpawnsRaceOnSharedCell) {
+  frd::session s(GetParam());
+  int x = 0;
+  s.run([&] {
+    auto& rt = s.runtime();
+    rt.spawn([&] { s.write(&x); });
+    rt.spawn([&] { s.write(&x); });
+    rt.sync();
+  });
+  EXPECT_TRUE(s.report().any());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ForkJoinBackends,
+                         ::testing::Values("sp-bags", "multibags"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace frd::detect
