@@ -1,0 +1,145 @@
+// Replay-mode benchmark: pure detection throughput (trace events/sec) per
+// backend, with no kernel execution in the timed region.
+//
+// A sizeable structured fuzz program is executed and recorded ONCE into an
+// in-memory trace; each futures-capable backend then replays that identical
+// event stream `reps` times from a fresh session. Because replay executes no
+// user code, the numbers isolate what the paper's full-detection overhead is
+// made of — reachability maintenance + access-history work — without kernel
+// noise, making them comparable across machines and PRs. Results go to
+// stdout as a table and to --json as a machine-readable file next to the
+// other harness output, so the perf trajectory accumulates.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "detect/registry.hpp"
+#include "graph/fuzz.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "trace/event.hpp"
+#include "trace/recorder.hpp"
+#include "support/check.hpp"
+
+using namespace frd;
+
+namespace {
+
+std::vector<int> g_cells;
+
+void fuzz_into(session& s, std::uint64_t seed, int depth, int actions,
+               int futures) {
+  graph::fuzz_config cfg;
+  cfg.seed = seed;
+  cfg.structured = true;  // structured: every futures-capable backend replays
+  cfg.max_depth = depth;
+  cfg.max_actions_per_body = actions;
+  cfg.n_cells = static_cast<std::uint32_t>(g_cells.size());
+  cfg.max_futures = static_cast<std::size_t>(futures);
+  graph::fuzzer fz(s.runtime(), cfg, [&s](std::uint32_t cell, bool write) {
+    if (write) {
+      s.write(&g_cells[cell]);
+    } else {
+      s.read(&g_cells[cell]);
+    }
+  });
+  s.run([&](rt::serial_runtime&) { fz.run(); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& reps = flags.int_flag("reps", 5, "replays per backend");
+  auto& seed = flags.int_flag("seed", 12, "fuzz seed for the recorded program");
+  // Program size grows exponentially in depth/actions — nudge gently.
+  auto& depth = flags.int_flag("depth", 8, "fuzz nesting depth");
+  auto& actions = flags.int_flag("actions", 16, "fuzz actions per body");
+  auto& futures = flags.int_flag("futures", 2000, "cap on futures created");
+  auto& cells = flags.int_flag("cells", 64, "distinct shared memory cells");
+  auto& json_path = flags.string_flag("json", "replay_throughput.json",
+                                      "machine-readable output file");
+  flags.parse();
+  if (reps < 1) {
+    std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
+    return 1;
+  }
+
+  g_cells.assign(static_cast<std::size_t>(cells), 0);
+
+  // Record once.
+  trace::memory_trace tape(trace::trace_header{trace::kTraceVersion, 4});
+  session rec(session::options{.backend = "multibags+", .granule = 4});
+  rec.record_to(tape);
+  fuzz_into(rec, static_cast<std::uint64_t>(seed), static_cast<int>(depth),
+            static_cast<int>(actions), static_cast<int>(futures));
+  std::fprintf(stderr, "[replay] recorded %zu events (%llu accesses, %llu races)\n",
+               tape.size(),
+               static_cast<unsigned long long>(rec.access_count()),
+               static_cast<unsigned long long>(rec.report().total()));
+
+  struct row {
+    std::string backend;
+    double mean_s = 0, rsd = 0, events_per_sec = 0;
+    std::uint64_t races = 0;
+  };
+  std::vector<row> rows;
+
+  const auto& reg = detect::backend_registry::instance();
+  for (const std::string& name : reg.names()) {
+    if (reg.at(name).futures == detect::future_support::none) continue;
+    std::vector<double> times;
+    std::uint64_t races = 0;
+    std::uint64_t baseline_races = rec.report().total();
+    for (int r = 0; r < static_cast<int>(reps) + 1; ++r) {
+      tape.rewind();
+      session s(session::options{.backend = name, .granule = 4});
+      wall_timer t;
+      s.replay(tape);
+      const double secs = t.seconds();
+      if (r > 0) times.push_back(secs);  // first replay is warmup
+      races = s.report().total();
+    }
+    FRD_CHECK_MSG(races == baseline_races,
+                  "replay race count diverged from the recording session");
+    row out;
+    out.backend = name;
+    out.mean_s = mean(times);
+    out.rsd = rel_stddev(times);
+    out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
+    out.races = races;
+    rows.push_back(out);
+  }
+
+  text_table table({"backend", "mean", "events/sec", "races"});
+  for (const row& r : rows) {
+    char eps[64];
+    std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
+    table.add_row({r.backend, text_table::seconds(r.mean_s), eps,
+                   std::to_string(r.races)});
+  }
+  std::printf("\n== Replay throughput: %zu-event trace, %lld reps ==\n%s",
+              tape.size(), static_cast<long long>(reps),
+              table.render().c_str());
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"replay_throughput\",\n"
+       << "  \"trace_events\": " << tape.size() << ",\n"
+       << "  \"seed\": " << seed << ",\n  \"depth\": " << depth
+       << ",\n  \"actions\": " << actions << ",\n"
+       << "  \"backends\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const row& r = rows[i];
+    json << "    {\"name\": \"" << r.backend << "\", \"mean_seconds\": "
+         << r.mean_s << ", \"rel_stddev\": " << r.rsd
+         << ", \"events_per_sec\": " << r.events_per_sec << ", \"races\": "
+         << r.races << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

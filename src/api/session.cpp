@@ -1,6 +1,9 @@
 #include "api/session.hpp"
 
 #include "support/check.hpp"
+#include "trace/event.hpp"
+#include "trace/player.hpp"
+#include "trace/recorder.hpp"
 
 namespace frd {
 
@@ -15,6 +18,7 @@ session::session(options opt) : opt_(std::move(opt)) {
                          .shadow_page_bits = opt_.shadow_page_bits,
                          .futures = info_->futures,
                      });
+  sink_ = det_.get();
 }
 
 session::~session() = default;
@@ -27,19 +31,58 @@ void session::add_listener(rt::execution_listener* l) {
   extras_.push_back(l);
 }
 
+void session::record_to(trace::trace_sink& out) {
+  FRD_CHECK_MSG(rt_ == nullptr,
+                "record_to must run before the session's runtime is built "
+                "(first runtime()/run() call)");
+  FRD_CHECK_MSG(mode_ == session_mode::live,
+                "a session records or replays exactly once");
+  recorder_ = std::make_unique<trace::trace_recorder>(out, opt_.granule);
+  recorder_->set_next(det_.get());
+  sink_ = recorder_.get();
+  mode_ = session_mode::record;
+}
+
+std::uint64_t session::replay(trace::trace_source& src) {
+  FRD_CHECK_MSG(rt_ == nullptr,
+                "replay needs a fresh session: this one already built its "
+                "runtime (run() was called or recording is set up)");
+  FRD_CHECK_MSG(mode_ == session_mode::live,
+                "a session records or replays exactly once");
+  if (src.header().granule != opt_.granule) {
+    throw trace::trace_error(
+        "trace was recorded at granule " + std::to_string(src.header().granule) +
+        " but this session detects at granule " + std::to_string(opt_.granule) +
+        "; construct the session with the trace's granule");
+  }
+  mode_ = session_mode::replay;
+  trace::trace_player player(src);
+  return player.play(build_listener(), det_.get()).events;
+}
+
+// The one definition of who observes this session's event stream — live
+// runs and replays must wire identically or their reports diverge. At
+// level::baseline the detector gets no dag events (the paper's zero-work
+// configuration); the recorder (record mode) and extras always listen.
+rt::execution_listener* session::build_listener() {
+  const bool track = opt_.level != detect::level::baseline;
+  if (track && extras_.empty() && recorder_ == nullptr) return det_.get();
+  if (track || !extras_.empty() || recorder_ != nullptr) {
+    mux_ = std::make_unique<rt::listener_mux>();
+    if (track) mux_->add(det_.get());
+    if (recorder_ != nullptr) mux_->add(recorder_.get());
+    for (rt::execution_listener* l : extras_) mux_->add(l);
+    return mux_.get();
+  }
+  return nullptr;
+}
+
 rt::serial_runtime& session::runtime() {
+  FRD_CHECK_MSG(mode_ != session_mode::replay,
+                "a replay session has no runtime: the trace stands in for "
+                "the program");
   if (rt_ == nullptr) {
-    rt::execution_listener* listener = nullptr;
-    const bool track = opt_.level != detect::level::baseline;
-    if (track && extras_.empty()) {
-      listener = det_.get();
-    } else if (track || !extras_.empty()) {
-      mux_ = std::make_unique<rt::listener_mux>();
-      if (track) mux_->add(det_.get());
-      for (rt::execution_listener* l : extras_) mux_->add(l);
-      listener = mux_.get();
-    }
-    rt_ = std::make_unique<rt::serial_runtime>(listener);
+    rt_ = std::make_unique<rt::serial_runtime>(build_listener());
     rt_->enforce_single_touch(opt_.enforce_single_touch);
   }
   return *rt_;

@@ -22,8 +22,19 @@
 // runtime().run) or a driver taking rt::serial_runtime& (for harnesses whose
 // kernels call rt.run themselves); both run with the hook sink installed.
 //
+// A session runs in one of three explicit modes (session_mode):
+//
+//   live     the default — detect while the program executes.
+//   record   record_to(sink) before run(): the run is additionally captured
+//            losslessly as a trace (dag events + granule-normalized
+//            accesses) while detecting as usual.
+//   replay   replay(source) instead of run(): detection consumes a stored
+//            trace; no user code executes. Replaying a trace under the same
+//            backend and granule yields a race report identical to the live
+//            run that recorded it.
+//
 // Sessions are one-shot like the ids the runtime mints: construct a fresh
-// session per detection run.
+// session per detection run (and per replay).
 #pragma once
 
 #include <cstdint>
@@ -39,7 +50,26 @@
 
 namespace frd {
 
+namespace trace {
+class trace_sink;
+class trace_source;
+class trace_recorder;
+class trace_player;
+}  // namespace trace
+
 using detect::level;
+
+// How a session consumes its event stream (see the header comment).
+enum class session_mode : std::uint8_t { live, record, replay };
+
+constexpr std::string_view to_string(session_mode m) {
+  switch (m) {
+    case session_mode::live: return "live";
+    case session_mode::record: return "record";
+    case session_mode::replay: return "replay";
+  }
+  return "?";
+}
 
 class session {
  public:
@@ -68,8 +98,30 @@ class session {
   session& operator=(const session&) = delete;
 
   // Additional execution listeners (oracles, dag recorders) observing this
-  // session's run. Must be called before runtime() / run().
+  // session's run. Must be called before runtime() / run() / replay().
   void add_listener(rt::execution_listener* l);
+
+  // Switches the session into record mode: the next run() is captured into
+  // `out` (dag events + accesses, normalized to this session's granule)
+  // while detection proceeds as usual. `out` must outlive the session's
+  // runs. Must be called before runtime() / run(); a session records or
+  // replays, never both.
+  void record_to(trace::trace_sink& out);
+
+  // Replay mode: drains `src` through this session's detector — no user
+  // code executes, run() must not be called. One-shot like run(). Throws
+  // trace::trace_error when the trace's granule differs from this session's
+  // (the shadow behavior would silently diverge otherwise). Extra listeners
+  // added via add_listener() observe the replayed stream too. Returns the
+  // number of trace events consumed.
+  //
+  // The race report and get_count() match the recorded live run exactly.
+  // access_count() counts sink calls, and a replayed stream makes one call
+  // per recorded granule event — so it exceeds the live count when accesses
+  // spanned granule boundaries at record time.
+  std::uint64_t replay(trace::trace_source& src);
+
+  session_mode mode() const { return mode_; }
 
   // The runtime this session's program executes on. At level::baseline the
   // runtime carries no listener (the paper's zero-work configuration).
@@ -81,7 +133,7 @@ class session {
   template <typename F>
   decltype(auto) run(F&& f) {
     rt::serial_runtime& rt = runtime();
-    detect::hooks::scoped_sink sink(det_.get());
+    detect::hooks::scoped_sink sink(sink_);
     if constexpr (std::is_invocable_v<F&, rt::serial_runtime&>) {
       return f(rt);
     } else {
@@ -110,19 +162,33 @@ class session {
   bool precedes_current(rt::strand_id u) { return det_->precedes_current(u); }
 
   // Explicit instrumentation points — exactly what hooks::active emits.
-  // Tests and uninstrumented callers mark accesses with these.
-  void read(const void* p, std::size_t bytes = 4) { det_->on_read(p, bytes); }
-  void write(const void* p, std::size_t bytes = 4) { det_->on_write(p, bytes); }
+  // Tests and uninstrumented callers mark accesses with these. In record
+  // mode they route through the recorder so explicit accesses land in the
+  // trace like instrumented ones.
+  void read(const void* p, std::size_t bytes = 4) { sink_->on_read(p, bytes); }
+  void write(const void* p, std::size_t bytes = 4) {
+    sink_->on_write(p, bytes);
+  }
 
  private:
+  // Builds the listener stack (detector unless baseline, recorder, extras);
+  // shared by live runs and replay so both observe identically.
+  rt::execution_listener* build_listener();
+
   options opt_;
   const detect::backend_info* info_;
+  session_mode mode_ = session_mode::live;
+  // The access sink run() installs: the detector, until record_to() swaps in
+  // the recorder (which forwards to the detector). Cached so the live access
+  // path stays one indirect call.
+  detect::hooks::access_sink* sink_ = nullptr;
   std::unique_ptr<detect::detector> det_;
+  std::unique_ptr<trace::trace_recorder> recorder_;
   std::vector<rt::execution_listener*> extras_;
   // Built on first use so extra listeners can be attached after
-  // construction; the mux only exists when extras are present, keeping the
-  // common event path a single virtual call (the paper's "reachability"
-  // overhead measurement).
+  // construction; the mux only exists when extras or a recorder are
+  // present, keeping the plain live event path a single virtual call (the
+  // paper's "reachability" overhead measurement).
   std::unique_ptr<rt::listener_mux> mux_;
   std::unique_ptr<rt::serial_runtime> rt_;
 };

@@ -3,8 +3,8 @@
 #include <bit>
 #include <string>
 
-#include "detect/registry.hpp"
 #include "support/check.hpp"
+#include "support/granule.hpp"
 
 namespace frd::detect {
 
@@ -13,7 +13,7 @@ namespace {
 // Option validation throws (like an unknown backend name) so embedders can
 // catch and report a bad configuration instead of aborting.
 unsigned granule_shift_of(std::size_t granule) {
-  if (granule < 1 || granule > 4096 || !std::has_single_bit(granule)) {
+  if (!valid_granule(granule)) {
     throw backend_error(
         "detection granule must be a power of two in [1, 4096] bytes, got " +
         std::to_string(granule));
@@ -34,28 +34,13 @@ unsigned checked_page_bits(unsigned page_bits) {
 detector::detector(std::unique_ptr<reachability_backend> backend,
                    detector_config cfg)
     : cfg_(cfg),
-      granule_mask_(~(static_cast<std::uintptr_t>(cfg.granule) - 1)),
+      granule_mask_(frd::granule_mask(cfg.granule)),
       backend_(std::move(backend)),
       history_(checked_page_bits(cfg.shadow_page_bits),
                granule_shift_of(cfg.granule)),
       report_(cfg.max_retained_races) {
   FRD_CHECK_MSG(backend_ != nullptr, "detector needs a reachability backend");
 }
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-detector::detector(algorithm alg, level lvl)
-    : detector(backend_registry::instance().create(to_string(alg)),
-               detector_config{
-                   .lvl = lvl,
-                   .futures = alg == algorithm::multibags
-                                  ? future_support::structured
-                                  : future_support::general}) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 detector::~detector() = default;
 
@@ -130,19 +115,15 @@ void detector::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
 void detector::on_read(const void* p, std::size_t bytes) {
   ++accesses_;
   if (cfg_.lvl != level::full) return;  // "instrumentation": the call is the cost
-  auto addr = reinterpret_cast<std::uintptr_t>(p);
-  const std::uintptr_t first = addr & granule_mask_;
-  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & granule_mask_;
-  for (std::uintptr_t a = first; a <= last; a += cfg_.granule) check_read(a);
+  for_each_granule(p, bytes, cfg_.granule, granule_mask_,
+                   [&](std::uintptr_t a) { check_read(a); });
 }
 
 void detector::on_write(const void* p, std::size_t bytes) {
   ++accesses_;
   if (cfg_.lvl != level::full) return;
-  auto addr = reinterpret_cast<std::uintptr_t>(p);
-  const std::uintptr_t first = addr & granule_mask_;
-  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & granule_mask_;
-  for (std::uintptr_t a = first; a <= last; a += cfg_.granule) check_write(a);
+  for_each_granule(p, bytes, cfg_.granule, granule_mask_,
+                   [&](std::uintptr_t a) { check_write(a); });
 }
 
 // Read of l: race iff last-writer(l) is logically parallel with the current

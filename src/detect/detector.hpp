@@ -53,10 +53,6 @@ struct detector_config {
 class detector final : public rt::execution_listener, public hooks::access_sink {
  public:
   detector(std::unique_ptr<reachability_backend> backend, detector_config cfg);
-  // DEPRECATED shim (one release): enum-keyed construction. Maps the enum to
-  // its registry name and resolves through the backend_registry.
-  [[deprecated("construct a frd::session, or inject a backend")]] detector(
-      algorithm alg, level lvl);
   ~detector() override;
   detector(const detector&) = delete;
   detector& operator=(const detector&) = delete;
@@ -112,17 +108,6 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   rt::strand_id current_ = rt::kNoStrand;
   std::uint64_t accesses_ = 0;
   std::uint64_t gets_ = 0;
-};
-
-// DEPRECATED shim (one release): binds a detector as the global hook sink.
-// frd::session installs its sink itself; new code never needs this.
-class [[deprecated("frd::session installs its hook sink itself")]]
-scoped_global_detector {
- public:
-  explicit scoped_global_detector(detector* d) : sink_(d) {}
-
- private:
-  hooks::scoped_sink sink_;
 };
 
 }  // namespace frd::detect

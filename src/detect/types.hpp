@@ -12,16 +12,6 @@
 
 namespace frd::detect {
 
-// DEPRECATED: the closed algorithm enum survives one release for the
-// detector(algorithm, level) shim only. New code names backends by string
-// through the backend_registry / frd::session ("multibags", "multibags+",
-// "vector-clock", "sp-bags", "reference").
-enum class algorithm : std::uint8_t {
-  multibags,       // structured futures (paper §4)
-  multibags_plus,  // general futures (paper §5)
-  vector_clock,    // FastTrack-style baseline the paper argues against (§7)
-};
-
 // What future constructs a reachability backend can soundly handle.
 enum class future_support : std::uint8_t {
   none,        // fork-join (spawn/sync) programs only
@@ -61,14 +51,6 @@ enum class level : std::uint8_t {
   full,             // + access history maintenance and race queries
 };
 
-constexpr std::string_view to_string(algorithm a) {
-  switch (a) {
-    case algorithm::multibags: return "multibags";
-    case algorithm::multibags_plus: return "multibags+";
-    case algorithm::vector_clock: return "vector-clock";
-  }
-  return "?";
-}
 constexpr std::string_view to_string(level l) {
   switch (l) {
     case level::baseline: return "baseline";

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace frd::rt {
 
@@ -81,48 +82,44 @@ class execution_listener {
                       func_id /*fut*/, strand_id /*w*/, strand_id /*creator*/) {}
 };
 
-// Fans one event stream out to several listeners (detector + recorder in the
-// validation tests). Listeners are invoked in registration order.
+// Fans one event stream out to several listeners (detector + trace recorder
+// + oracles in the validation tests). Listeners are invoked in registration
+// order; the fan-out grows as needed.
 class listener_mux final : public execution_listener {
  public:
-  void add(execution_listener* l) {
-    if (count_ >= kMax) __builtin_trap();  // fixed fan-out; raise kMax if hit
-    listeners_[count_++] = l;
-  }
+  void add(execution_listener* l) { listeners_.push_back(l); }
+  std::size_t size() const { return listeners_.size(); }
 
   void on_program_begin(func_id f, strand_id s) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_program_begin(f, s);
+    for (execution_listener* l : listeners_) l->on_program_begin(f, s);
   }
   void on_program_end(strand_id s) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_program_end(s);
+    for (execution_listener* l : listeners_) l->on_program_end(s);
   }
   void on_strand_begin(strand_id s, func_id f) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_strand_begin(s, f);
+    for (execution_listener* l : listeners_) l->on_strand_begin(s, f);
   }
   void on_spawn(func_id p, strand_id u, func_id c, strand_id w,
                 strand_id v) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_spawn(p, u, c, w, v);
+    for (execution_listener* l : listeners_) l->on_spawn(p, u, c, w, v);
   }
   void on_create(func_id p, strand_id u, func_id c, strand_id w,
                  strand_id v) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_create(p, u, c, w, v);
+    for (execution_listener* l : listeners_) l->on_create(p, u, c, w, v);
   }
   void on_return(func_id c, strand_id last, func_id p) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_return(c, last, p);
+    for (execution_listener* l : listeners_) l->on_return(c, last, p);
   }
   void on_sync(const sync_event& e) override {
-    for (std::size_t i = 0; i < count_; ++i) listeners_[i]->on_sync(e);
+    for (execution_listener* l : listeners_) l->on_sync(e);
   }
   void on_get(func_id fn, strand_id u, strand_id v, func_id fut, strand_id w,
               strand_id creator) override {
-    for (std::size_t i = 0; i < count_; ++i)
-      listeners_[i]->on_get(fn, u, v, fut, w, creator);
+    for (execution_listener* l : listeners_) l->on_get(fn, u, v, fut, w, creator);
   }
 
  private:
-  static constexpr std::size_t kMax = 8;
-  execution_listener* listeners_[kMax] = {};
-  std::size_t count_ = 0;
+  std::vector<execution_listener*> listeners_;
 };
 
 }  // namespace frd::rt

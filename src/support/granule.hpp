@@ -1,0 +1,37 @@
+// Shared shadow-granule arithmetic.
+//
+// The detector (live), the trace recorder (record), and the trace codecs all
+// agree on what a granule is and how an access splits into granules; replay
+// reproduces live shadow behavior only because these are the SAME functions,
+// not three copies that must be kept bit-identical by hand.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace frd {
+
+// A granule is a power of two in [1, 4096] bytes (4 = the paper's artifact).
+inline bool valid_granule(std::size_t granule) {
+  return granule >= 1 && granule <= 4096 && std::has_single_bit(granule);
+}
+
+// Mask clearing sub-granule address bits.
+inline std::uintptr_t granule_mask(std::size_t granule) {
+  return ~(static_cast<std::uintptr_t>(granule) - 1);
+}
+
+// Invokes fn(base_address) for every granule the access [p, p+bytes) touches
+// (bytes == 0 behaves as 1). This is the one definition of access splitting.
+template <typename Fn>
+inline void for_each_granule(const void* p, std::size_t bytes,
+                             std::size_t granule, std::uintptr_t mask,
+                             Fn&& fn) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & mask;
+  const std::uintptr_t last = (addr + (bytes ? bytes : 1) - 1) & mask;
+  for (std::uintptr_t a = first; a <= last; a += granule) fn(a);
+}
+
+}  // namespace frd

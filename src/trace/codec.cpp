@@ -1,0 +1,370 @@
+#include "trace/codec.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "support/granule.hpp"
+
+namespace frd::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'R', 'D', 'T'};
+constexpr int kEndMarker = 0xFF;
+
+void write_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+std::uint64_t read_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = in.get();
+    if (c < 0) throw trace_error("truncated trace: varint cut off mid-field");
+    // The 10th byte holds only bit 63: anything above it (or a continuation
+    // bit there) would be silently shifted away — corrupt, not decodable.
+    if (shift == 63 && (c & 0xFE) != 0) {
+      throw trace_error("malformed trace: varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+  }
+  throw trace_error("malformed trace: varint longer than 64 bits");
+}
+
+// Validation happens on the full decoded 64-bit values, BEFORE any narrowing
+// cast — a granule of 2^32 + 4 must be rejected, not silently read as 4.
+void check_granule(std::uint64_t granule) {
+  if (granule > 4096 || !valid_granule(static_cast<std::size_t>(granule))) {
+    throw trace_error("trace header granule must be a power of two in "
+                      "[1, 4096] bytes, got " +
+                      std::to_string(granule));
+  }
+}
+
+void check_version(std::uint64_t version) {
+  if (version != kTraceVersion) {
+    throw trace_error("unsupported trace version " + std::to_string(version) +
+                      " (this build reads version " +
+                      std::to_string(kTraceVersion) + ")");
+  }
+}
+
+void check_recorder_granule(std::uint32_t recorded, std::uint32_t written) {
+  if (recorded != written) {
+    throw trace_error(
+        "recorder granule " + std::to_string(recorded) +
+        " contradicts the granule already written to this trace (" +
+        std::to_string(written) + ")");
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ binary --
+
+trace_writer::trace_writer(std::ostream& out, trace_header h)
+    : out_(out), header_(h), ctor_exceptions_(std::uncaught_exceptions()) {
+  check_granule(h.granule);
+  out_.write(kMagic, sizeof(kMagic));
+  write_varint(out_, h.version);
+  write_varint(out_, h.granule);
+}
+
+trace_writer::~trace_writer() {
+  // When the writer dies because an exception is unwinding a recording run,
+  // the trace is incomplete by definition — leaving the end marker OFF is
+  // what lets readers detect the truncation. Only a normal exit finishes.
+  if (std::uncaught_exceptions() > ctor_exceptions_) return;
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; callers who care about I/O failure call
+    // finish() themselves (frd-trace does).
+  }
+}
+
+void trace_writer::on_header(const trace_header& h) {
+  check_recorder_granule(h.granule, header_.granule);
+}
+
+void trace_writer::put(const trace_event& e) {
+  if (finished_) {
+    throw trace_error(
+        "put() after finish(): events past the end marker would be silently "
+        "invisible to readers");
+  }
+  out_.put(static_cast<char>(e.kind));
+  const event_fields f = fields_of(e);
+  for (int i = 0; i < f.n; ++i) write_varint(out_, f.v[i]);
+  ++events_;
+}
+
+void trace_writer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.put(static_cast<char>(kEndMarker));
+  out_.flush();
+  if (!out_) {
+    throw trace_error(
+        "trace output stream failed (disk full? closed early?); the written "
+        "trace is incomplete");
+  }
+}
+
+trace_reader::trace_reader(std::istream& in) : in_(in) {
+  char magic[4] = {};
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() != sizeof(magic) || magic[0] != kMagic[0] ||
+      magic[1] != kMagic[1] || magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
+    throw trace_error("not a FutureRD trace: bad magic (expected \"FRDT\")");
+  }
+  const std::uint64_t version = read_varint(in_);
+  check_version(version);
+  const std::uint64_t granule = read_varint(in_);
+  check_granule(granule);
+  header_.version = static_cast<std::uint32_t>(version);
+  header_.granule = static_cast<std::uint32_t>(granule);
+}
+
+bool trace_reader::next(trace_event& e) {
+  if (done_) return false;
+  const int kind_byte = in_.get();
+  if (kind_byte < 0) {
+    throw trace_error("truncated trace: end marker missing");
+  }
+  if (kind_byte == kEndMarker) {
+    done_ = true;
+    return false;
+  }
+  if (kind_byte >= kEventKindCount) {
+    throw trace_error("malformed trace: unknown event kind " +
+                      std::to_string(kind_byte));
+  }
+  const auto kind = static_cast<event_kind>(kind_byte);
+  event_fields f;
+  f.n = field_count(kind);
+  for (int i = 0; i < f.n; ++i) f.v[i] = read_varint(in_);
+  e = event_from(kind, f);
+  return true;
+}
+
+// ------------------------------------------------------------------- jsonl --
+
+jsonl_writer::jsonl_writer(std::ostream& out, trace_header h)
+    : out_(out), header_(h) {
+  check_granule(h.granule);
+  out_ << "{\"frd_trace\":true,\"version\":" << h.version
+       << ",\"granule\":" << h.granule << "}\n";
+}
+
+void jsonl_writer::on_header(const trace_header& h) {
+  check_recorder_granule(h.granule, header_.granule);
+}
+
+void jsonl_writer::finish() {
+  out_.flush();
+  if (!out_) {
+    throw trace_error(
+        "trace output stream failed (disk full? closed early?); the written "
+        "trace is incomplete");
+  }
+}
+
+void jsonl_writer::put(const trace_event& e) {
+  out_ << "{\"ev\":\"" << to_string(e.kind) << '"';
+  const event_fields f = fields_of(e);
+  const char* const* names = field_names(e.kind);
+  for (int i = 0; i < f.n; ++i) out_ << ",\"" << names[i] << "\":" << f.v[i];
+  out_ << "}\n";
+  ++events_;
+}
+
+namespace {
+
+// Strict scanner for the flat one-line objects this codec emits:
+// string keys, values that are unsigned integers, `true`/`false`, or
+// strings. No nesting, no floats, no escapes beyond none.
+class line_parser {
+ public:
+  line_parser(const std::string& s, std::uint64_t line) : s_(s), line_(line) {}
+
+  struct member {
+    std::string key;
+    std::string str;        // set when is_string
+    std::uint64_t num = 0;  // set otherwise (true -> 1, false -> 0)
+    bool is_string = false;
+  };
+
+  std::vector<member> parse() {
+    std::vector<member> out;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++i_;
+      return out;
+    }
+    while (true) {
+      member m;
+      m.key = parse_string();
+      expect(':');
+      skip_ws();
+      if (peek() == '"') {
+        m.str = parse_string();
+        m.is_string = true;
+      } else if (s_.compare(i_, 4, "true") == 0) {
+        m.num = 1;
+        i_ += 4;
+      } else if (s_.compare(i_, 5, "false") == 0) {
+        m.num = 0;
+        i_ += 5;
+      } else {
+        m.num = parse_number();
+      }
+      out.push_back(std::move(m));
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw trace_error("malformed JSONL trace at line " + std::to_string(line_) +
+                      ": " + what);
+  }
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+  }
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end of line");
+    return s_[i_];
+  }
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c == '\\') fail("escape sequences are not part of this format");
+      out.push_back(c);
+    }
+  }
+  std::uint64_t parse_number() {
+    if (peek() < '0' || peek() > '9') fail("expected a number");
+    std::uint64_t v = 0;
+    while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s_[i_++] - '0');
+      if (v > (UINT64_MAX - digit) / 10) fail("number overflows 64 bits");
+      v = v * 10 + digit;
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::uint64_t line_;
+  std::size_t i_ = 0;
+};
+
+event_kind kind_of_name(const std::string& name, std::uint64_t line) {
+  for (int k = 0; k < kEventKindCount; ++k) {
+    if (name == to_string(static_cast<event_kind>(k))) {
+      return static_cast<event_kind>(k);
+    }
+  }
+  throw trace_error("malformed JSONL trace at line " + std::to_string(line) +
+                    ": unknown event \"" + name + "\"");
+}
+
+}  // namespace
+
+jsonl_reader::jsonl_reader(std::istream& in) : in_(in) {
+  std::string line;
+  if (!std::getline(in_, line)) {
+    throw trace_error("not a FutureRD JSONL trace: empty input");
+  }
+  bool tagged = false, versioned = false, granuled = false;
+  std::uint64_t version = 0, granule = 0;
+  for (const auto& m : line_parser(line, 1).parse()) {
+    if (m.key == "frd_trace" && !m.is_string && m.num == 1) tagged = true;
+    if (m.key == "version" && !m.is_string) {
+      version = m.num;
+      versioned = true;
+    }
+    if (m.key == "granule" && !m.is_string) {
+      granule = m.num;
+      granuled = true;
+    }
+  }
+  if (!tagged || !versioned || !granuled) {
+    throw trace_error(
+        "not a FutureRD JSONL trace: first line must carry frd_trace, "
+        "version, and granule");
+  }
+  check_version(version);
+  check_granule(granule);
+  header_.version = static_cast<std::uint32_t>(version);
+  header_.granule = static_cast<std::uint32_t>(granule);
+}
+
+bool jsonl_reader::next(trace_event& e) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_;
+    if (line.empty()) continue;
+    auto members = line_parser(line, line_).parse();
+    if (members.empty() || members.front().key != "ev" ||
+        !members.front().is_string) {
+      throw trace_error("malformed JSONL trace at line " +
+                        std::to_string(line_) +
+                        ": every event line must start with \"ev\"");
+    }
+    const event_kind kind = kind_of_name(members.front().str, line_);
+    event_fields f;
+    f.n = field_count(kind);
+    const char* const* names = field_names(kind);
+    for (int i = 0; i < f.n; ++i) {
+      bool found = false;
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        if (members[m].key == names[i] && !members[m].is_string) {
+          f.v[i] = members[m].num;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw trace_error("malformed JSONL trace at line " +
+                          std::to_string(line_) + ": missing field \"" +
+                          names[i] + "\"");
+      }
+    }
+    e = event_from(kind, f);
+    return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------------- sniff --
+
+std::unique_ptr<trace_source> open_source(std::istream& in) {
+  const int first = in.peek();
+  if (first == '{') return std::make_unique<jsonl_reader>(in);
+  return std::make_unique<trace_reader>(in);
+}
+
+}  // namespace frd::trace

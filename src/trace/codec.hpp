@@ -1,0 +1,111 @@
+// Trace codecs: a versioned binary format and a line-oriented JSONL format.
+//
+// Binary layout (little-endian, LEB128 varints):
+//
+//   magic     4 bytes        "FRDT"
+//   version   varint         kTraceVersion
+//   granule   varint         shadow granule of the recording (bytes)
+//   events    repeated       kind byte (< kEventKindCount), then
+//                            field_count(kind) varint fields in the
+//                            field_names(kind) order
+//   end       1 byte         0xFF (explicit, so truncation is detectable)
+//
+// JSONL: the first line is a header object
+//   {"frd_trace":true,"version":1,"granule":4}
+// and every following line is one event object
+//   {"ev":"spawn","parent":0,"u":0,"child":1,"w":1,"v":2}
+// Blank lines are ignored. Both readers throw trace_error on bad magic,
+// unsupported version, truncation, or malformed events; both writers must be
+// finish()ed (the destructor finishes on the happy path, but errors from a
+// destructor are swallowed — call finish() when you care).
+#pragma once
+
+#include <exception>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace frd::trace {
+
+// ------------------------------------------------------------------ binary --
+
+class trace_writer final : public trace_sink {
+ public:
+  explicit trace_writer(std::ostream& out, trace_header h = {});
+  ~trace_writer() override;
+  trace_writer(const trace_writer&) = delete;
+  trace_writer& operator=(const trace_writer&) = delete;
+
+  // The header is already on the wire: a recorder announcing a different
+  // granule is a configuration bug — throws trace_error.
+  void on_header(const trace_header& h) override;
+  void put(const trace_event& e) override;
+  // Writes the end marker and flushes; idempotent. Throws trace_error when
+  // the stream failed (the destructor swallows that — call finish() when the
+  // trace matters).
+  void finish() override;
+  std::uint64_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  trace_header header_;
+  // Uncaught-exception count at construction: the destructor skips the end
+  // marker when it runs during unwinding, so aborted recordings read as
+  // truncated instead of complete.
+  int ctor_exceptions_;
+  std::uint64_t events_ = 0;
+  bool finished_ = false;
+};
+
+class trace_reader final : public trace_source {
+ public:
+  // Reads and validates the header; throws trace_error on bad input.
+  explicit trace_reader(std::istream& in);
+
+  const trace_header& header() const override { return header_; }
+  bool next(trace_event& e) override;
+
+ private:
+  std::istream& in_;
+  trace_header header_;
+  bool done_ = false;
+};
+
+// ------------------------------------------------------------------- jsonl --
+
+class jsonl_writer final : public trace_sink {
+ public:
+  explicit jsonl_writer(std::ostream& out, trace_header h = {});
+
+  void on_header(const trace_header& h) override;  // like trace_writer's
+  void put(const trace_event& e) override;
+  // No trailer to write, but flushes and surfaces stream failure like
+  // trace_writer::finish().
+  void finish() override;
+  std::uint64_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  trace_header header_;
+  std::uint64_t events_ = 0;
+};
+
+class jsonl_reader final : public trace_source {
+ public:
+  explicit jsonl_reader(std::istream& in);
+
+  const trace_header& header() const override { return header_; }
+  bool next(trace_event& e) override;
+
+ private:
+  std::istream& in_;
+  trace_header header_;
+  std::uint64_t line_ = 1;  // header consumed in the constructor
+};
+
+// Sniffs the stream (binary magic vs '{') and returns the matching reader.
+std::unique_ptr<trace_source> open_source(std::istream& in);
+
+}  // namespace frd::trace

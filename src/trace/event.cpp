@@ -1,0 +1,160 @@
+#include "trace/event.hpp"
+
+namespace frd::trace {
+
+namespace {
+
+struct kind_desc {
+  int n;
+  const char* names[kMaxEventFields];
+};
+
+// Field order here IS the wire order of both codecs; never reorder within a
+// trace version.
+const kind_desc kDescs[kEventKindCount] = {
+    /*program_begin*/ {2, {"main_fn", "first"}},
+    /*program_end*/ {1, {"last"}},
+    /*strand_begin*/ {2, {"s", "owner"}},
+    /*spawn*/ {5, {"parent", "u", "child", "w", "v"}},
+    /*create*/ {5, {"parent", "u", "child", "w", "v"}},
+    /*ret*/ {3, {"child", "last", "parent"}},
+    /*sync_begin*/ {3, {"fn", "before", "count"}},
+    /*sync_child*/
+    {6, {"child", "fork_strand", "child_first", "child_last", "cont_first",
+         "join_strand"}},
+    /*get*/ {6, {"fn", "u", "v", "fut", "w", "creator"}},
+    /*read*/ {1, {"addr"}},
+    /*write*/ {1, {"addr"}},
+};
+
+std::uint32_t narrow32(std::uint64_t v, event_kind k) {
+  if (v > 0xffffffffull) {
+    throw trace_error("trace field overflows 32-bit id in a '" +
+                      std::string(to_string(k)) + "' event");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+int field_count(event_kind k) { return kDescs[static_cast<int>(k)].n; }
+
+const char* const* field_names(event_kind k) {
+  return kDescs[static_cast<int>(k)].names;
+}
+
+event_fields fields_of(const trace_event& e) {
+  event_fields f;
+  f.n = field_count(e.kind);
+  switch (e.kind) {
+    case event_kind::program_begin:
+      f.v[0] = e.program_begin.main_fn;
+      f.v[1] = e.program_begin.first;
+      break;
+    case event_kind::program_end:
+      f.v[0] = e.program_end.last;
+      break;
+    case event_kind::strand_begin:
+      f.v[0] = e.strand_begin.s;
+      f.v[1] = e.strand_begin.owner;
+      break;
+    case event_kind::spawn:
+    case event_kind::create:
+      f.v[0] = e.fork.parent;
+      f.v[1] = e.fork.u;
+      f.v[2] = e.fork.child;
+      f.v[3] = e.fork.w;
+      f.v[4] = e.fork.v;
+      break;
+    case event_kind::ret:
+      f.v[0] = e.ret.child;
+      f.v[1] = e.ret.last;
+      f.v[2] = e.ret.parent;
+      break;
+    case event_kind::sync_begin:
+      f.v[0] = e.sync_begin.fn;
+      f.v[1] = e.sync_begin.before;
+      f.v[2] = e.sync_begin.count;
+      break;
+    case event_kind::sync_child:
+      f.v[0] = e.sync_child.child;
+      f.v[1] = e.sync_child.fork_strand;
+      f.v[2] = e.sync_child.child_first;
+      f.v[3] = e.sync_child.child_last;
+      f.v[4] = e.sync_child.cont_first;
+      f.v[5] = e.sync_child.join_strand;
+      break;
+    case event_kind::get:
+      f.v[0] = e.get.fn;
+      f.v[1] = e.get.u;
+      f.v[2] = e.get.v;
+      f.v[3] = e.get.fut;
+      f.v[4] = e.get.w;
+      f.v[5] = e.get.creator;
+      break;
+    case event_kind::read:
+    case event_kind::write:
+      f.v[0] = e.access.addr;
+      break;
+  }
+  return f;
+}
+
+trace_event event_from(event_kind k, const event_fields& f) {
+  if (f.n != field_count(k)) {
+    throw trace_error("wrong field count for a '" + std::string(to_string(k)) +
+                      "' event: got " + std::to_string(f.n) + ", want " +
+                      std::to_string(field_count(k)));
+  }
+  trace_event e;
+  e.kind = k;
+  switch (k) {
+    case event_kind::program_begin:
+      e.program_begin = {narrow32(f.v[0], k), narrow32(f.v[1], k)};
+      break;
+    case event_kind::program_end:
+      e.program_end = {narrow32(f.v[0], k)};
+      break;
+    case event_kind::strand_begin:
+      e.strand_begin = {narrow32(f.v[0], k), narrow32(f.v[1], k)};
+      break;
+    case event_kind::spawn:
+    case event_kind::create:
+      e.fork = {narrow32(f.v[0], k), narrow32(f.v[1], k), narrow32(f.v[2], k),
+                narrow32(f.v[3], k), narrow32(f.v[4], k)};
+      break;
+    case event_kind::ret:
+      e.ret = {narrow32(f.v[0], k), narrow32(f.v[1], k), narrow32(f.v[2], k)};
+      break;
+    case event_kind::sync_begin:
+      e.sync_begin = {narrow32(f.v[0], k), narrow32(f.v[1], k),
+                      narrow32(f.v[2], k)};
+      break;
+    case event_kind::sync_child:
+      e.sync_child = {narrow32(f.v[0], k), narrow32(f.v[1], k),
+                      narrow32(f.v[2], k), narrow32(f.v[3], k),
+                      narrow32(f.v[4], k), narrow32(f.v[5], k)};
+      break;
+    case event_kind::get:
+      e.get = {narrow32(f.v[0], k), narrow32(f.v[1], k), narrow32(f.v[2], k),
+               narrow32(f.v[3], k), narrow32(f.v[4], k), narrow32(f.v[5], k)};
+      break;
+    case event_kind::read:
+    case event_kind::write:
+      e.access = {f.v[0]};
+      break;
+  }
+  return e;
+}
+
+bool operator==(const trace_event& a, const trace_event& b) {
+  if (a.kind != b.kind) return false;
+  const event_fields fa = fields_of(a);
+  const event_fields fb = fields_of(b);
+  for (int i = 0; i < fa.n; ++i) {
+    if (fa.v[i] != fb.v[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace frd::trace

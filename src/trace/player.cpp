@@ -1,0 +1,113 @@
+#include "trace/player.hpp"
+
+#include <string>
+#include <vector>
+
+namespace frd::trace {
+
+namespace {
+
+// Recorded addresses are 64-bit; on a narrower host a silent truncation
+// would collide distinct granules and quietly change the race report, so
+// out-of-range addresses are an error like any other malformed input.
+const void* checked_pointer(std::uint64_t addr) {
+  if constexpr (sizeof(std::uintptr_t) < sizeof(std::uint64_t)) {
+    if (addr > UINTPTR_MAX) {
+      throw trace_error("trace granule address " + std::to_string(addr) +
+                        " does not fit this host's pointers; replay the "
+                        "trace on a 64-bit build");
+    }
+  }
+  return reinterpret_cast<const void*>(static_cast<std::uintptr_t>(addr));
+}
+
+}  // namespace
+
+trace_player::stats trace_player::play(rt::execution_listener* listener,
+                                       detect::hooks::access_sink* sink) {
+  const std::size_t granule = src_.header().granule;
+  stats st;
+  std::vector<rt::child_record> children;
+  std::vector<rt::strand_id> joins;
+  trace_event e;
+  while (src_.next(e)) {
+    ++st.events;
+    switch (e.kind) {
+      case event_kind::program_begin:
+        if (listener) {
+          listener->on_program_begin(e.program_begin.main_fn,
+                                     e.program_begin.first);
+        }
+        break;
+      case event_kind::program_end:
+        if (listener) listener->on_program_end(e.program_end.last);
+        break;
+      case event_kind::strand_begin:
+        if (listener) {
+          listener->on_strand_begin(e.strand_begin.s, e.strand_begin.owner);
+        }
+        break;
+      case event_kind::spawn:
+        if (listener) {
+          listener->on_spawn(e.fork.parent, e.fork.u, e.fork.child, e.fork.w,
+                             e.fork.v);
+        }
+        break;
+      case event_kind::create:
+        if (listener) {
+          listener->on_create(e.fork.parent, e.fork.u, e.fork.child, e.fork.w,
+                              e.fork.v);
+        }
+        break;
+      case event_kind::ret:
+        if (listener) listener->on_return(e.ret.child, e.ret.last, e.ret.parent);
+        break;
+      case event_kind::sync_begin: {
+        const rt::func_id fn = e.sync_begin.fn;
+        const rt::strand_id before = e.sync_begin.before;
+        const std::uint32_t count = e.sync_begin.count;
+        children.clear();
+        joins.clear();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (!src_.next(e) || e.kind != event_kind::sync_child) {
+            throw trace_error(
+                "malformed trace: sync_begin announced " +
+                std::to_string(count) + " children but child " +
+                std::to_string(i) + " is missing");
+          }
+          ++st.events;
+          children.push_back(rt::child_record{
+              e.sync_child.child, e.sync_child.fork_strand,
+              e.sync_child.child_first, e.sync_child.child_last,
+              e.sync_child.cont_first});
+          joins.push_back(e.sync_child.join_strand);
+        }
+        if (listener) {
+          rt::execution_listener::sync_event se{fn, before, children, joins};
+          listener->on_sync(se);
+        }
+        break;
+      }
+      case event_kind::sync_child:
+        throw trace_error(
+            "malformed trace: sync_child outside a sync_begin run");
+      case event_kind::get:
+        if (listener) {
+          listener->on_get(e.get.fn, e.get.u, e.get.v, e.get.fut, e.get.w,
+                           e.get.creator);
+        }
+        break;
+      case event_kind::read:
+        ++st.accesses;
+        if (sink) sink->on_read(checked_pointer(e.access.addr), granule);
+        break;
+      case event_kind::write:
+        ++st.accesses;
+        if (sink) sink->on_write(checked_pointer(e.access.addr), granule);
+        break;
+    }
+  }
+  return st;
+}
+
+}  // namespace frd::trace

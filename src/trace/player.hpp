@@ -1,0 +1,44 @@
+// trace_player: re-emits a stored trace into any execution_listener +
+// access_sink pair — detection without executing user code.
+//
+// The player is the inverse of trace_recorder: flattened sync_begin /
+// sync_child runs are reassembled into a single sync_event (children in
+// spawn order, join strands in span order) before on_sync fires, so a
+// replayed backend observes a stream bit-identical to the live one. Access
+// events call the sink with the recorded granule base address and the
+// header's granule as the byte count; replaying under the same granule
+// reproduces the live shadow behavior — and therefore the race report —
+// exactly. (The sink's raw call COUNT can exceed the live run's: an access
+// that spanned g granules was recorded as g events and replays as g calls,
+// so per-call tallies like detector::access_count() are upper bounds under
+// replay, while every granule-keyed result is identical.)
+#pragma once
+
+#include <cstdint>
+
+#include "detect/hooks.hpp"
+#include "runtime/events.hpp"
+#include "trace/event.hpp"
+
+namespace frd::trace {
+
+class trace_player {
+ public:
+  explicit trace_player(trace_source& src) : src_(src) {}
+
+  struct stats {
+    std::uint64_t events = 0;    // trace events consumed
+    std::uint64_t accesses = 0;  // read/write events re-emitted
+  };
+
+  // Drains the source, emitting into `listener` (dag events) and `sink`
+  // (accesses); either may be null to replay one half of the stream. Throws
+  // trace_error on malformed input (e.g. a sync_child run cut short).
+  stats play(rt::execution_listener* listener,
+             detect::hooks::access_sink* sink);
+
+ private:
+  trace_source& src_;
+};
+
+}  // namespace frd::trace

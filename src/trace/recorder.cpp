@@ -1,0 +1,114 @@
+#include "trace/recorder.hpp"
+
+#include <string>
+
+#include "support/granule.hpp"
+
+namespace frd::trace {
+
+trace_recorder::trace_recorder(trace_sink& out, std::size_t granule)
+    : out_(out), granule_(granule), granule_mask_(frd::granule_mask(granule)) {
+  if (!valid_granule(granule)) {
+    throw trace_error("recorder granule must be a power of two in [1, 4096] "
+                      "bytes, got " +
+                      std::to_string(granule));
+  }
+  out_.on_header(
+      trace_header{kTraceVersion, static_cast<std::uint32_t>(granule)});
+}
+
+void trace_recorder::on_program_begin(rt::func_id f, rt::strand_id s) {
+  trace_event e;
+  e.kind = event_kind::program_begin;
+  e.program_begin = {f, s};
+  put(e);
+}
+
+void trace_recorder::on_program_end(rt::strand_id s) {
+  trace_event e;
+  e.kind = event_kind::program_end;
+  e.program_end = {s};
+  put(e);
+}
+
+void trace_recorder::on_strand_begin(rt::strand_id s, rt::func_id f) {
+  trace_event e;
+  e.kind = event_kind::strand_begin;
+  e.strand_begin = {s, f};
+  put(e);
+}
+
+void trace_recorder::on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c,
+                              rt::strand_id w, rt::strand_id v) {
+  trace_event e;
+  e.kind = event_kind::spawn;
+  e.fork = {p, u, c, w, v};
+  put(e);
+}
+
+void trace_recorder::on_create(rt::func_id p, rt::strand_id u, rt::func_id c,
+                               rt::strand_id w, rt::strand_id v) {
+  trace_event e;
+  e.kind = event_kind::create;
+  e.fork = {p, u, c, w, v};
+  put(e);
+}
+
+void trace_recorder::on_return(rt::func_id c, rt::strand_id last,
+                               rt::func_id p) {
+  trace_event e;
+  e.kind = event_kind::ret;
+  e.ret = {c, last, p};
+  put(e);
+}
+
+void trace_recorder::on_sync(const sync_event& e) {
+  trace_event out;
+  out.kind = event_kind::sync_begin;
+  out.sync_begin = {e.fn, e.before,
+                    static_cast<std::uint32_t>(e.children.size())};
+  put(out);
+  // children.size() == join_strands.size() by the runtime's contract; pair
+  // them positionally so the player can rebuild both spans verbatim.
+  for (std::size_t i = 0; i < e.children.size(); ++i) {
+    const rt::child_record& c = e.children[i];
+    trace_event child;
+    child.kind = event_kind::sync_child;
+    child.sync_child = {c.child,      c.fork_strand, c.child_first,
+                        c.child_last, c.cont_first,  e.join_strands[i]};
+    put(child);
+  }
+}
+
+void trace_recorder::on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                            rt::func_id fut, rt::strand_id w,
+                            rt::strand_id creator) {
+  trace_event e;
+  e.kind = event_kind::get;
+  e.get = {fn, u, v, fut, w, creator};
+  put(e);
+}
+
+void trace_recorder::record_access(event_kind kind, const void* p,
+                                   std::size_t bytes) {
+  // The one shared splitting definition keeps recorded granule events
+  // bit-identical to the checks the live detector performs.
+  for_each_granule(p, bytes, granule_, granule_mask_, [&](std::uintptr_t a) {
+    trace_event e;
+    e.kind = kind;
+    e.access = {static_cast<std::uint64_t>(a)};
+    put(e);
+  });
+}
+
+void trace_recorder::on_read(const void* p, std::size_t bytes) {
+  record_access(event_kind::read, p, bytes);
+  if (next_ != nullptr) next_->on_read(p, bytes);
+}
+
+void trace_recorder::on_write(const void* p, std::size_t bytes) {
+  record_access(event_kind::write, p, bytes);
+  if (next_ != nullptr) next_->on_write(p, bytes);
+}
+
+}  // namespace frd::trace

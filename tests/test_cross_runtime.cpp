@@ -57,7 +57,12 @@ TEST(CrossRuntime, WavefrontSameAnswerOnBothRuntimes) {
 TEST(CrossRuntime, PipelineChainSameFoldOnBothRuntimes) {
   // An ordered reduction through a future chain: associativity-sensitive,
   // so identical results prove identical effective ordering.
-  auto fold_step = [](long acc, int i) { return acc * 31 + i; };
+  // Unsigned arithmetic: the fold wraps by design, and signed overflow
+  // would be UB (the ASan+UBSan CI job runs this test).
+  auto fold_step = [](long acc, int i) {
+    return static_cast<long>(static_cast<unsigned long>(acc) * 31u +
+                             static_cast<unsigned long>(i));
+  };
   const int n = 200;
 
   long serial_result = 0;

@@ -135,5 +135,24 @@ TEST(ListenerMux, AllListenersSeeIdenticalStreams) {
   EXPECT_EQ(a.gets, c.gets);
 }
 
+TEST(ListenerMux, FanOutGrowsPastTheOldFixedCapacity) {
+  // The mux used to trap at 8 listeners; recorder + oracle + detector stacks
+  // now push past that, so it must grow instead.
+  std::vector<counting_listener> many(20);
+  rt::listener_mux mux;
+  for (auto& l : many) mux.add(&l);
+  EXPECT_EQ(mux.size(), many.size());
+  rt::serial_runtime rt(&mux);
+  rt.run([&] {
+    rt.spawn([&] {});
+    rt.sync();
+  });
+  for (const auto& l : many) {
+    EXPECT_EQ(l.spawns, 1);
+    EXPECT_EQ(l.syncs, 1);
+    EXPECT_EQ(l.strands, many.front().strands);
+  }
+}
+
 }  // namespace
 }  // namespace frd

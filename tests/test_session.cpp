@@ -10,6 +10,7 @@
 #include "api/session.hpp"
 #include "detect/registry.hpp"
 #include "graph/oracle_backend.hpp"
+#include "trace/event.hpp"
 
 namespace frd {
 namespace {
@@ -345,28 +346,80 @@ TEST(Session, ReferenceAgreesWithMultiBagsPlusOnAMixedProgram) {
   EXPECT_FALSE(plus.empty());
 }
 
-// --------------------------------------------------------- deprecation --
-TEST(Session, DeprecatedEnumShimStillConstructsAWorkingDetector) {
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  detect::detector det(detect::algorithm::multibags_plus, detect::level::full);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_EQ(det.backend_name(), "multibags+");
-  rt::serial_runtime rt(&det);
-  int x = 0;
-  rt.run([&] {
-    auto f = rt.create_future([&] {
-      det.on_write(&x, 4);
-      return 0;
-    });
-    det.on_write(&x, 4);
-    f.get();
-  });
-  EXPECT_TRUE(det.report().any());
+// --------------------------------------------------------- trace modes --
+TEST(Session, RecordModeDetectsAndCapturesATrace) {
+  trace::memory_trace tape;
+  session s("multibags+");
+  EXPECT_EQ(s.mode(), session_mode::live);
+  s.record_to(tape);
+  EXPECT_EQ(s.mode(), session_mode::record);
+  racy_future_program(s);
+  // Recording must not change what the session detects...
+  EXPECT_TRUE(s.report().any());
+  EXPECT_EQ(s.report().racy_granules().size(), 1u);
+  // ...and the tape holds the whole run: dag events plus both writes.
+  EXPECT_GT(tape.size(), 0u);
+  std::size_t writes = 0;
+  for (const auto& e : tape.events()) {
+    if (e.kind == trace::event_kind::write) ++writes;
+  }
+  EXPECT_EQ(writes, 2u);
+}
+
+TEST(Session, ReplayReproducesTheLiveReportWithoutUserCode) {
+  trace::memory_trace tape;
+  session rec("multibags+");
+  rec.record_to(tape);
+  racy_future_program(rec);
+
+  for (const char* backend : {"multibags", "multibags+", "vector-clock",
+                              "reference"}) {
+    tape.rewind();
+    session s(backend);
+    const std::uint64_t events = s.replay(tape);
+    EXPECT_EQ(s.mode(), session_mode::replay) << backend;
+    EXPECT_GT(events, 0u) << backend;
+    EXPECT_EQ(s.report().racy_granules(), rec.report().racy_granules())
+        << backend;
+    EXPECT_EQ(s.report().total(), rec.report().total()) << backend;
+  }
+}
+
+TEST(Session, ReplayRejectsAGranuleMismatch) {
+  trace::memory_trace tape;
+  session rec(session::options{.backend = "multibags+", .granule = 4});
+  rec.record_to(tape);
+  racy_future_program(rec);
+  tape.rewind();
+  session s(session::options{.backend = "multibags+", .granule = 8});
+  EXPECT_THROW(s.replay(tape), trace::trace_error);
+}
+
+TEST(Session, BaselineReplayBehavesLikeBaselineLive) {
+  // A live baseline session attaches no listener, so even a fork-join-only
+  // backend accepts a futures program and counts nothing; replay at
+  // level::baseline must mirror that instead of feeding the detector.
+  trace::memory_trace tape;
+  session rec("multibags+");
+  rec.record_to(tape);
+  racy_future_program(rec);
+  tape.rewind();
+  session s(session::options{.backend = "sp-bags", .level = level::baseline});
+  EXPECT_NO_THROW(s.replay(tape));
+  EXPECT_EQ(s.get_count(), 0u);
+  EXPECT_FALSE(s.report().any());
+}
+
+TEST(Session, ReplaySessionEnforcesCapabilitiesLikeALiveOne) {
+  // sp-bags is fork-join only; a replayed create_fut must be rejected the
+  // same way a live one is.
+  trace::memory_trace tape;
+  session rec("multibags+");
+  rec.record_to(tape);
+  racy_future_program(rec);
+  tape.rewind();
+  session s("sp-bags");
+  EXPECT_THROW(s.replay(tape), capability_error);
 }
 
 }  // namespace

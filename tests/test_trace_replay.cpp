@@ -1,0 +1,159 @@
+// Differential record/replay tests (the acceptance bar of the trace API):
+// a fuzz-generated program is executed and recorded ONCE; the stored trace
+// is then replayed through every futures-capable backend and the race
+// report (racy granule set + race count) must be identical to running the
+// same program live under that backend. The trace travels through the
+// binary codec on every replay, so the wire format is in the loop, not just
+// the in-memory event objects.
+//
+// The memory cells are file-static so the granule addresses recorded in the
+// trace are the granule addresses the live runs touch.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "detect/registry.hpp"
+#include "graph/fuzz.hpp"
+#include "trace/codec.hpp"
+#include "trace/event.hpp"
+
+namespace frd {
+namespace {
+
+constexpr std::uint32_t kMaxCells = 16;
+std::array<int, kMaxCells> g_cells;
+
+// Runs the fuzz program of `cfg` under a fresh session, routing accesses
+// through the session's hooks (so record mode captures them).
+void run_fuzz(session& s, const graph::fuzz_config& cfg) {
+  graph::fuzzer fz(s.runtime(), cfg,
+                   [&s](std::uint32_t cell, bool write) {
+                     if (write) {
+                       s.write(&g_cells[cell], 4);
+                     } else {
+                       s.read(&g_cells[cell], 4);
+                     }
+                   });
+  s.run([&](rt::serial_runtime&) { fz.run(); });
+}
+
+graph::fuzz_config make_cfg(std::uint64_t seed, bool structured) {
+  graph::fuzz_config cfg;
+  cfg.seed = seed;
+  cfg.structured = structured;
+  cfg.max_depth = 6;
+  cfg.max_actions_per_body = 12;
+  cfg.n_cells = kMaxCells;
+  cfg.max_futures = 64;
+  if (!structured) cfg.max_touches_per_future = 3;
+  return cfg;
+}
+
+std::vector<std::string> backends_supporting(detect::future_support needed) {
+  std::vector<std::string> out;
+  const auto& reg = detect::backend_registry::instance();
+  for (const std::string& name : reg.names()) {
+    const detect::future_support have = reg.at(name).futures;
+    if (have == detect::future_support::none) continue;
+    if (needed == detect::future_support::general &&
+        have == detect::future_support::structured) {
+      continue;
+    }
+    out.push_back(name);
+  }
+  return out;
+}
+
+// Records `cfg` once (under multibags+, which accepts both program classes)
+// and serializes the trace to binary bytes.
+std::string record_bytes(const graph::fuzz_config& cfg) {
+  std::ostringstream bytes;
+  trace::trace_writer writer(
+      bytes, trace::trace_header{trace::kTraceVersion, /*granule=*/4});
+  session rec(session::options{.backend = "multibags+", .granule = 4});
+  rec.record_to(writer);
+  run_fuzz(rec, cfg);
+  writer.finish();
+  EXPECT_GT(writer.events_written(), 0u);
+  return bytes.str();
+}
+
+void check_replay_matches_live(const graph::fuzz_config& cfg,
+                               detect::future_support needed) {
+  const std::string bytes = record_bytes(cfg);
+  const auto backends = backends_supporting(needed);
+  ASSERT_FALSE(backends.empty());
+  for (const std::string& backend : backends) {
+    // Live run of the very same program under this backend.
+    session live(session::options{.backend = backend, .granule = 4});
+    run_fuzz(live, cfg);
+
+    // Replay of the recorded trace, through the binary codec.
+    std::istringstream in(bytes);
+    trace::trace_reader reader(in);
+    session replayed(session::options{.backend = backend, .granule = 4});
+    const std::uint64_t events = replayed.replay(reader);
+
+    EXPECT_GT(events, 0u) << backend;
+    EXPECT_EQ(replayed.report().racy_granules(), live.report().racy_granules())
+        << "replay diverged from live under backend '" << backend
+        << "' (seed " << cfg.seed << ")";
+    EXPECT_EQ(replayed.report().total(), live.report().total())
+        << "race counts diverged under backend '" << backend << "' (seed "
+        << cfg.seed << ")";
+    EXPECT_EQ(replayed.get_count(), live.get_count()) << backend;
+  }
+}
+
+class StructuredReplay : public ::testing::TestWithParam<std::uint64_t> {};
+class GeneralReplay : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuredReplay, EveryFuturesCapableBackendMatchesItsLiveRun) {
+  check_replay_matches_live(make_cfg(GetParam(), /*structured=*/true),
+                            detect::future_support::structured);
+}
+
+TEST_P(GeneralReplay, EveryGeneralBackendMatchesItsLiveRun) {
+  check_replay_matches_live(make_cfg(GetParam(), /*structured=*/false),
+                            detect::future_support::general);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredReplay,
+                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralReplay,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// The JSONL side of the codec carries detection-identical traces too: dump
+// the binary trace to JSONL, replay both, compare reports.
+TEST(JsonlReplay, JsonlAndBinaryReplaysAgree) {
+  const auto cfg = make_cfg(77, /*structured=*/false);
+  const std::string bytes = record_bytes(cfg);
+
+  std::istringstream bin_in(bytes);
+  trace::trace_reader bin_reader(bin_in);
+  std::ostringstream jsonl;
+  trace::jsonl_writer jw(jsonl, bin_reader.header());
+  trace::trace_event e;
+  while (bin_reader.next(e)) jw.put(e);
+
+  std::istringstream bin_again(bytes);
+  trace::trace_reader r1(bin_again);
+  session a(session::options{.backend = "multibags+", .granule = 4});
+  a.replay(r1);
+
+  std::istringstream jsonl_in(jsonl.str());
+  trace::jsonl_reader r2(jsonl_in);
+  session b(session::options{.backend = "multibags+", .granule = 4});
+  b.replay(r2);
+
+  EXPECT_EQ(a.report().racy_granules(), b.report().racy_granules());
+  EXPECT_EQ(a.report().total(), b.report().total());
+}
+
+}  // namespace
+}  // namespace frd

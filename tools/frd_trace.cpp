@@ -1,0 +1,278 @@
+// frd-trace — record, replay, and inspect FutureRD execution traces.
+//
+//   frd-trace record --program demo --out demo.frdt [--backend multibags+]
+//                    [--granule 4] [--seed 1] [--format binary|jsonl]
+//   frd-trace run   <trace> [--backend multibags+]
+//   frd-trace dump  <trace>              # JSONL to stdout
+//   frd-trace stats <trace>              # event-kind histogram + totals
+//
+// A trace is a shareable repro artifact: `record` captures one of the
+// built-in programs (demo — a deterministic racy mix of spawns, syncs, and
+// escaping futures — or a seeded fuzz program), `run` replays it through any
+// registered backend with no user code executing, and `dump`/`stats` make it
+// reviewable. Binary and JSONL inputs are auto-detected.
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "api/session.hpp"
+#include "detect/registry.hpp"
+#include "graph/fuzz.hpp"
+#include "support/flags.hpp"
+#include "support/granule.hpp"
+#include "trace/codec.hpp"
+#include "trace/event.hpp"
+
+namespace {
+
+using namespace frd;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <command> ...\n"
+               "  record --program demo|fuzz|fuzz-general --out FILE\n"
+               "         [--backend NAME] [--granule N] [--seed N]\n"
+               "         [--format binary|jsonl]\n"
+               "  run   FILE [--backend NAME]\n"
+               "  dump  FILE\n"
+               "  stats FILE\n",
+               prog);
+  return 2;
+}
+
+std::array<int, 16> g_cells;
+
+// The deterministic demo program: spawns, a sync, and a future that escapes
+// it (same shape as the session test's differential anchor) — two racy
+// granules (cells[1] future-vs-spawn, cells[2] spawn-vs-continuation).
+void demo_program(session& s) {
+  s.run([&] {
+    auto& rt = s.runtime();
+    auto f = rt.create_future([&] {
+      s.write(&g_cells[0]);
+      s.write(&g_cells[1]);
+      return 0;
+    });
+    rt.spawn([&] {
+      s.write(&g_cells[1]);
+      s.write(&g_cells[2]);
+    });
+    s.write(&g_cells[2]);
+    rt.sync();
+    s.write(&g_cells[3]);
+    f.get();
+    s.read(&g_cells[0]);
+    s.write(&g_cells[3]);
+  });
+}
+
+void fuzz_program(session& s, std::uint64_t seed, bool structured) {
+  graph::fuzz_config cfg;
+  cfg.seed = seed;
+  cfg.structured = structured;
+  cfg.max_depth = 6;
+  cfg.max_actions_per_body = 12;
+  cfg.n_cells = static_cast<std::uint32_t>(g_cells.size());
+  cfg.max_futures = 64;
+  graph::fuzzer fz(s.runtime(), cfg, [&s](std::uint32_t cell, bool write) {
+    if (write) {
+      s.write(&g_cells[cell]);
+    } else {
+      s.read(&g_cells[cell]);
+    }
+  });
+  s.run([&](rt::serial_runtime&) { fz.run(); });
+}
+
+void print_report(const session& s, std::uint64_t events) {
+  std::printf("backend:        %s\n", std::string(s.backend_name()).c_str());
+  std::printf("mode:           %s\n", std::string(to_string(s.mode())).c_str());
+  if (events) std::printf("trace events:   %llu\n",
+                          static_cast<unsigned long long>(events));
+  std::printf("accesses:       %llu\n",
+              static_cast<unsigned long long>(s.access_count()));
+  std::printf("gets (k):       %llu\n",
+              static_cast<unsigned long long>(s.get_count()));
+  std::printf("races:          %llu (%zu distinct granules)\n",
+              static_cast<unsigned long long>(s.report().total()),
+              s.report().racy_granules().size());
+}
+
+int cmd_record(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& program = flags.string_flag("program", "demo",
+                                    "demo | fuzz | fuzz-general");
+  auto& out_path = flags.string_flag("out", "", "output trace file (required)");
+  auto& backend = flags.string_flag("backend", "multibags+",
+                                    "detection backend while recording");
+  auto& granule = flags.int_flag("granule", 4, "shadow granule (bytes)");
+  auto& seed = flags.int_flag("seed", 1, "fuzz seed");
+  auto& format = flags.string_flag("format", "binary", "binary | jsonl");
+  flags.parse();
+  // Every input is validated (and the session constructed — bad backend
+  // names throw here) BEFORE the output file is created, so no failure mode
+  // leaves a bogus artifact at --out.
+  if (out_path.empty()) {
+    std::fprintf(stderr, "record: --out is required\n");
+    return 2;
+  }
+  if (program != "demo" && program != "fuzz" && program != "fuzz-general") {
+    std::fprintf(stderr, "record: unknown --program '%s'\n", program.c_str());
+    return 2;
+  }
+  if (format != "binary" && format != "jsonl") {
+    std::fprintf(stderr, "record: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (granule < 1 || !frd::valid_granule(static_cast<std::size_t>(granule))) {
+    std::fprintf(stderr, "record: --granule must be a power of two in "
+                         "[1, 4096]\n");
+    return 2;
+  }
+  session s(session::options{.backend = backend,
+                             .granule = static_cast<std::size_t>(granule)});
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "record: cannot open '%s' for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const trace::trace_header header{
+      trace::kTraceVersion, static_cast<std::uint32_t>(granule)};
+  std::unique_ptr<trace::trace_sink> sink;
+  if (format == "binary") {
+    sink = std::make_unique<trace::trace_writer>(out, header);
+  } else {
+    sink = std::make_unique<trace::jsonl_writer>(out, header);
+  }
+
+  s.record_to(*sink);
+  try {
+    if (program == "demo") {
+      demo_program(s);
+    } else {
+      fuzz_program(s, static_cast<std::uint64_t>(seed), program == "fuzz");
+    }
+    // finish() throws trace_error on stream failure (disk full etc.) — like
+    // any other failure in this block it lands in the catch below, so no
+    // failure mode leaves a truncated artifact behind.
+    sink->finish();
+    out.close();
+    if (!out) throw trace::trace_error("writing '" + out_path + "' failed");
+  } catch (...) {
+    // Don't leave a partial artifact behind: a half-written trace that a
+    // later script might ship as a repro is worse than no file.
+    out.close();
+    std::remove(out_path.c_str());
+    throw;
+  }
+
+  std::printf("recorded '%s' to %s (%s)\n", program.c_str(), out_path.c_str(),
+              format.c_str());
+  print_report(s, 0);
+  return 0;
+}
+
+int cmd_run(const std::string& path, int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& backend = flags.string_flag("backend", "multibags+",
+                                    "detection backend to replay through");
+  flags.parse();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "run: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  auto src = trace::open_source(in);
+  session s(session::options{
+      .backend = backend,
+      .granule = static_cast<std::size_t>(src->header().granule)});
+  const std::uint64_t events = s.replay(*src);
+  print_report(s, events);
+  return 0;
+}
+
+int cmd_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "dump: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  auto src = trace::open_source(in);
+  trace::jsonl_writer out(std::cout, src->header());
+  trace::trace_event e;
+  while (src->next(e)) out.put(e);
+  out.finish();  // surfaces a failed stdout (redirected to a full disk, ...)
+  return 0;
+}
+
+int cmd_stats(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "stats: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  auto src = trace::open_source(in);
+  std::uint64_t counts[trace::kEventKindCount] = {};
+  std::uint64_t total = 0, accesses = 0;
+  std::uint32_t max_strand = 0;
+  trace::trace_event e;
+  while (src->next(e)) {
+    ++counts[static_cast<int>(e.kind)];
+    ++total;
+    if (e.kind == trace::event_kind::read ||
+        e.kind == trace::event_kind::write) {
+      ++accesses;
+    }
+    if (e.kind == trace::event_kind::strand_begin &&
+        e.strand_begin.s > max_strand) {
+      max_strand = e.strand_begin.s;
+    }
+  }
+  std::printf("trace:    %s\n", path.c_str());
+  std::printf("version:  %u   granule: %u bytes\n", src->header().version,
+              src->header().granule);
+  std::printf("events:   %llu (%llu accesses)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(accesses));
+  std::printf("strands:  >= %u\n", max_strand + 1);
+  for (int k = 0; k < trace::kEventKindCount; ++k) {
+    if (counts[k] == 0) continue;
+    std::printf("  %-14s %llu\n",
+                std::string(to_string(static_cast<trace::event_kind>(k))).c_str(),
+                static_cast<unsigned long long>(counts[k]));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "record") return cmd_record(argc - 1, argv + 1);
+    if (cmd == "run" || cmd == "dump" || cmd == "stats") {
+      if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "%s: expected a trace file argument\n",
+                     cmd.c_str());
+        return usage(argv[0]);
+      }
+      const std::string path = argv[2];
+      if (cmd == "run") return cmd_run(path, argc - 2, argv + 2);
+      if (cmd == "dump") return cmd_dump(path);
+      return cmd_stats(path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "frd-trace %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
