@@ -1,29 +1,42 @@
 // Replay-mode benchmark: pure detection throughput (trace events/sec) per
 // backend, with no kernel execution in the timed region.
 //
-// A sizeable structured fuzz program is executed and recorded ONCE into an
-// in-memory trace; each futures-capable backend then replays that identical
-// event stream `reps` times from a fresh session. Because replay executes no
-// user code, the numbers isolate what the paper's full-detection overhead is
-// made of — reachability maintenance + access-history work — without kernel
-// noise, making them comparable across machines and PRs. Results go to
-// stdout as a table and to --json as a machine-readable file next to the
-// other harness output, so the perf trajectory accumulates.
+// Two sources of traces:
+//
+//   --corpus DIR   (the per-PR snapshot mode) replays every entry of the
+//                  checked-in trace corpus through every backend eligible
+//                  for it, so the numbers cover the paper kernels and the
+//                  adversarial shapes alike and stay comparable across PRs —
+//                  the traces are versioned artifacts, not regenerated
+//                  programs. Each replay's racy-granule count is checked
+//                  against the entry's golden: a perf run on a detector that
+//                  silently miscounts races is not a perf run.
+//   (default)      a sizeable structured fuzz program is executed and
+//                  recorded ONCE into an in-memory trace, then replayed —
+//                  the quick local-iteration mode.
+//
+// Because replay executes no user code, the numbers isolate what the
+// paper's full-detection overhead is made of — reachability maintenance +
+// access-history work — without kernel noise. Results go to stdout as a
+// table and to --json (default BENCH_replay_throughput.json) as the
+// machine-readable snapshot CI uploads; perf/ keeps one snapshot per PR.
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "api/session.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/runner.hpp"
 #include "detect/registry.hpp"
 #include "graph/fuzz.hpp"
+#include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 #include "trace/event.hpp"
 #include "trace/recorder.hpp"
-#include "support/check.hpp"
 
 using namespace frd;
 
@@ -50,23 +63,132 @@ void fuzz_into(session& s, std::uint64_t seed, int depth, int actions,
   s.run([&](rt::serial_runtime&) { fz.run(); });
 }
 
+struct row {
+  std::string trace;  // corpus entry name, or "fuzz" in fuzz mode
+  std::string backend;
+  std::uint64_t events = 0;
+  double mean_s = 0, rsd = 0, events_per_sec = 0;
+  std::uint64_t racy_granules = 0;
+};
+
+// Replays `tape` through `backend` `reps` times (after one warmup) and
+// fills the timing columns.
+row bench_backend(trace::memory_trace& tape, const std::string& name,
+                  const std::string& backend, int reps) {
+  std::vector<double> times;
+  std::uint64_t racy = 0;
+  for (int r = 0; r < reps + 1; ++r) {
+    tape.rewind();
+    session s(session::options{.backend = backend,
+                               .granule = tape.header().granule});
+    wall_timer t;
+    s.replay(tape);
+    const double secs = t.seconds();
+    if (r > 0) times.push_back(secs);  // first replay is warmup
+    racy = s.report().racy_granules().size();
+  }
+  tape.rewind();
+  row out;
+  out.trace = name;
+  out.backend = backend;
+  out.events = tape.size();
+  out.mean_s = mean(times);
+  out.rsd = rel_stddev(times);
+  out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
+  out.racy_granules = racy;
+  return out;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<row>& rows) {
+  std::ofstream json(path);
+  json << "{\n  \"bench\": \"replay_throughput\",\n"
+       << "  \"mode\": \"" << mode << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const row& r = rows[i];
+    json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
+         << r.backend << "\", \"events\": " << r.events
+         << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
+         << ", \"events_per_sec\": " << r.events_per_sec
+         << ", \"racy_granules\": " << r.racy_granules << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();  // flush before checking, or buffered failures slip through
+  if (!json) {
+    std::fprintf(stderr, "replay_throughput: writing %s failed\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_table(const std::vector<row>& rows, const char* title) {
+  text_table table({"trace", "backend", "events", "mean", "events/sec",
+                    "racy"});
+  for (const row& r : rows) {
+    char eps[64];
+    std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
+    table.add_row({r.trace, r.backend, std::to_string(r.events),
+                   text_table::seconds(r.mean_s), eps,
+                   std::to_string(r.racy_granules)});
+  }
+  std::printf("\n== Replay throughput: %s ==\n%s", title,
+              table.render().c_str());
+}
+
+int run_corpus_mode(const std::string& dir, int reps,
+                    const std::string& json_path) {
+  const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
+  std::vector<row> rows;
+  for (const corpus::corpus_entry& e : m.entries) {
+    trace::memory_trace tape = corpus::load_trace(dir + "/" + e.trace_file);
+    const corpus::golden_report gold =
+        corpus::load_golden(dir + "/" + e.golden_file);
+    for (const std::string& backend : corpus::eligible_backends(e.futures)) {
+      row r = bench_backend(tape, e.name, backend, reps);
+      FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
+                    "replay race count diverged from the corpus golden — run "
+                    "frd-corpus verify");
+      rows.push_back(std::move(r));
+    }
+  }
+  print_table(rows, (std::to_string(m.entries.size()) + "-entry corpus, " +
+                     std::to_string(reps) + " reps")
+                        .c_str());
+  write_json(json_path, "corpus", rows);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   flag_parser flags(argc, argv);
   auto& reps = flags.int_flag("reps", 5, "replays per backend");
+  auto& corpus_dir = flags.string_flag(
+      "corpus", "", "replay the trace corpus at this directory instead of a "
+                    "freshly recorded fuzz program");
   auto& seed = flags.int_flag("seed", 12, "fuzz seed for the recorded program");
   // Program size grows exponentially in depth/actions — nudge gently.
   auto& depth = flags.int_flag("depth", 8, "fuzz nesting depth");
   auto& actions = flags.int_flag("actions", 16, "fuzz actions per body");
   auto& futures = flags.int_flag("futures", 2000, "cap on futures created");
   auto& cells = flags.int_flag("cells", 64, "distinct shared memory cells");
-  auto& json_path = flags.string_flag("json", "replay_throughput.json",
+  auto& json_path = flags.string_flag("json", "BENCH_replay_throughput.json",
                                       "machine-readable output file");
   flags.parse();
   if (reps < 1) {
     std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
     return 1;
+  }
+
+  if (!corpus_dir.empty()) {
+    try {
+      return run_corpus_mode(corpus_dir, static_cast<int>(reps), json_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "replay_throughput: %s\n", e.what());
+      return 1;
+    }
   }
 
   g_cells.assign(static_cast<std::size_t>(cells), 0);
@@ -82,64 +204,20 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(rec.access_count()),
                static_cast<unsigned long long>(rec.report().total()));
 
-  struct row {
-    std::string backend;
-    double mean_s = 0, rsd = 0, events_per_sec = 0;
-    std::uint64_t races = 0;
-  };
+  const std::uint64_t baseline_racy = rec.report().racy_granules().size();
   std::vector<row> rows;
-
   const auto& reg = detect::backend_registry::instance();
   for (const std::string& name : reg.names()) {
     if (reg.at(name).futures == detect::future_support::none) continue;
-    std::vector<double> times;
-    std::uint64_t races = 0;
-    std::uint64_t baseline_races = rec.report().total();
-    for (int r = 0; r < static_cast<int>(reps) + 1; ++r) {
-      tape.rewind();
-      session s(session::options{.backend = name, .granule = 4});
-      wall_timer t;
-      s.replay(tape);
-      const double secs = t.seconds();
-      if (r > 0) times.push_back(secs);  // first replay is warmup
-      races = s.report().total();
-    }
-    FRD_CHECK_MSG(races == baseline_races,
+    row r = bench_backend(tape, "fuzz", name, static_cast<int>(reps));
+    FRD_CHECK_MSG(r.racy_granules == baseline_racy,
                   "replay race count diverged from the recording session");
-    row out;
-    out.backend = name;
-    out.mean_s = mean(times);
-    out.rsd = rel_stddev(times);
-    out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
-    out.races = races;
-    rows.push_back(out);
+    rows.push_back(std::move(r));
   }
 
-  text_table table({"backend", "mean", "events/sec", "races"});
-  for (const row& r : rows) {
-    char eps[64];
-    std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
-    table.add_row({r.backend, text_table::seconds(r.mean_s), eps,
-                   std::to_string(r.races)});
-  }
-  std::printf("\n== Replay throughput: %zu-event trace, %lld reps ==\n%s",
-              tape.size(), static_cast<long long>(reps),
-              table.render().c_str());
-
-  std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"replay_throughput\",\n"
-       << "  \"trace_events\": " << tape.size() << ",\n"
-       << "  \"seed\": " << seed << ",\n  \"depth\": " << depth
-       << ",\n  \"actions\": " << actions << ",\n"
-       << "  \"backends\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const row& r = rows[i];
-    json << "    {\"name\": \"" << r.backend << "\", \"mean_seconds\": "
-         << r.mean_s << ", \"rel_stddev\": " << r.rsd
-         << ", \"events_per_sec\": " << r.events_per_sec << ", \"races\": "
-         << r.races << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
-  std::printf("wrote %s\n", json_path.c_str());
+  print_table(rows, (std::to_string(tape.size()) + "-event fuzz trace, " +
+                     std::to_string(reps) + " reps")
+                        .c_str());
+  write_json(json_path, "fuzz", rows);
   return 0;
 }

@@ -1,0 +1,137 @@
+#include "corpus/golden.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "corpus/parse.hpp"
+
+namespace frd::corpus {
+
+namespace {
+
+using detail::parse_u64;
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%06llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Lists up to `cap` granules, then "... (+N more)" — a divergence message
+// must stay readable even when a backend misreports a whole array.
+std::string granule_list(const std::vector<std::uint64_t>& v) {
+  constexpr std::size_t cap = 8;
+  std::string out;
+  for (std::size_t i = 0; i < v.size() && i < cap; ++i) {
+    if (i) out += ' ';
+    out += hex(v[i]);
+  }
+  if (v.size() > cap) {
+    out += " ... (+" + std::to_string(v.size() - cap) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_golden(std::ostream& out, const golden_report& g) {
+  out << "# FutureRD golden race report v1\n";
+  out << "granule " << g.granule << "\n";
+  out << "events " << g.events << "\n";
+  out << "accesses " << g.accesses << "\n";
+  out << "gets " << g.gets << "\n";
+  out << "violations " << g.violations << "\n";
+  out << "racy_granules " << g.racy_granules.size() << "\n";
+  for (const std::uint64_t a : g.racy_granules) out << "racy " << hex(a) << "\n";
+}
+
+golden_report read_golden(std::istream& in) {
+  golden_report g;
+  bool saw_granule = false, saw_count = false;
+  std::uint64_t declared_racy = 0;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key, value;
+    ls >> key >> value;
+    if (value.empty()) {
+      throw corpus_error("golden: line " + std::to_string(line_no) +
+                         " has no value: '" + line + "'");
+    }
+    const std::string ctx = "golden line " + std::to_string(line_no);
+    if (key == "granule") {
+      g.granule = static_cast<std::uint32_t>(parse_u64(value, ctx));
+      saw_granule = true;
+    } else if (key == "events") {
+      g.events = parse_u64(value, ctx);
+    } else if (key == "accesses") {
+      g.accesses = parse_u64(value, ctx);
+    } else if (key == "gets") {
+      g.gets = parse_u64(value, ctx);
+    } else if (key == "violations") {
+      g.violations = parse_u64(value, ctx);
+    } else if (key == "racy_granules") {
+      declared_racy = parse_u64(value, ctx);
+      saw_count = true;
+    } else if (key == "racy") {
+      g.racy_granules.insert(parse_u64(value, ctx));
+    } else {
+      throw corpus_error("golden: unknown key '" + key + "' at " + ctx);
+    }
+  }
+  if (!saw_granule || !saw_count) {
+    throw corpus_error("golden: missing required keys (granule, racy_granules)");
+  }
+  if (declared_racy != g.racy_granules.size()) {
+    throw corpus_error("golden: declares " + std::to_string(declared_racy) +
+                       " racy granules but lists " +
+                       std::to_string(g.racy_granules.size()) +
+                       " — truncated or hand-edited?");
+  }
+  return g;
+}
+
+std::vector<std::string> diff_goldens(const golden_report& expected,
+                                      const golden_report& actual,
+                                      bool compare_violations) {
+  std::vector<std::string> out;
+  auto num = [&out](const char* what, std::uint64_t want, std::uint64_t got) {
+    if (want != got) {
+      out.push_back(std::string(what) + " mismatch: golden " +
+                    std::to_string(want) + ", replay " + std::to_string(got));
+    }
+  };
+  num("granule", expected.granule, actual.granule);
+  num("trace event count", expected.events, actual.events);
+  num("access count", expected.accesses, actual.accesses);
+  num("get count", expected.gets, actual.gets);
+  if (compare_violations) {
+    num("structured-violation count", expected.violations, actual.violations);
+  }
+
+  std::vector<std::uint64_t> missing, unexpected;
+  for (const std::uint64_t a : expected.racy_granules) {
+    if (!actual.racy_granules.count(a)) missing.push_back(a);
+  }
+  for (const std::uint64_t a : actual.racy_granules) {
+    if (!expected.racy_granules.count(a)) unexpected.push_back(a);
+  }
+  if (!missing.empty()) {
+    out.push_back("missed " + std::to_string(missing.size()) +
+                  " racy granule(s) the golden expects: " +
+                  granule_list(missing));
+  }
+  if (!unexpected.empty()) {
+    out.push_back("reported " + std::to_string(unexpected.size()) +
+                  " granule(s) the golden says are race-free: " +
+                  granule_list(unexpected));
+  }
+  return out;
+}
+
+}  // namespace frd::corpus

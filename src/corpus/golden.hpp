@@ -1,0 +1,73 @@
+// Golden race reports: the corpus's regression oracle.
+//
+// A golden is the backend-independent summary of replaying one corpus trace:
+// the trace's intrinsic totals (events, accesses, gets) plus the sorted set
+// of racy granules the paper's per-location guarantee (§3, Theorems 4.2/5.2)
+// pins down exactly. Race *counts* beyond the granule set are deliberately
+// absent — report().total() is a per-backend dedup detail — but the
+// structured-discipline violation count is kept (it anchors MultiBags' §4
+// violation counter on structured traces; 0 for general traces, where no
+// violation-counting backend is eligible).
+//
+// The text format is line-oriented and sorted so goldens diff cleanly in
+// git:
+//
+//   # FutureRD golden race report v1
+//   granule 4
+//   events 812
+//   accesses 240
+//   gets 12
+//   violations 0
+//   racy_granules 2
+//   racy 0x101010
+//   racy 0x101018
+//
+// Granule addresses are the corpus's *normalized* addresses (runner.hpp):
+// first-touch order, machine-independent, so a golden regenerated anywhere
+// is byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace frd::corpus {
+
+// Raised on malformed corpus artifacts (goldens, manifests): the corpus is a
+// versioned, checked-in contract, so a parse problem is corruption, not a
+// recoverable condition.
+class corpus_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct golden_report {
+  std::uint32_t granule = 4;
+  std::uint64_t events = 0;    // total trace events
+  std::uint64_t accesses = 0;  // read/write events (replay sink calls)
+  std::uint64_t gets = 0;      // future touches (the paper's k)
+  std::uint64_t violations = 0;  // structured-discipline violations
+  std::set<std::uint64_t> racy_granules;
+
+  bool operator==(const golden_report&) const = default;
+};
+
+// Serializes in the stable text format above.
+void write_golden(std::ostream& out, const golden_report& g);
+
+// Parses; throws corpus_error on malformed input (unknown keys, a racy count
+// that disagrees with the racy lines, missing header).
+golden_report read_golden(std::istream& in);
+
+// Human-readable divergence between an expected golden and what a backend
+// actually reported: one line per difference, naming the granules that are
+// missing (expected racy, not reported) and unexpected (reported, not in the
+// golden), plus any metadata mismatch. Empty means conformance.
+std::vector<std::string> diff_goldens(const golden_report& expected,
+                                      const golden_report& actual,
+                                      bool compare_violations);
+
+}  // namespace frd::corpus

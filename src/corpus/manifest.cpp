@@ -1,0 +1,151 @@
+#include "corpus/manifest.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "corpus/parse.hpp"
+
+namespace frd::corpus {
+
+namespace {
+
+using detail::parse_u64;
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+detect::future_support futures_from(const std::string& s,
+                                    const std::string& context) {
+  if (s == "structured") return detect::future_support::structured;
+  if (s == "general") return detect::future_support::general;
+  throw corpus_error("manifest: futures must be 'structured' or 'general', "
+                     "got '" + s + "' in " + context);
+}
+
+}  // namespace
+
+std::string_view to_string(entry_kind k) {
+  switch (k) {
+    case entry_kind::paper_kernel: return "paper-kernel";
+    case entry_kind::adversarial: return "adversarial";
+    case entry_kind::fuzz: return "fuzz";
+  }
+  return "?";
+}
+
+entry_kind entry_kind_from(std::string_view s) {
+  if (s == "paper-kernel") return entry_kind::paper_kernel;
+  if (s == "adversarial") return entry_kind::adversarial;
+  if (s == "fuzz") return entry_kind::fuzz;
+  throw corpus_error("manifest: unknown entry kind '" + std::string(s) + "'");
+}
+
+const corpus_entry* manifest::find(std::string_view name) const {
+  for (const corpus_entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+void write_manifest(std::ostream& out, const manifest& m) {
+  out << "# FutureRD trace corpus v1\n"
+      << "# Regenerate with: frd-corpus generate --dir corpus\n"
+      << "# Re-derive goldens only (traces fixed): frd-corpus regold\n";
+  for (const corpus_entry& e : m.entries) {
+    out << "\nentry " << e.name << "\n";
+    out << "kind = " << to_string(e.kind) << "\n";
+    out << "program = " << e.program << "\n";
+    out << "futures = "
+        << (e.futures == detect::future_support::general ? "general"
+                                                         : "structured")
+        << "\n";
+    out << "granule = " << e.granule << "\n";
+    out << "seed = " << e.seed << "\n";
+    out << "trace = " << e.trace_file << "\n";
+    out << "golden = " << e.golden_file << "\n";
+    if (!e.provenance.empty()) out << "provenance = " << e.provenance << "\n";
+  }
+}
+
+manifest read_manifest(std::istream& in) {
+  manifest m;
+  corpus_entry* cur = nullptr;
+  std::string line;
+  std::uint64_t line_no = 0;
+  auto finish_entry = [&m](const corpus_entry* e) {
+    if (e == nullptr) return;
+    if (e->trace_file.empty() || e->golden_file.empty()) {
+      throw corpus_error("manifest: entry '" + e->name +
+                         "' is missing its trace/golden file names");
+    }
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const std::string ctx =
+        "manifest line " + std::to_string(line_no) + " ('" + t + "')";
+    if (t.rfind("entry ", 0) == 0) {
+      finish_entry(cur);
+      corpus_entry e;
+      e.name = trim(t.substr(6));
+      if (e.name.empty()) throw corpus_error("manifest: empty entry name, " + ctx);
+      if (m.find(e.name) != nullptr) {
+        throw corpus_error("manifest: duplicate entry '" + e.name + "'");
+      }
+      m.entries.push_back(std::move(e));
+      cur = &m.entries.back();
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos || cur == nullptr) {
+      throw corpus_error("manifest: expected 'entry NAME' or 'key = value', " +
+                         ctx);
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key == "kind") {
+      cur->kind = entry_kind_from(value);
+    } else if (key == "program") {
+      cur->program = value;
+    } else if (key == "futures") {
+      cur->futures = futures_from(value, ctx);
+    } else if (key == "granule") {
+      cur->granule = static_cast<std::uint32_t>(parse_u64(value, ctx));
+    } else if (key == "seed") {
+      cur->seed = parse_u64(value, ctx);
+    } else if (key == "trace") {
+      cur->trace_file = value;
+    } else if (key == "golden") {
+      cur->golden_file = value;
+    } else if (key == "provenance") {
+      cur->provenance = value;
+    } else {
+      throw corpus_error("manifest: unknown key '" + key + "', " + ctx);
+    }
+  }
+  finish_entry(cur);
+  if (m.entries.empty()) {
+    throw corpus_error("manifest: no entries (not a corpus manifest?)");
+  }
+  return m;
+}
+
+manifest load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw corpus_error("cannot open manifest '" + path + "'");
+  return read_manifest(in);
+}
+
+golden_report load_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw corpus_error("cannot open golden '" + path + "'");
+  return read_golden(in);
+}
+
+}  // namespace frd::corpus

@@ -1,0 +1,75 @@
+// The corpus manifest: the single source of truth for what the checked-in
+// corpus contains.
+//
+// corpus/MANIFEST is a line-oriented text file of entry blocks:
+//
+//   # FutureRD trace corpus v1
+//   entry lcs-structured
+//   kind = paper-kernel
+//   program = lcs-structured
+//   futures = structured
+//   granule = 4
+//   seed = 1
+//   trace = lcs-structured.frdt
+//   golden = lcs-structured.golden
+//   provenance = §6 LCS tiled wavefront (n=24, B=8), create-edge down / get left
+//
+// Every consumer iterates the manifest — the conformance test, `frd-corpus
+// verify`, and the replay-throughput bench — so adding an entry here (plus
+// its trace and golden) automatically adds coverage everywhere.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/golden.hpp"
+#include "detect/types.hpp"
+
+namespace frd::corpus {
+
+// Why a trace is in the corpus; informational (verify treats all alike).
+enum class entry_kind : std::uint8_t {
+  paper_kernel,  // a §6 benchmark kernel at repro scale
+  adversarial,   // hand-built stress shape (get chains, fan-in, purges, ...)
+  fuzz,          // seeded random program from graph::fuzzer
+};
+
+std::string_view to_string(entry_kind k);
+entry_kind entry_kind_from(std::string_view s);  // throws corpus_error
+
+struct corpus_entry {
+  std::string name;      // unique key, also the default file stem
+  entry_kind kind = entry_kind::adversarial;
+  std::string program;   // corpus_program registry key (programs.hpp)
+  // Weakest future support a backend needs to replay this trace soundly;
+  // verify runs every registered backend at least this capable.
+  detect::future_support futures = detect::future_support::structured;
+  std::uint32_t granule = 4;
+  std::uint64_t seed = 0;
+  std::string trace_file;   // relative to the corpus directory
+  std::string golden_file;  // relative to the corpus directory
+  std::string provenance;   // free text for humans
+};
+
+struct manifest {
+  std::vector<corpus_entry> entries;
+
+  // Lookup by name; null when absent.
+  const corpus_entry* find(std::string_view name) const;
+};
+
+void write_manifest(std::ostream& out, const manifest& m);
+
+// Parses; throws corpus_error on malformed blocks, duplicate names, unknown
+// keys, or entries missing their trace/golden file names.
+manifest read_manifest(std::istream& in);
+
+// Convenience file loaders; throw corpus_error when the file cannot be
+// opened (the message names the path).
+manifest load_manifest(const std::string& path);
+golden_report load_golden(const std::string& path);
+
+}  // namespace frd::corpus

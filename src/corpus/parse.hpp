@@ -1,0 +1,32 @@
+// Internal: strict unsigned-number parsing shared by the corpus text codecs
+// (golden reports and the manifest). Accepts decimal and 0x-prefixed hex,
+// rejects trailing junk, and throws corpus_error naming the caller's
+// context — one definition so the two codecs cannot drift.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "corpus/golden.hpp"
+
+namespace frd::corpus::detail {
+
+inline std::uint64_t parse_u64(const std::string& s,
+                               const std::string& context) {
+  std::uint64_t v = 0;
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    b += 2;
+    base = 16;
+  }
+  const auto [p, ec] = std::from_chars(b, e, v, base);
+  if (ec != std::errc{} || p != e) {
+    throw corpus_error("bad number '" + s + "' in " + context);
+  }
+  return v;
+}
+
+}  // namespace frd::corpus::detail

@@ -1,0 +1,261 @@
+#include "corpus/programs.hpp"
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "api/session.hpp"
+#include "bench_suite/bst.hpp"
+#include "bench_suite/lcs.hpp"
+#include "bench_suite/sw.hpp"
+#include "graph/fuzz.hpp"
+#include "support/check.hpp"
+
+namespace frd::corpus {
+
+namespace {
+
+using detect::hooks::active;
+
+// Shared cells of the adversarial and fuzz shapes. Cache-line aligned so the
+// cell→granule grouping is a property of the program, not of where the
+// linker happened to place the array (normalized traces stay byte-identical
+// across builds).
+alignas(64) std::array<int, 96> g_cells;
+
+// ------------------------------------------------------- paper kernels ----
+
+void run_lcs(session& s, std::uint64_t seed, bool structured) {
+  const auto in = bench::make_lcs_input(24, seed);
+  const int want = bench::lcs_reference(in);
+  const int got = s.run([&](rt::serial_runtime& rt) {
+    return structured ? bench::lcs_structured<active>(rt, in, 8)
+                      : bench::lcs_general<active>(rt, in, 8);
+  });
+  FRD_CHECK_MSG(got == want, "lcs kernel miscomputed while recording");
+}
+
+void run_sw(session& s, std::uint64_t seed) {
+  const auto in = bench::make_sw_input(16, seed);
+  const std::int32_t want = bench::sw_reference(in);
+  const std::int32_t got = s.run([&](rt::serial_runtime& rt) {
+    return bench::sw_structured<active>(rt, in, 8);
+  });
+  FRD_CHECK_MSG(got == want, "sw kernel miscomputed while recording");
+}
+
+void run_bst(session& s, std::uint64_t seed, bool structured) {
+  auto in = bench::make_bst_input(40, 40, seed);
+  const std::size_t want_n = in.n1 + in.n2;
+  const std::int64_t want_sum =
+      bench::bst_key_sum(in.t1) + bench::bst_key_sum(in.t2);
+  bench::bst_node* merged = s.run([&](rt::serial_runtime& rt) {
+    return structured ? bench::bst_structured<active>(rt, in, 3)
+                      : bench::bst_general<active>(rt, in, 3);
+  });
+  FRD_CHECK_MSG(bench::bst_count(merged) == want_n &&
+                    bench::bst_is_search_tree(merged) &&
+                    bench::bst_key_sum(merged) == want_sum,
+                "bst merge miscomputed while recording");
+}
+
+// --------------------------------------------------- adversarial shapes ----
+
+// Deep get-chain (§5 stress): future i joins future i-1 inside its own body,
+// building the longest possible chain of non-local joins; main then
+// re-touches a spread of handles (multi-touch ⇒ general). A spawn races the
+// chain on cells[5] (future-vs-spawn write/write) and on cells[64]
+// (spawn-vs-continuation).
+void run_deep_get_chain(session& s, std::uint64_t /*seed*/) {
+  constexpr int kChain = 48;
+  s.run([&] {
+    auto& rt = s.runtime();
+    std::deque<rt::future<int>> chain;
+    chain.push_back(rt.create_future([&] {
+      s.write(&g_cells[0]);
+      return 0;
+    }));
+    for (int i = 1; i < kChain; ++i) {
+      chain.push_back(rt.create_future([&, i] {
+        chain[static_cast<std::size_t>(i - 1)].get();
+        s.read(&g_cells[i - 1]);
+        s.write(&g_cells[i]);
+        return i;
+      }));
+    }
+    rt.spawn([&] {
+      s.write(&g_cells[5]);   // races chain future #5's write
+      s.write(&g_cells[64]);  // races main's continuation below
+    });
+    s.write(&g_cells[64]);
+    rt.sync();
+    // Fan over the chain with strided re-touches: every handle below the
+    // stride point is touched twice (once by its successor, once here).
+    for (int i = 0; i < kChain; i += 7) chain[i].get();
+    chain[kChain - 1].get();
+    s.read(&g_cells[kChain - 1]);  // ordered: joined through the chain
+  });
+}
+
+// Wide future fan-in: many sibling futures, pairwise parallel, all writing
+// one shared granule (one racy granule, Θ(width²) parallel pairs — the
+// reader-list/purge pressure case) before main joins them all; two handles
+// are then touched a second time, putting the trace in the general class.
+void run_wide_fanin(session& s, std::uint64_t /*seed*/) {
+  constexpr int kWidth = 40;
+  s.run([&] {
+    auto& rt = s.runtime();
+    // A reader future created first: its read stays parallel to every
+    // sibling writer until main joins it at the very end.
+    auto reader = rt.create_future([&] {
+      s.read(&g_cells[80]);
+      return -1;
+    });
+    std::deque<rt::future<int>> futs;
+    for (int i = 0; i < kWidth; ++i) {
+      futs.push_back(rt.create_future([&, i] {
+        s.write(&g_cells[i]);   // private: race-free
+        s.write(&g_cells[80]);  // shared: races every sibling and the reader
+        return i;
+      }));
+    }
+    for (int i = 0; i < kWidth; ++i) {
+      futs[i].get();
+      s.read(&g_cells[i]);  // ordered by the get just above
+    }
+    futs[0].get();           // second touches: general futures
+    futs[kWidth / 2].get();
+    reader.get();
+    s.write(&g_cells[80]);   // ordered after every sibling: race-free
+  });
+}
+
+// Purge stress (§3): rounds of spawn-R-readers / sync / write grow the
+// shadow reader list and then purge it once the readers become ordered;
+// a future-flavored variant does the same through create/get. The tail
+// leaves one reader unsynced, so exactly cells[0] is racy.
+void run_purge_stress(session& s, std::uint64_t /*seed*/) {
+  constexpr int kReaders = 6, kRounds = 5, kCells = 4;
+  s.run([&] {
+    auto& rt = s.runtime();
+    for (int round = 0; round < kRounds; ++round) {
+      for (int c = 0; c < kCells; ++c) {
+        for (int r = 0; r < kReaders; ++r) {
+          rt.spawn([&, c] { s.read(&g_cells[c]); });
+        }
+        rt.sync();
+        s.write(&g_cells[c]);  // every reader is ordered: purge, no race
+      }
+    }
+    for (int c = 0; c < kCells; ++c) {
+      auto f = rt.create_future([&, c] {
+        s.read(&g_cells[c]);
+        return c;
+      });
+      f.get();               // single touch, creator precedes getter
+      s.write(&g_cells[c]);  // ordered through the get: purge, no race
+    }
+    rt.spawn([&] { s.read(&g_cells[0]); });
+    s.write(&g_cells[0]);  // reader still parallel: the one real race
+    rt.sync();
+  });
+}
+
+// Sync-heavy structured recursion: every body runs two sync spans (two
+// sibling subtrees, then a straggler leaf). Sibling subtrees at depth d both
+// write cells[d] after their internal syncs, and siblings are parallel, so
+// cells[0..depth-1] are racy while main's cells[depth] is not.
+void run_sync_heavy(session& s, std::uint64_t /*seed*/) {
+  constexpr int kDepth = 5;
+  s.run([&] {
+    auto& rt = s.runtime();
+    std::function<void(int)> rec = [&](int d) {
+      if (d == 0) {
+        s.read(&g_cells[16]);  // read-shared by every leaf: race-free
+        return;
+      }
+      rt.spawn([&, d] { rec(d - 1); });
+      rt.spawn([&, d] { rec(d - 1); });
+      rt.sync();
+      s.write(&g_cells[d - 1]);  // parallel with the sibling subtree's write
+      rt.spawn([&, d] { s.read(&g_cells[d - 1]); });
+      rt.sync();  // second span: the straggler joins before the body returns
+    };
+    rec(kDepth);
+    s.write(&g_cells[kDepth]);  // after the implicit join: race-free
+  });
+}
+
+// ------------------------------------------------------------- fuzzing ----
+
+void run_fuzz(session& s, std::uint64_t seed, bool structured) {
+  graph::fuzz_config cfg;
+  cfg.seed = seed;
+  cfg.structured = structured;
+  cfg.max_depth = 6;
+  cfg.max_actions_per_body = 12;
+  cfg.n_cells = 16;
+  cfg.max_futures = 64;
+  if (!structured) {
+    cfg.max_touches_per_future = 6;  // §5 multi-touch pressure
+    cfg.w_get = 5;
+  }
+  graph::fuzzer fz(s.runtime(), cfg, [&s](std::uint32_t cell, bool write) {
+    if (write) {
+      s.write(&g_cells[cell]);
+    } else {
+      s.read(&g_cells[cell]);
+    }
+  });
+  s.run([&](rt::serial_runtime&) { fz.run(); });
+}
+
+}  // namespace
+
+const std::vector<corpus_program>& corpus_programs() {
+  using fs = detect::future_support;
+  static const std::vector<corpus_program> progs = {
+      {"lcs-structured", fs::structured,
+       "§6 LCS tiled wavefront (n=24, B=8): create-edge down, get left",
+       [](session& s, std::uint64_t seed) { run_lcs(s, seed, true); }},
+      {"lcs-general", fs::general,
+       "§6 LCS tiled wavefront (n=24, B=8): one multi-touch future per tile",
+       [](session& s, std::uint64_t seed) { run_lcs(s, seed, false); }},
+      {"sw-structured", fs::structured,
+       "§6 Smith-Waterman wavefront (n=16, B=8), Θ(n³) work per future",
+       [](session& s, std::uint64_t seed) { run_sw(s, seed); }},
+      {"bst-structured", fs::structured,
+       "§6 BRM pipelined BST merge (40+40 keys, cutoff 3), top-down resolve",
+       [](session& s, std::uint64_t seed) { run_bst(s, seed, true); }},
+      {"bst-general", fs::general,
+       "§6 BRM pipelined BST merge (40+40 keys, cutoff 3), bottom-up resolve",
+       [](session& s, std::uint64_t seed) { run_bst(s, seed, false); }},
+      {"deep-get-chain", fs::general,
+       "48-deep chain of in-body gets with strided multi-touch re-joins",
+       run_deep_get_chain},
+      {"wide-fanin", fs::general,
+       "40 sibling futures racing on one shared granule, joined by one strand",
+       run_wide_fanin},
+      {"purge-stress", fs::structured,
+       "reader-list grow/purge rounds via sync and via single-touch gets",
+       run_purge_stress},
+      {"sync-heavy", fs::structured,
+       "two sync spans per body over a depth-5 spawn tree, sibling races",
+       run_sync_heavy},
+      {"fuzz-structured", fs::structured,
+       "graph::fuzzer, structured discipline (depth 6, 64 futures)",
+       [](session& s, std::uint64_t seed) { run_fuzz(s, seed, true); }},
+      {"fuzz-general", fs::general,
+       "graph::fuzzer, general futures, max_touches_per_future=6",
+       [](session& s, std::uint64_t seed) { run_fuzz(s, seed, false); }},
+  };
+  return progs;
+}
+
+const corpus_program* find_program(std::string_view name) {
+  for (const corpus_program& p : corpus_programs())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+}  // namespace frd::corpus

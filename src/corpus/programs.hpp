@@ -1,0 +1,44 @@
+// Recordable corpus programs: paper kernels at repro scale, adversarial
+// shapes, and seeded fuzz programs.
+//
+// Every program is deterministic given its seed and instruments all shared
+// accesses through the session's hooks, so recording it yields a trace whose
+// *normalized* form (runner.hpp) is machine-independent: shared state lives
+// in cache-line-aligned static arrays (granule grouping fixed by alignment)
+// or in heap blocks whose ≥8-byte allocation alignment keeps 4-byte granule
+// boundaries stable. Kernel outputs are checked against their uninstrumented
+// references at record time, so a corpus trace is never a recording of a
+// miscomputation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/types.hpp"
+
+namespace frd {
+class session;
+}
+
+namespace frd::corpus {
+
+struct corpus_program {
+  std::string name;
+  // Weakest backend capability that can soundly replay a recording of this
+  // program (drives which backends `verify` runs).
+  detect::future_support futures;
+  std::string description;
+  // Runs the program to completion inside `s` (live or record mode).
+  std::function<void(session& s, std::uint64_t seed)> run;
+};
+
+// The registry of all recordable programs.
+const std::vector<corpus_program>& corpus_programs();
+
+// Lookup by name; null when unknown.
+const corpus_program* find_program(std::string_view name);
+
+}  // namespace frd::corpus

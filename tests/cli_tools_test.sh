@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# CLI surface tests for frd-trace and frd-corpus (registered as ctest
+# `cli_tools`). Covers what the unit tests cannot: argv handling, exit
+# codes, format auto-detection across processes, no-partial-artifact
+# guarantees, and `frd-corpus verify`'s non-zero divergence exit naming the
+# backend and granule.
+#
+# usage: cli_tools_test.sh <frd-trace> <frd-corpus> <corpus-dir>
+set -u
+
+FRD_TRACE=$1
+FRD_CORPUS=$2
+CORPUS_DIR=$3
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+note() { printf '%s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; fails=$((fails + 1)); }
+
+# expect_rc <expected-rc> <description> <cmd...>
+expect_rc() {
+  local want=$1 what=$2
+  shift 2
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    fail "$what: expected exit $want, got $got"
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+  fi
+}
+
+# ------------------------------------------------------------- frd-trace --
+
+expect_rc 2 "frd-trace with no arguments prints usage" "$FRD_TRACE"
+expect_rc 2 "frd-trace rejects an unknown subcommand" "$FRD_TRACE" frobnicate
+expect_rc 2 "frd-trace run without a file argument" "$FRD_TRACE" run
+expect_rc 1 "frd-trace run on a missing file" "$FRD_TRACE" run "$TMP/nope.frdt"
+expect_rc 2 "frd-trace record without --out" "$FRD_TRACE" record --program demo
+expect_rc 2 "frd-trace record with unknown --program" \
+  "$FRD_TRACE" record --program nope --out "$TMP/x.frdt"
+expect_rc 2 "frd-trace record with a bad --granule" \
+  "$FRD_TRACE" record --program demo --granule 3 --out "$TMP/x.frdt"
+expect_rc 1 "frd-trace record with unknown --backend" \
+  "$FRD_TRACE" record --program demo --backend nope --out "$TMP/x.frdt"
+[ -e "$TMP/x.frdt" ] && fail "failed record left a partial artifact behind"
+
+expect_rc 0 "frd-trace records the demo program (binary)" \
+  "$FRD_TRACE" record --program demo --out "$TMP/demo.frdt"
+expect_rc 0 "frd-trace records the demo program (jsonl)" \
+  "$FRD_TRACE" record --program demo --format jsonl --out "$TMP/demo.jsonl"
+expect_rc 0 "frd-trace stats reads the binary trace" \
+  "$FRD_TRACE" stats "$TMP/demo.frdt"
+expect_rc 0 "frd-trace dump converts binary to jsonl" \
+  "$FRD_TRACE" dump "$TMP/demo.frdt"
+
+# Auto-detection: the same recording replayed from both encodings must
+# produce the same race report.
+"$FRD_TRACE" run "$TMP/demo.frdt" >"$TMP/run_bin.txt" 2>&1 ||
+  fail "replaying the binary demo trace"
+"$FRD_TRACE" run "$TMP/demo.jsonl" >"$TMP/run_jsonl.txt" 2>&1 ||
+  fail "replaying the jsonl demo trace (format auto-detect)"
+if ! diff <(grep '^races:' "$TMP/run_bin.txt") \
+          <(grep '^races:' "$TMP/run_jsonl.txt") >/dev/null; then
+  fail "binary and jsonl replays of the same program disagree on races"
+fi
+grep -q 'mode: *replay' "$TMP/run_bin.txt" ||
+  fail "frd-trace run should report replay mode"
+
+# A truncated trace must be rejected, not silently shortened.
+head -c 16 "$TMP/demo.frdt" >"$TMP/cut.frdt"
+expect_rc 1 "frd-trace run rejects a truncated trace" \
+  "$FRD_TRACE" run "$TMP/cut.frdt"
+
+# ------------------------------------------------------------ frd-corpus --
+
+expect_rc 2 "frd-corpus with no arguments prints usage" "$FRD_CORPUS"
+expect_rc 2 "frd-corpus rejects an unknown subcommand" "$FRD_CORPUS" nope
+expect_rc 1 "frd-corpus verify on a missing directory" \
+  "$FRD_CORPUS" verify --dir "$TMP/no-such-corpus"
+expect_rc 0 "frd-corpus list prints the manifest" \
+  "$FRD_CORPUS" list --dir "$CORPUS_DIR"
+expect_rc 1 "frd-corpus verify rejects an unknown --backend" \
+  "$FRD_CORPUS" verify --dir "$CORPUS_DIR" --backend nope
+expect_rc 1 "frd-corpus verify fails when --backend matches zero checks" \
+  "$FRD_CORPUS" verify --dir "$CORPUS_DIR" --backend sp-bags
+expect_rc 1 "frd-corpus generate rejects an unknown --only" \
+  "$FRD_CORPUS" generate --dir "$TMP" --only nope
+
+expect_rc 0 "frd-corpus verify passes on the checked-in corpus" \
+  "$FRD_CORPUS" verify --dir "$CORPUS_DIR"
+
+# Tamper with a copy: verify must exit non-zero and say WHICH backend
+# diverged on WHICH granule.
+cp -r "$CORPUS_DIR" "$TMP/corpus"
+# Portable rewrite (BSD sed reads -i differently): swap the racy list for a
+# granule no backend will ever report.
+sed -e 's/^racy_granules .*/racy_granules 1/' -e '/^racy 0x/d' \
+  "$TMP/corpus/sync-heavy.golden" >"$TMP/golden.tmp"
+printf 'racy 0xdead00\n' >>"$TMP/golden.tmp"
+mv "$TMP/golden.tmp" "$TMP/corpus/sync-heavy.golden"
+"$FRD_CORPUS" verify --dir "$TMP/corpus" >"$TMP/out" 2>"$TMP/err"
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  fail "verify passed on a tampered golden"
+fi
+grep -q 'FAIL sync-heavy \[' "$TMP/err" ||
+  fail "verify divergence must name the entry and backend"
+grep -q '0xdead00' "$TMP/err" ||
+  fail "verify divergence must name the granule that diverged"
+
+# A corpus with a missing trace file fails loudly too.
+rm "$TMP/corpus/wide-fanin.frdt"
+expect_rc 1 "frd-corpus verify fails when a manifest trace is missing" \
+  "$FRD_CORPUS" verify --dir "$TMP/corpus"
+
+if [ "$fails" -ne 0 ]; then
+  note "$fails CLI check(s) failed"
+  exit 1
+fi
+note "all CLI checks passed"

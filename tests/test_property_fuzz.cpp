@@ -163,6 +163,31 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StructuredFuzz,
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneralFuzz,
                          ::testing::Range<std::uint64_t>(1, 33));
 
+// General-futures programs tilted hard toward the §5 multi-touch path: a
+// high per-future touch budget and a heavy get weight make handles join from
+// many unordered strands, which is exactly where MultiBags+'s attached/
+// unattached bookkeeping (and its k² term) earns its keep. Distinct from
+// GeneralFuzz above, which stays at the default 3 touches.
+class GeneralHighTouchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneralHighTouchFuzz, MultiTouchHeavyProgramsMatchOracle) {
+  graph::fuzz_config cfg = general_cfg(GetParam());
+  cfg.max_touches_per_future = 8;
+  cfg.w_get = 6;
+  cfg.max_futures = 96;
+  cfg.n_cells = kMaxCells;
+  fuzz_run run(cfg, /*with_multibags=*/false);
+  EXPECT_EQ(run.plus.report().racy_granules(), run.reference.racy_granules())
+      << "multibags+ diverged on a multi-touch-heavy program (seed "
+      << GetParam() << ")";
+  EXPECT_EQ(run.ref.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_EQ(run.vc.report().racy_granules(), run.reference.racy_granules());
+  EXPECT_GT(run.queries_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralHighTouchFuzz,
+                         ::testing::Range<std::uint64_t>(300, 308));
+
 // Heavier configurations: deeper nesting, more futures, more cells.
 TEST(FuzzHeavy, StructuredDeep) {
   graph::fuzz_config cfg = structured_cfg(777);

@@ -234,6 +234,78 @@ TEST(TraceCodec, JsonlRejectsMalformedLines) {
   EXPECT_NO_THROW(read_one("{\"ev\":\"read\",\"addr\":16}"));
 }
 
+// Mirrors the binary codec's corruption battery: truncated lines, bad event
+// tags, wrong value types, oversized ids — every malformed shape must throw,
+// never decode to a different event.
+TEST(TraceCodec, JsonlRejectsTruncatedLines) {
+  const trace_header h{kTraceVersion, 4};
+  auto read_one = [&](const std::string& line) {
+    std::ostringstream out;
+    jsonl_writer w(out, h);
+    std::istringstream in(out.str() + line);  // no trailing newline either
+    jsonl_reader r(in);
+    trace_event e;
+    r.next(e);
+  };
+  // A line cut off mid-object (as a death mid-write would leave it), at
+  // several cut points: mid-key, mid-value, before the closing brace.
+  EXPECT_THROW(read_one("{\"ev\":\"read\",\"addr\":16"), trace_error);
+  EXPECT_THROW(read_one("{\"ev\":\"rea"), trace_error);
+  EXPECT_THROW(read_one("{\"ev\""), trace_error);
+  EXPECT_THROW(read_one("{"), trace_error);
+  // The full line parses fine, proving the cuts above are what throws.
+  EXPECT_NO_THROW(read_one("{\"ev\":\"read\",\"addr\":16}"));
+}
+
+TEST(TraceCodec, JsonlRejectsBadEventTags) {
+  const trace_header h{kTraceVersion, 4};
+  auto read_one = [&](const std::string& line) {
+    std::ostringstream out;
+    jsonl_writer w(out, h);
+    std::istringstream in(out.str() + line + "\n");
+    jsonl_reader r(in);
+    trace_event e;
+    r.next(e);
+  };
+  EXPECT_THROW(read_one("{\"ev\":5,\"addr\":16}"), trace_error);  // numeric tag
+  EXPECT_THROW(read_one("{\"ev\":\"\"}"), trace_error);           // empty tag
+  EXPECT_THROW(read_one("{\"ev\":\"READ\",\"addr\":16}"), trace_error);  // case
+  // A field carrying a string where a number belongs is "missing", not
+  // silently coerced.
+  EXPECT_THROW(read_one("{\"ev\":\"read\",\"addr\":\"16\"}"), trace_error);
+  // 32-bit id overflow is validated after parsing, like the binary side.
+  EXPECT_THROW(read_one("{\"ev\":\"spawn\",\"parent\":4294967296,\"u\":0,"
+                        "\"child\":1,\"w\":1,\"v\":2}"),
+               trace_error);
+}
+
+TEST(TraceCodec, JsonlRejectsBadHeaders) {
+  auto open = [](const std::string& first_line) {
+    std::istringstream in(first_line + "\n");
+    jsonl_reader r(in);
+  };
+  EXPECT_THROW(open("{\"version\":1,\"granule\":4}"), trace_error);  // untagged
+  EXPECT_THROW(open("{\"frd_trace\":false,\"version\":1,\"granule\":4}"),
+               trace_error);
+  EXPECT_THROW(open("{\"frd_trace\":true,\"granule\":4}"), trace_error);
+  EXPECT_THROW(open("{\"frd_trace\":true,\"version\":1}"), trace_error);
+  EXPECT_THROW(open("{\"frd_trace\":true,\"version\":1,\"granule\":3}"),
+               trace_error);  // not a power of two
+  EXPECT_THROW(open("{\"frd_trace\":true,\"version\":1,\"granule\""),
+               trace_error);  // truncated header line
+  EXPECT_NO_THROW(open("{\"frd_trace\":true,\"version\":1,\"granule\":4}"));
+}
+
+TEST(TraceCodec, JsonlWriterRejectsAContradictingRecorderGranule) {
+  // Same contract as the binary writer: the header is already on the wire,
+  // so a recorder announcing a different granule must fail loudly instead of
+  // producing a lying trace.
+  std::ostringstream out;
+  jsonl_writer w(out, trace_header{kTraceVersion, 4});
+  EXPECT_THROW(trace_recorder rec(w, 8), trace_error);
+  EXPECT_NO_THROW(trace_recorder rec(w, 4));
+}
+
 // ------------------------------------------------------- recorder/player --
 
 // Runs a small mixed program under a recorder wired to `granule`, making
