@@ -1,60 +1,100 @@
-// Microbenchmarks for the access-history shadow memory: the full-detection
-// configuration pays one record lookup + reader/writer update per 4-byte
+// Microbenchmarks for the shadow-memory stores: the full-detection
+// configuration pays one store step (lookup + reader/writer update) per
 // granule, so these per-op costs bound the "full vs instrumentation" gap in
-// Figures 6-7.
+// Figures 6-7 — now swept across every registered store layout so the
+// hashed-page / sharded / compact trade-offs are visible side by side.
+//
+// Benchmarks are registered at runtime over shadow::store_registry, so an
+// out-of-tree store gets swept automatically. CI runs this with
+// --benchmark_out=BENCH_micro_shadow.json and uploads the snapshot next to
+// the replay-throughput one (perf/ keeps one per PR).
 #include <benchmark/benchmark.h>
 
-#include <vector>
+#include <cstdint>
+#include <memory>
+#include <string>
 
-#include "shadow/access_history.hpp"
+#include "shadow/store.hpp"
 #include "support/prng.hpp"
 
 namespace {
 
-using frd::shadow::access_history;
+using frd::shadow::store;
+using frd::shadow::store_config;
+using frd::shadow::store_registry;
 
-void BM_RecordForSequential(benchmark::State& state) {
-  access_history h;
+std::unique_ptr<store> make_store(const std::string& name) {
+  return store_registry::instance().create(name, store_config{});
+}
+
+// Streaming writes: hot-page cache hit almost always. The writer-install
+// path with no prior state is the §3 fast path of race-free kernels.
+void BM_WriteStepSequential(benchmark::State& state, const std::string& name) {
+  auto st = make_store(name);
   std::uintptr_t addr = 0x100000;
+  const auto ignore = [](frd::rt::strand_id, bool) {};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(h.record_for(addr));
-    addr += 4;  // streaming access: hot-page cache hit almost always
+    st->write_step(addr, 1, ignore);
+    addr += 4;
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_RecordForSequential);
 
-void BM_RecordForRandom(benchmark::State& state) {
-  access_history h;
+// Random granules over a working set: the two-level lookup (and, for the
+// sharded store, the shard hash) dominates once the set outgrows the cache.
+void BM_ReadStepRandom(benchmark::State& state, const std::string& name) {
+  auto st = make_store(name);
   frd::prng rng(3);
   const std::uintptr_t span = static_cast<std::uintptr_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        h.record_for(0x100000 + (rng.below(span) & ~std::uintptr_t{3})));
+        st->read_step(0x100000 + (rng.below(span) & ~std::uintptr_t{3}), 1));
   }
   state.SetLabel("working set bytes");
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_RecordForRandom)->Arg(1 << 16)->Arg(1 << 22)->Arg(1 << 26);
 
-void BM_ReaderAppendPurgeCycle(benchmark::State& state) {
-  // The §3 protocol on one location: r readers accumulate, one writer purges.
+// The §3 protocol on one location: r readers accumulate, one writer purges
+// (and sweeps every reader through the prior callback).
+void BM_ReaderAppendPurgeCycle(benchmark::State& state,
+                               const std::string& name) {
   const int readers = static_cast<int>(state.range(0));
-  access_history h;
-  auto& rec = h.record_for(0x5000);
+  auto st = make_store(name);
   std::uint32_t strand = 0;
+  std::uint64_t sum = 0;
+  const auto fold = [&sum](frd::rt::strand_id s, bool) { sum += s; };
   for (auto _ : state) {
-    for (int i = 0; i < readers; ++i) rec.append_reader(++strand);
-    std::uint64_t sum = 0;
-    rec.for_each_reader([&](std::uint32_t s) { sum += s; });
+    for (int i = 0; i < readers; ++i) st->read_step(0x5000, ++strand);
+    st->write_step(0x5000, ++strand, fold);
     benchmark::DoNotOptimize(sum);
-    rec.clear_readers();
-    rec.writer = ++strand;
   }
   state.SetItemsProcessed(state.iterations() * (readers + 1));
 }
-BENCHMARK(BM_ReaderAppendPurgeCycle)->Arg(1)->Arg(3)->Arg(16)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : store_registry::instance().names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_WriteStepSequential/" + name).c_str(),
+        [name](benchmark::State& s) { BM_WriteStepSequential(s, name); });
+    benchmark::RegisterBenchmark(
+        ("BM_ReadStepRandom/" + name).c_str(),
+        [name](benchmark::State& s) { BM_ReadStepRandom(s, name); })
+        ->Arg(1 << 16)
+        ->Arg(1 << 22)
+        ->Arg(1 << 26);
+    benchmark::RegisterBenchmark(
+        ("BM_ReaderAppendPurgeCycle/" + name).c_str(),
+        [name](benchmark::State& s) { BM_ReaderAppendPurgeCycle(s, name); })
+        ->Arg(1)
+        ->Arg(3)
+        ->Arg(16)
+        ->Arg(256);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

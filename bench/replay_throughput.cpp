@@ -30,6 +30,7 @@
 #include "corpus/runner.hpp"
 #include "detect/registry.hpp"
 #include "graph/fuzz.hpp"
+#include "shadow/store.hpp"
 #include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
@@ -66,21 +67,25 @@ void fuzz_into(session& s, std::uint64_t seed, int depth, int actions,
 struct row {
   std::string trace;  // corpus entry name, or "fuzz" in fuzz mode
   std::string backend;
+  std::string store;
   std::uint64_t events = 0;
   double mean_s = 0, rsd = 0, events_per_sec = 0;
   std::uint64_t racy_granules = 0;
 };
 
-// Replays `tape` through `backend` `reps` times (after one warmup) and
-// fills the timing columns.
+// Replays `tape` through `backend` on `store` `reps` times (after one
+// warmup) and fills the timing columns.
 row bench_backend(trace::memory_trace& tape, const std::string& name,
-                  const std::string& backend, int reps) {
+                  const std::string& backend, const std::string& store,
+                  unsigned shard_bits, int reps) {
   std::vector<double> times;
   std::uint64_t racy = 0;
   for (int r = 0; r < reps + 1; ++r) {
     tape.rewind();
     session s(session::options{.backend = backend,
-                               .granule = tape.header().granule});
+                               .granule = tape.header().granule,
+                               .shadow_store = store,
+                               .shadow_shard_bits = shard_bits});
     wall_timer t;
     s.replay(tape);
     const double secs = t.seconds();
@@ -91,6 +96,7 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
   row out;
   out.trace = name;
   out.backend = backend;
+  out.store = store;
   out.events = tape.size();
   out.mean_s = mean(times);
   out.rsd = rel_stddev(times);
@@ -107,7 +113,8 @@ void write_json(const std::string& path, const std::string& mode,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const row& r = rows[i];
     json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
-         << r.backend << "\", \"events\": " << r.events
+         << r.backend << "\", \"store\": \"" << r.store
+         << "\", \"events\": " << r.events
          << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
          << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"racy_granules\": " << r.racy_granules << "}"
@@ -124,12 +131,12 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 void print_table(const std::vector<row>& rows, const char* title) {
-  text_table table({"trace", "backend", "events", "mean", "events/sec",
-                    "racy"});
+  text_table table({"trace", "backend", "store", "events", "mean",
+                    "events/sec", "racy"});
   for (const row& r : rows) {
     char eps[64];
     std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
-    table.add_row({r.trace, r.backend, std::to_string(r.events),
+    table.add_row({r.trace, r.backend, r.store, std::to_string(r.events),
                    text_table::seconds(r.mean_s), eps,
                    std::to_string(r.racy_granules)});
   }
@@ -137,7 +144,8 @@ void print_table(const std::vector<row>& rows, const char* title) {
               table.render().c_str());
 }
 
-int run_corpus_mode(const std::string& dir, int reps,
+int run_corpus_mode(const std::string& dir, const std::string& store,
+                    unsigned shard_bits, int reps,
                     const std::string& json_path) {
   const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
   std::vector<row> rows;
@@ -146,7 +154,7 @@ int run_corpus_mode(const std::string& dir, int reps,
     const corpus::golden_report gold =
         corpus::load_golden(dir + "/" + e.golden_file);
     for (const std::string& backend : corpus::eligible_backends(e.futures)) {
-      row r = bench_backend(tape, e.name, backend, reps);
+      row r = bench_backend(tape, e.name, backend, store, shard_bits, reps);
       FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
                     "replay race count diverged from the corpus golden — run "
                     "frd-corpus verify");
@@ -154,7 +162,7 @@ int run_corpus_mode(const std::string& dir, int reps,
     }
   }
   print_table(rows, (std::to_string(m.entries.size()) + "-entry corpus, " +
-                     std::to_string(reps) + " reps")
+                     std::to_string(reps) + " reps, store " + store)
                         .c_str());
   write_json(json_path, "corpus", rows);
   return 0;
@@ -176,15 +184,33 @@ int main(int argc, char** argv) {
   auto& cells = flags.int_flag("cells", 64, "distinct shared memory cells");
   auto& json_path = flags.string_flag("json", "BENCH_replay_throughput.json",
                                       "machine-readable output file");
+  auto& store = flags.string_flag(
+      "store", std::string(shadow::kDefaultStore),
+      "shadow store to replay on (the per-PR snapshot uses the default "
+      "store so the perf trajectory stays comparable)");
+  auto& shard_bits = flags.int_flag(
+      "shard-bits", 4, "sharded store: 2^bits shards (ignored elsewhere)");
   flags.parse();
   if (reps < 1) {
     std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
     return 1;
   }
+  if (shard_bits < 0 || shard_bits > 10) {
+    std::fprintf(stderr, "replay_throughput: --shard-bits must be in [0, 10]\n");
+    return 1;
+  }
+  try {
+    shadow::store_registry::instance().at(store);  // fail fast with the list
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay_throughput: %s\n", e.what());
+    return 1;
+  }
 
   if (!corpus_dir.empty()) {
     try {
-      return run_corpus_mode(corpus_dir, static_cast<int>(reps), json_path);
+      return run_corpus_mode(corpus_dir, store,
+                             static_cast<unsigned>(shard_bits),
+                             static_cast<int>(reps), json_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "replay_throughput: %s\n", e.what());
       return 1;
@@ -209,7 +235,9 @@ int main(int argc, char** argv) {
   const auto& reg = detect::backend_registry::instance();
   for (const std::string& name : reg.names()) {
     if (reg.at(name).futures == detect::future_support::none) continue;
-    row r = bench_backend(tape, "fuzz", name, static_cast<int>(reps));
+    row r = bench_backend(tape, "fuzz", name, store,
+                          static_cast<unsigned>(shard_bits),
+                          static_cast<int>(reps));
     FRD_CHECK_MSG(r.racy_granules == baseline_racy,
                   "replay race count diverged from the recording session");
     rows.push_back(std::move(r));

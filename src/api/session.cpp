@@ -15,7 +15,9 @@ session::session(options opt) : opt_(std::move(opt)) {
                          .lvl = opt_.level,
                          .granule = opt_.granule,
                          .max_retained_races = opt_.max_retained_races,
+                         .shadow_store = opt_.shadow_store,
                          .shadow_page_bits = opt_.shadow_page_bits,
+                         .shadow_shard_bits = opt_.shadow_shard_bits,
                          .futures = info_->futures,
                      });
   sink_ = det_.get();

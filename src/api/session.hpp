@@ -80,7 +80,15 @@ class session {
     std::size_t granule = 4;
     // Full race records kept for diagnostics (counting dedupes regardless).
     std::size_t max_retained_races = detect::race_report::kDefaultRetained;
+    // Shadow-memory store (shadow::store_registry key): "hashed-page" (the
+    // two-level baseline), "sharded" (address-hashed shards, sized by
+    // shadow_shard_bits), or "compact" (SoA pages + arena overflow). Every
+    // store yields the identical race report; they differ in layout and
+    // scaling headroom (README "Shadow-memory stores").
+    std::string shadow_store = std::string(shadow::kDefaultStore);
     unsigned shadow_page_bits = 16;
+    // Sharded stores: 2^shadow_shard_bits shards; ignored elsewhere.
+    unsigned shadow_shard_bits = 4;
     // Abort on a second get() of the same future handle (paper §2's
     // structured single-touch restriction, enforced by the runtime).
     bool enforce_single_touch = false;

@@ -6,7 +6,10 @@
 
 #include "api/session.hpp"
 #include "bench_suite/bst.hpp"
+#include "bench_suite/dedup.hpp"
+#include "bench_suite/heartwall.hpp"
 #include "bench_suite/lcs.hpp"
+#include "bench_suite/mm.hpp"
 #include "bench_suite/sw.hpp"
 #include "graph/fuzz.hpp"
 #include "support/check.hpp"
@@ -57,6 +60,53 @@ void run_bst(session& s, std::uint64_t seed, bool structured) {
                     bench::bst_is_search_tree(merged) &&
                     bench::bst_key_sum(merged) == want_sum,
                 "bst merge miscomputed while recording");
+}
+
+// dedup's two-stage pipeline (§6): parallel chunk+fingerprint futures, then
+// an ordered dedup/compress stage chained through single-touch futures. The
+// compressor stays uninstrumented (CH = hooks::none), reproducing the
+// paper's uninstrumentable-library caveat and keeping the trace repro-sized.
+void run_dedup(session& s, std::uint64_t seed) {
+  const auto in = bench::make_dedup_corpus(2048, 50, seed);
+  const auto want = bench::dedup_reference(in, 512);
+  const auto got = s.run([&](rt::serial_runtime& rt) {
+    return bench::dedup_pipeline<active, detect::hooks::none>(rt, in, 512);
+  });
+  FRD_CHECK_MSG(got == want, "dedup pipeline miscomputed while recording");
+}
+
+// heartwall's per-point tracking pipeline in its general-futures form (§6):
+// tracker (t, p) joins the frame-(t-1) handles of p and both neighbours, so
+// every handle is touched up to three times — the multi-touch shape that
+// motivated general futures. Small frames and radii keep the template scans
+// repro-sized. Validated against the uninstrumented run of the same kernel:
+// instrumentation must not perturb tracking.
+void run_heartwall(session& s, std::uint64_t seed) {
+  auto in = bench::make_heartwall_input(40, 40, 4, 3, seed);
+  in.tmpl_rad = 1;
+  in.search_rad = 2;
+  rt::serial_runtime plain;
+  const auto want = bench::heartwall_general<detect::hooks::none>(plain, in);
+  const auto got = s.run([&](rt::serial_runtime& rt) {
+    return bench::heartwall_general<active>(rt, in);
+  });
+  FRD_CHECK_MSG(got.size() == want.size(),
+                "heartwall tracked a different point count while recording");
+  for (std::size_t p = 0; p < got.size(); ++p) {
+    FRD_CHECK_MSG(got[p].x == want[p].x && got[p].y == want[p].y,
+                  "heartwall tracking diverged while recording");
+  }
+}
+
+// mm's serialized k-partial chains (§6): one future chain per C block,
+// (n/B)³ futures in total — the paper's clearest k² stress at repro scale.
+void run_mm(session& s, std::uint64_t seed) {
+  const auto in = bench::make_mm_input(12, seed);
+  const auto want = bench::mm_reference(in);
+  const auto got = s.run([&](rt::serial_runtime& rt) {
+    return bench::mm_structured<active>(rt, in, 4);
+  });
+  FRD_CHECK_MSG(got == want, "mm kernel miscomputed while recording");
 }
 
 // --------------------------------------------------- adversarial shapes ----
@@ -230,6 +280,18 @@ const std::vector<corpus_program>& corpus_programs() {
       {"bst-general", fs::general,
        "§6 BRM pipelined BST merge (40+40 keys, cutoff 3), bottom-up resolve",
        [](session& s, std::uint64_t seed) { run_bst(s, seed, false); }},
+      {"dedup-structured", fs::structured,
+       "§6 dedup two-stage pipeline (2 KiB corpus, 512 B fragments), "
+       "uninstrumented compressor",
+       run_dedup},
+      {"heartwall-general", fs::general,
+       "§6 heartwall neighbour-smoothed tracking (40x40, 4 points, 3 "
+       "frames): handles touched up to 3x",
+       run_heartwall},
+      {"mm-structured", fs::structured,
+       "§6 blocked mm without temporaries (n=12, B=4): one future chain per "
+       "C block, (n/B)^3 futures",
+       run_mm},
       {"deep-get-chain", fs::general,
        "48-deep chain of in-body gets with strided multi-touch re-joins",
        run_deep_get_chain},

@@ -21,24 +21,21 @@ unsigned granule_shift_of(std::size_t granule) {
   return static_cast<unsigned>(std::countr_zero(granule));
 }
 
-unsigned checked_page_bits(unsigned page_bits) {
-  if (page_bits < 4 || page_bits > 24) {
-    throw backend_error("shadow_page_bits must be in [4, 24], got " +
-                        std::to_string(page_bits));
-  }
-  return page_bits;
-}
-
 }  // namespace
 
 detector::detector(std::unique_ptr<reachability_backend> backend,
                    detector_config cfg)
-    : cfg_(cfg),
-      granule_mask_(frd::granule_mask(cfg.granule)),
+    : cfg_(std::move(cfg)),
+      granule_mask_(frd::granule_mask(cfg_.granule)),
       backend_(std::move(backend)),
-      history_(checked_page_bits(cfg.shadow_page_bits),
-               granule_shift_of(cfg.granule)),
-      report_(cfg.max_retained_races) {
+      // The store registry validates page/shard bits (store_error, which the
+      // session surfaces like an unknown backend name).
+      shadow_(shadow::store_registry::instance().create(
+          cfg_.shadow_store,
+          shadow::store_config{.page_bits = cfg_.shadow_page_bits,
+                               .granule_shift = granule_shift_of(cfg_.granule),
+                               .shard_bits = cfg_.shadow_shard_bits})),
+      report_(cfg_.max_retained_races) {
   FRD_CHECK_MSG(backend_ != nullptr, "detector needs a reachability backend");
 }
 
@@ -126,40 +123,50 @@ void detector::on_write(const void* p, std::size_t bytes) {
                    [&](std::uintptr_t a) { check_write(a); });
 }
 
-// Read of l: race iff last-writer(l) is logically parallel with the current
-// strand; otherwise record the read (§3).
-void detector::check_read(std::uintptr_t addr) {
-  shadow::granule_record& rec = history_.record_for(addr);
-  if (rec.writer != rt::kNoStrand && rec.writer != current_ &&
-      !backend_->precedes_current(rec.writer)) {
-    report_.record(race{addr, rec.writer, access_kind::write, current_,
-                        access_kind::read});
+// Replay hot path: a whole run of pre-granulated accesses behind ONE virtual
+// call, so neither the per-access dispatch nor the granule splitting of the
+// live path is paid per event. Counting matches the unbatched path exactly
+// (one access per element — the player records one event per granule).
+void detector::on_accesses(std::span<const hooks::access> batch,
+                           std::size_t /*bytes*/) {
+  accesses_ += batch.size();
+  if (cfg_.lvl != level::full) return;
+  for (const hooks::access& a : batch) {
+    const std::uintptr_t g = a.addr & granule_mask_;
+    if (a.is_write) {
+      check_write(g);
+    } else {
+      check_read(g);
+    }
   }
-  // Dedupe: in a serial execution the same strand's reads of l are
-  // contiguous, and a strand that just wrote l need not be recorded as a
-  // reader (the writer field already guards it).
-  if (rec.writer == current_ || rec.last_reader() == current_) return;
-  rec.append_reader(current_);
+}
+
+// Read of l: race iff last-writer(l) is logically parallel with the current
+// strand; otherwise record the read (§3). The store's read_step appends the
+// reader (with the serial-order dedupe) and hands back the prior writer for
+// the race check.
+void detector::check_read(std::uintptr_t addr) {
+  const rt::strand_id w = shadow_->read_step(addr, current_);
+  if (w != rt::kNoStrand && w != current_ &&
+      !backend_->precedes_current(w)) {
+    report_.record(
+        race{addr, w, access_kind::write, current_, access_kind::read});
+  }
 }
 
 // Write to l: race against the previous writer and against *every* recorded
 // reader; then purge the reader list and take over as last-writer (§3: any
 // later strand parallel to a purged reader is also parallel to this write).
+// The store surfaces each prior access through the callback — previous
+// writer first, then readers in append order, preserving report order.
 void detector::check_write(std::uintptr_t addr) {
-  shadow::granule_record& rec = history_.record_for(addr);
-  if (rec.writer != rt::kNoStrand && rec.writer != current_ &&
-      !backend_->precedes_current(rec.writer)) {
-    report_.record(race{addr, rec.writer, access_kind::write, current_,
-                        access_kind::write});
-  }
-  rec.for_each_reader([&](rt::strand_id r) {
-    if (r != current_ && !backend_->precedes_current(r)) {
-      report_.record(
-          race{addr, r, access_kind::read, current_, access_kind::write});
+  shadow_->write_step(addr, current_, [&](rt::strand_id prior, bool is_write) {
+    if (prior != current_ && !backend_->precedes_current(prior)) {
+      report_.record(race{addr, prior,
+                          is_write ? access_kind::write : access_kind::read,
+                          current_, access_kind::write});
     }
   });
-  rec.clear_readers();
-  rec.writer = current_;
 }
 
 }  // namespace frd::detect

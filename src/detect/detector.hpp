@@ -1,4 +1,4 @@
-// FutureRD detection core: access history + an injected reachability backend
+// FutureRD detection core: a shadow store + an injected reachability backend
 // + the paper's four measurement configurations (§6).
 //
 //   baseline         runtime gets no listener, kernels compile with
@@ -9,31 +9,40 @@
 //                    one out-of-line call that returns immediately (the call
 //                    itself is the measured cost, like the paper's compiler
 //                    pass with history maintenance disabled).
-//   full             reads/writes maintain the access history and query the
+//   full             reads/writes maintain the shadow store and query the
 //                    reachability structure; races are reported.
 //
 // The public entry point is frd::session (src/api/session.hpp), which owns
 // a detector, its backend (resolved by name through the backend_registry),
-// the runtime binding, and the hook-sink installation:
+// its shadow store (resolved through the shadow::store_registry), the
+// runtime binding, and the hook-sink installation:
 //
 //   frd::session s({.backend = "multibags+", .level = frd::level::full});
 //   s.run([&] { ... instrumented program on s.runtime() ... });
 //   if (s.report().any()) ...
 //
-// The detector itself is backend-agnostic: it consumes runtime events,
-// forwards them when the level tracks reachability, enforces the backend's
-// declared capability envelope (future_support), and implements the §3
-// access protocol on top of precedes_current().
+// The detector itself is backend- and store-agnostic: it consumes runtime
+// events, forwards them when the level tracks reachability, enforces the
+// backend's declared capability envelope (future_support), and implements
+// the §3 access protocol on top of precedes_current() and the store's
+// read_step/write_step.
+//
+// Accesses arrive through two access_sink paths: the per-access on_read /
+// on_write hooks (live instrumented kernels; arbitrary byte spans, split
+// into granules here), and the batched on_accesses entry (replay: the
+// trace player hands over whole runs of pre-granulated events in one
+// virtual call — see hooks::access_sink).
 #pragma once
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "detect/backend.hpp"
 #include "detect/hooks.hpp"
 #include "detect/types.hpp"
-#include "shadow/access_history.hpp"
+#include "shadow/store.hpp"
 
 namespace frd::detect {
 
@@ -43,7 +52,10 @@ struct detector_config {
   // artifact uses 4-byte granules.
   std::size_t granule = 4;
   std::size_t max_retained_races = race_report::kDefaultRetained;
+  // Shadow store selection (shadow::store_registry key) and its sizing.
+  std::string shadow_store = std::string(shadow::kDefaultStore);
   unsigned shadow_page_bits = 16;
+  unsigned shadow_shard_bits = 4;  // sharded stores: 2^bits shards
   // Capability envelope of the backend (from backend_info). Programs that
   // step outside it raise capability_error instead of silently producing
   // unsound reports.
@@ -63,7 +75,7 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   const race_report& report() const { return report_; }
   reachability_backend& backend() { return *backend_; }
   const reachability_backend& backend() const { return *backend_; }
-  const shadow::access_history& history() const { return history_; }
+  const shadow::store& shadow_store() const { return *shadow_; }
   std::uint64_t access_count() const { return accesses_; }
   // k in the paper's bounds: the number of get_fut operations seen.
   std::uint64_t get_count() const { return gets_; }
@@ -77,6 +89,9 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   // the instrumentation cost the paper's "instr" configuration measures).
   void on_read(const void* p, std::size_t bytes) override;
   void on_write(const void* p, std::size_t bytes) override;
+  // Batched hot path: one call per run of single-granule accesses.
+  void on_accesses(std::span<const hooks::access> batch,
+                   std::size_t bytes) override;
 
   // Reachability query against the currently executing strand; exposed for
   // the oracle-validation tests.
@@ -102,7 +117,7 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   const detector_config cfg_;
   const std::uintptr_t granule_mask_;  // clears sub-granule address bits
   std::unique_ptr<reachability_backend> backend_;
-  shadow::access_history history_;
+  std::unique_ptr<shadow::store> shadow_;
   race_report report_;
   std::vector<std::uint8_t> fut_touched_;  // structured-only: gets per future
   rt::strand_id current_ = rt::kNoStrand;

@@ -10,6 +10,18 @@ access_sink* g_sink = nullptr;
 
 access_sink* current_sink() { return g_sink; }
 
+void access_sink::on_accesses(std::span<const access> batch,
+                              std::size_t bytes) {
+  for (const access& a : batch) {
+    const void* p = reinterpret_cast<const void*>(a.addr);
+    if (a.is_write) {
+      on_write(p, bytes);
+    } else {
+      on_read(p, bytes);
+    }
+  }
+}
+
 scoped_sink::scoped_sink(access_sink* s) : prev_(g_sink) { g_sink = s; }
 scoped_sink::~scoped_sink() { g_sink = prev_; }
 

@@ -12,9 +12,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
 
 namespace frd::detect::hooks {
+
+// One element of a batched access run (on_accesses): a single-granule
+// access, already split — addr is the granule base address and the access
+// does not cross a granule boundary. Replayed traces store accesses in
+// exactly this form, which is what makes the batch path branch-cheap.
+struct access {
+  std::uintptr_t addr;
+  bool is_write;
+};
 
 // Receiver of instrumented accesses (implemented by detect::detector).
 class access_sink {
@@ -22,6 +33,13 @@ class access_sink {
   virtual ~access_sink() = default;
   virtual void on_read(const void* p, std::size_t bytes) = 0;
   virtual void on_write(const void* p, std::size_t bytes) = 0;
+
+  // Batched entry point: a run of single-granule accesses, each `bytes`
+  // wide (the recording granule), delivered in one virtual call. The
+  // default unrolls into per-access on_read/on_write so every sink accepts
+  // batches; the detector overrides it with a loop that skips the
+  // per-access dispatch and granule splitting — the replay hot path.
+  virtual void on_accesses(std::span<const access> batch, std::size_t bytes);
 };
 
 // The sink `active` currently routes into (null when no session is running).

@@ -1,0 +1,132 @@
+#include "shadow/compact_store.hpp"
+
+namespace frd::shadow {
+
+compact_store::compact_store(const store_config& cfg)
+    : store(cfg),
+      page_bits_(cfg.page_bits),
+      page_mask_((std::uintptr_t{1} << cfg.page_bits) - 1) {}
+
+compact_store::slot compact_store::slot_for(std::uintptr_t addr) {
+  const std::uintptr_t g = granule_of(addr);
+  const std::uintptr_t page_id = g >> page_bits_;
+  if (page_id != cached_id_) {
+    auto [it, inserted] = pages_.try_emplace(page_id);
+    if (inserted)
+      it->second = std::make_unique<page>(std::size_t{1} << page_bits_);
+    cached_id_ = page_id;
+    cached_page_ = it->second.get();
+  }
+  return {cached_page_, static_cast<std::size_t>(g & page_mask_)};
+}
+
+strand_id compact_store::last_reader(const page& pg, std::size_t i) const {
+  const std::uint32_t n = pg.n_readers[i];
+  if (n == 0) return rt::kNoStrand;
+  if (n == 1) return pg.r0[i];
+  if (n == 2) return pg.r1[i];
+  // Chains fill kNodeCap slots per node, so the newest reader sits at
+  // (chain length - 1) mod kNodeCap in the tail node.
+  return pg.tail[i]->vals[(n - kInline - 1) % kNodeCap];
+}
+
+void compact_store::append_reader(page& pg, std::size_t i, strand_id s) {
+  const std::uint32_t n = pg.n_readers[i]++;
+  if (n == 0) {
+    pg.r0[i] = s;
+    return;
+  }
+  if (n == 1) {
+    pg.r1[i] = s;
+    return;
+  }
+  const std::size_t over = n - kInline;  // readers already chained
+  const std::size_t at = over % kNodeCap;
+  if (at == 0) {  // chain empty or tail full: link a fresh node
+    overflow_node* node;
+    if (free_ != nullptr) {
+      node = free_;
+      free_ = node->next;
+    } else {
+      node = overflow_.create<overflow_node>();
+    }
+    node->next = nullptr;
+    if (pg.tail[i] == nullptr) {
+      pg.head[i] = node;
+    } else {
+      pg.tail[i]->next = node;
+    }
+    pg.tail[i] = node;
+  }
+  pg.tail[i]->vals[at] = s;
+}
+
+void compact_store::purge_readers(page& pg, std::size_t i) {
+  pg.n_readers[i] = 0;
+  if (pg.head[i] != nullptr) {
+    pg.tail[i]->next = free_;
+    free_ = pg.head[i];
+    pg.head[i] = nullptr;
+    pg.tail[i] = nullptr;
+  }
+}
+
+template <typename Fn>
+void compact_store::for_each_reader(const page& pg, std::size_t i,
+                                    Fn&& fn) const {
+  const std::uint32_t n = pg.n_readers[i];
+  if (n == 0) return;
+  fn(pg.r0[i]);
+  if (n == 1) return;
+  fn(pg.r1[i]);
+  std::size_t remaining = n - kInline;
+  for (const overflow_node* node = pg.head[i]; remaining > 0;
+       node = node->next) {
+    const std::size_t m = remaining < kNodeCap ? remaining : kNodeCap;
+    for (std::size_t j = 0; j < m; ++j) fn(node->vals[j]);
+    remaining -= m;
+  }
+}
+
+strand_id compact_store::read_step(std::uintptr_t addr, strand_id reader) {
+  const slot s = slot_for(addr);
+  const strand_id prior = s.pg->writer[s.i];
+  if (prior != reader && last_reader(*s.pg, s.i) != reader)
+    append_reader(*s.pg, s.i, reader);
+  return prior;
+}
+
+void compact_store::write_step(std::uintptr_t addr, strand_id writer,
+                               function_ref<void(strand_id, bool)> prior) {
+  const slot s = slot_for(addr);
+  if (s.pg->writer[s.i] != rt::kNoStrand)
+    prior(s.pg->writer[s.i], /*is_write=*/true);
+  for_each_reader(*s.pg, s.i,
+                  [&](strand_id r) { prior(r, /*is_write=*/false); });
+  purge_readers(*s.pg, s.i);
+  s.pg->writer[s.i] = writer;
+}
+
+store::granule_state compact_store::peek(std::uintptr_t addr) const {
+  const std::uintptr_t g = granule_of(addr);
+  auto it = pages_.find(g >> page_bits_);
+  if (it == pages_.end()) return {};
+  const page& pg = *it->second;
+  const std::size_t i = g & page_mask_;
+  granule_state out;
+  out.touched = true;
+  out.writer = pg.writer[i];
+  out.readers.reserve(pg.n_readers[i]);
+  for_each_reader(pg, i, [&](strand_id r) { out.readers.push_back(r); });
+  return out;
+}
+
+std::size_t compact_store::bytes_reserved() const {
+  // Per-granule plane bytes: writer + count + r0 + r1 + head + tail.
+  constexpr std::size_t kPlaneBytes = 4 * sizeof(strand_id) +
+                                      2 * sizeof(overflow_node*);
+  return pages_.size() * (std::size_t{1} << page_bits_) * kPlaneBytes +
+         overflow_.bytes_allocated();
+}
+
+}  // namespace frd::shadow

@@ -1,0 +1,88 @@
+// compact store: structure-of-arrays granule records.
+//
+// The AoS layouts interleave everything a granule might need (writer, reader
+// count, three inline readers, an overflow pointer — 32 bytes) even though
+// the §3 hot paths touch different subsets: a write's purge scan needs
+// writer + count for every granule it revisits, a first read needs writer +
+// count + one reader slot. This store splits the record into parallel planes
+// per page — writer[], reader_count[], two inline reader planes, overflow
+// head/tail planes — so the hot planes pack 8 granules per cache line
+// instead of 2.
+//
+// Reader overflow (readers beyond the two inline slots) goes to fixed-size
+// chain nodes carved from a support::arena — no unique_ptr, no per-record
+// heap vector. Purged chains are spliced onto a free list and reused, so
+// steady-state grow/purge cycles allocate nothing and arena growth is
+// bounded by the peak live reader count, mirroring the retained-capacity
+// behavior of granule_record's overflow vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "shadow/store.hpp"
+#include "support/arena.hpp"
+
+namespace frd::shadow {
+
+class compact_store final : public store {
+ public:
+  explicit compact_store(const store_config& cfg);
+
+  std::string_view name() const override { return "compact"; }
+
+  strand_id read_step(std::uintptr_t addr, strand_id reader) override;
+  void write_step(std::uintptr_t addr, strand_id writer,
+                  function_ref<void(strand_id, bool)> prior) override;
+  granule_state peek(std::uintptr_t addr) const override;
+
+  std::size_t page_count() const override { return pages_.size(); }
+  std::size_t bytes_reserved() const override;
+
+ private:
+  static constexpr std::size_t kInline = 2;   // r0/r1 planes
+  static constexpr std::size_t kNodeCap = 6;  // 32-byte chain nodes
+
+  struct overflow_node {
+    overflow_node* next;
+    strand_id vals[kNodeCap];
+  };
+  static_assert(std::is_trivially_destructible_v<overflow_node>,
+                "chain nodes live in the arena");
+
+  // One page, SoA: plane[i] describes granule i of the page.
+  struct page {
+    explicit page(std::size_t n)
+        : writer(n, rt::kNoStrand), n_readers(n, 0), r0(n), r1(n),
+          head(n, nullptr), tail(n, nullptr) {}
+    std::vector<strand_id> writer;
+    std::vector<std::uint32_t> n_readers;
+    std::vector<strand_id> r0, r1;
+    std::vector<overflow_node*> head, tail;
+  };
+
+  struct slot {  // one granule's planes, resolved once per access
+    page* pg;
+    std::size_t i;
+  };
+  slot slot_for(std::uintptr_t addr);
+
+  strand_id last_reader(const page& pg, std::size_t i) const;
+  void append_reader(page& pg, std::size_t i, strand_id s);
+  void purge_readers(page& pg, std::size_t i);
+  template <typename Fn>
+  void for_each_reader(const page& pg, std::size_t i, Fn&& fn) const;
+
+  const unsigned page_bits_;
+  const std::uintptr_t page_mask_;
+  std::uintptr_t cached_id_ = static_cast<std::uintptr_t>(-1);
+  page* cached_page_ = nullptr;
+  std::unordered_map<std::uintptr_t, std::unique_ptr<page>> pages_;
+  arena overflow_;
+  overflow_node* free_ = nullptr;  // purged chains, recycled before the arena
+};
+
+}  // namespace frd::shadow

@@ -1,6 +1,6 @@
-// Access history: per-location reader/writer shadow state (paper §3, §6).
+// Per-granule reader/writer record (paper §3).
 //
-// For every 4-byte granule the detector keeps
+// For every granule the detector keeps
 //   * last-writer(l): the single most recent writer strand, and
 //   * reader-list(l): arbitrarily many reader strands. Futures break the
 //     constant-reader property of series-parallel detectors, so the list
@@ -8,18 +8,16 @@
 //     parallel to a purged reader is also parallel to the new writer, so no
 //     race is lost — §3).
 //
-// Layout follows the paper's "two-level direct-mapped cache": the high bits
-// of addr>>2 select a second-level page, the low bits index into it. The
-// paper's artifact used a flat top-level table; with 47-bit user address
-// spaces we key pages by a hash map instead and keep a one-entry hot-page
-// cache, which preserves the two-level lookup cost on the fast path
-// (documented substitution, DESIGN.md §2).
+// This is the record type the AoS stores (hashed-page, sharded) keep in
+// their pages; the compact store lays the same state out SoA instead
+// (compact_store.hpp). The §3 read/write protocol steps shared by the AoS
+// stores live in store.hpp as free functions over this record.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/events.hpp"
@@ -30,13 +28,31 @@ using rt::strand_id;
 
 // Reader list with small inline capacity; overflow spills to a heap vector
 // that is retained (cleared, not freed) across writer purges so steady-state
-// writes allocate nothing.
+// writes allocate nothing. Movable so stores may relocate records (and so a
+// record can sit in containers that grow); copying stays deleted — a shadow
+// record has exactly one home.
 class granule_record {
  public:
   granule_record() = default;
   granule_record(const granule_record&) = delete;
   granule_record& operator=(const granule_record&) = delete;
-  ~granule_record() { delete overflow_; }
+  granule_record(granule_record&& other) noexcept
+      : writer(other.writer),
+        n_readers_(std::exchange(other.n_readers_, 0)),
+        overflow_(std::move(other.overflow_)) {
+    for (std::size_t i = 0; i < kInline; ++i) inline_[i] = other.inline_[i];
+    other.writer = rt::kNoStrand;
+  }
+  granule_record& operator=(granule_record&& other) noexcept {
+    if (this != &other) {
+      writer = std::exchange(other.writer, rt::kNoStrand);
+      n_readers_ = std::exchange(other.n_readers_, 0);
+      for (std::size_t i = 0; i < kInline; ++i) inline_[i] = other.inline_[i];
+      overflow_ = std::move(other.overflow_);
+    }
+    return *this;
+  }
+  ~granule_record() = default;
 
   strand_id writer = rt::kNoStrand;
 
@@ -58,7 +74,8 @@ class granule_record {
       inline_[n_readers_++] = s;
       return;
     }
-    if (overflow_ == nullptr) overflow_ = new std::vector<strand_id>();
+    if (overflow_ == nullptr)
+      overflow_ = std::make_unique<std::vector<strand_id>>();
     overflow_->push_back(s);
     ++n_readers_;
   }
@@ -82,48 +99,7 @@ class granule_record {
   static constexpr std::size_t kInline = 3;
   std::uint32_t n_readers_ = 0;
   strand_id inline_[kInline] = {};
-  std::vector<strand_id>* overflow_ = nullptr;
-};
-
-class access_history {
- public:
-  // page_bits selects the second-level page size: 2^page_bits granules.
-  // granule_shift is log2 of the granule size in bytes (2 = the paper's
-  // 4-byte granules); plumbed from session::options::granule.
-  explicit access_history(unsigned page_bits = 16, unsigned granule_shift = 2);
-  access_history(const access_history&) = delete;
-  access_history& operator=(const access_history&) = delete;
-
-  std::uintptr_t granule_of(std::uintptr_t addr) const {
-    return addr >> granule_shift_;
-  }
-  unsigned granule_shift() const { return granule_shift_; }
-
-  // Shadow record for the granule containing addr; allocates the page on
-  // first touch.
-  granule_record& record_for(std::uintptr_t addr);
-
-  // Lookup without allocation (tests / stats); null if never touched.
-  const granule_record* find(std::uintptr_t addr) const;
-
-  std::size_t page_count() const { return pages_.size(); }
-  std::size_t bytes_reserved() const;
-
- private:
-  struct page {
-    explicit page(std::size_t n) : records(n) {}
-    std::vector<granule_record> records;
-  };
-
-  page& page_for(std::uintptr_t page_id);
-
-  const unsigned page_bits_;
-  const unsigned granule_shift_;
-  const std::uintptr_t page_mask_;
-  // Hot-page cache: benchmark kernels touch long runs within one page.
-  std::uintptr_t cached_id_ = static_cast<std::uintptr_t>(-1);
-  page* cached_page_ = nullptr;
-  std::unordered_map<std::uintptr_t, std::unique_ptr<page>> pages_;
+  std::unique_ptr<std::vector<strand_id>> overflow_;
 };
 
 }  // namespace frd::shadow

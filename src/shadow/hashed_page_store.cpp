@@ -1,0 +1,37 @@
+#include "shadow/hashed_page_store.hpp"
+
+namespace frd::shadow {
+
+hashed_page_store::hashed_page_store(const store_config& cfg)
+    : store(cfg),
+      page_bits_(cfg.page_bits),
+      page_mask_((std::uintptr_t{1} << cfg.page_bits) - 1) {}
+
+hashed_page_store::page& hashed_page_store::page_for(std::uintptr_t page_id) {
+  if (page_id == cached_id_) return *cached_page_;
+  auto [it, inserted] = pages_.try_emplace(page_id);
+  if (inserted)
+    it->second = std::make_unique<page>(std::size_t{1} << page_bits_);
+  cached_id_ = page_id;
+  cached_page_ = it->second.get();
+  return *cached_page_;
+}
+
+granule_record& hashed_page_store::record_for(std::uintptr_t addr) {
+  const std::uintptr_t g = granule_of(addr);
+  return page_for(g >> page_bits_).records[g & page_mask_];
+}
+
+const granule_record* hashed_page_store::find(std::uintptr_t addr) const {
+  const std::uintptr_t g = granule_of(addr);
+  auto it = pages_.find(g >> page_bits_);
+  if (it == pages_.end()) return nullptr;
+  return &it->second->records[g & page_mask_];
+}
+
+std::size_t hashed_page_store::bytes_reserved() const {
+  return pages_.size() * (std::size_t{1} << page_bits_) *
+         sizeof(granule_record);
+}
+
+}  // namespace frd::shadow

@@ -1,0 +1,63 @@
+// hashed-page store: the paper's "two-level direct-mapped cache" baseline.
+//
+// The high bits of addr>>granule_shift select a second-level page, the low
+// bits index into it. The paper's artifact used a flat top-level table; with
+// 47-bit user address spaces we key pages by a hash map instead and keep a
+// one-entry hot-page cache, which preserves the two-level lookup cost on the
+// fast path (documented substitution, DESIGN.md "Shadow-memory stores").
+// This was access_history before the store interface existed; it remains
+// the default store and the conformance baseline for the other layouts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "shadow/store.hpp"
+
+namespace frd::shadow {
+
+class hashed_page_store final : public store {
+ public:
+  explicit hashed_page_store(const store_config& cfg);
+
+  std::string_view name() const override { return "hashed-page"; }
+
+  strand_id read_step(std::uintptr_t addr, strand_id reader) override {
+    return read_step_on(record_for(addr), reader);
+  }
+  void write_step(std::uintptr_t addr, strand_id writer,
+                  function_ref<void(strand_id, bool)> prior) override {
+    write_step_on(record_for(addr), writer, prior);
+  }
+  granule_state peek(std::uintptr_t addr) const override {
+    return state_of(find(addr));
+  }
+
+  // Direct record access for the shadow microbenches (no virtual hop).
+  granule_record& record_for(std::uintptr_t addr);
+  // Lookup without allocation; null if the granule's page was never touched.
+  const granule_record* find(std::uintptr_t addr) const;
+
+  std::size_t page_count() const override { return pages_.size(); }
+  std::size_t bytes_reserved() const override;
+
+ private:
+  struct page {
+    explicit page(std::size_t n) : records(n) {}
+    std::vector<granule_record> records;
+  };
+
+  page& page_for(std::uintptr_t page_id);
+
+  const unsigned page_bits_;
+  const std::uintptr_t page_mask_;
+  // Hot-page cache: benchmark kernels touch long runs within one page.
+  std::uintptr_t cached_id_ = static_cast<std::uintptr_t>(-1);
+  page* cached_page_ = nullptr;
+  std::unordered_map<std::uintptr_t, std::unique_ptr<page>> pages_;
+};
+
+}  // namespace frd::shadow

@@ -1,0 +1,72 @@
+#include "shadow/sharded_store.hpp"
+
+#include <new>
+
+namespace frd::shadow {
+
+sharded_store::sharded_store(const store_config& cfg)
+    : store(cfg),
+      page_bits_(cfg.page_bits),
+      shard_bits_(cfg.shard_bits),
+      page_mask_((std::uintptr_t{1} << cfg.page_bits) - 1),
+      shards_(std::size_t{1} << cfg.shard_bits) {}
+
+sharded_store::~sharded_store() {
+  // Arena storage never runs destructors; the reader-overflow vectors inside
+  // the records need theirs.
+  const std::size_t n = std::size_t{1} << page_bits_;
+  for (shard& sh : shards_) {
+    for (auto& [id, records] : sh.pages) {
+      for (std::size_t i = 0; i < n; ++i) records[i].~granule_record();
+    }
+  }
+}
+
+granule_record& sharded_store::record_for(std::uintptr_t addr) {
+  const std::uintptr_t g = granule_of(addr);
+  const std::uintptr_t page_id = g >> page_bits_;
+  shard& sh = shards_[shard_of_page(page_id)];
+  if (page_id == sh.cached_id) return sh.cached_page[g & page_mask_];
+  auto [it, inserted] = sh.pages.try_emplace(page_id);
+  if (inserted) {
+    const std::size_t n = std::size_t{1} << page_bits_;
+    auto* records = static_cast<granule_record*>(
+        sh.storage.allocate(n * sizeof(granule_record),
+                            alignof(granule_record)));
+    for (std::size_t i = 0; i < n; ++i) ::new (records + i) granule_record();
+    it->second = records;
+  }
+  sh.cached_id = page_id;
+  sh.cached_page = it->second;
+  return sh.cached_page[g & page_mask_];
+}
+
+store::granule_state sharded_store::peek(std::uintptr_t addr) const {
+  const std::uintptr_t g = granule_of(addr);
+  const std::uintptr_t page_id = g >> page_bits_;
+  const shard& sh = shards_[shard_of_page(page_id)];
+  auto it = sh.pages.find(page_id);
+  if (it == sh.pages.end()) return state_of(nullptr);
+  return state_of(&it->second[g & page_mask_]);
+}
+
+std::size_t sharded_store::page_count() const {
+  std::size_t n = 0;
+  for (const shard& sh : shards_) n += sh.pages.size();
+  return n;
+}
+
+std::size_t sharded_store::bytes_reserved() const {
+  std::size_t n = 0;
+  for (const shard& sh : shards_) n += sh.storage.bytes_allocated();
+  return n;
+}
+
+std::vector<std::size_t> sharded_store::shard_page_counts() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const shard& sh : shards_) out.push_back(sh.pages.size());
+  return out;
+}
+
+}  // namespace frd::shadow

@@ -1,0 +1,97 @@
+#include "shadow/store.hpp"
+
+#include <algorithm>
+
+#include "shadow/compact_store.hpp"
+#include "shadow/hashed_page_store.hpp"
+#include "shadow/sharded_store.hpp"
+#include "support/check.hpp"
+
+namespace frd::shadow {
+
+void validate(const store_config& cfg) {
+  if (cfg.page_bits < 4 || cfg.page_bits > 24) {
+    throw store_error("shadow_page_bits must be in [4, 24], got " +
+                      std::to_string(cfg.page_bits));
+  }
+  if (cfg.granule_shift > 12) {
+    throw store_error("unreasonable granule size (shift " +
+                      std::to_string(cfg.granule_shift) + " > 12)");
+  }
+  if (cfg.shard_bits > 10) {
+    throw store_error("shadow_shard_bits must be in [0, 10], got " +
+                      std::to_string(cfg.shard_bits) +
+                      " (that would be > 1024 shards)");
+  }
+}
+
+store_registry& store_registry::instance() {
+  static store_registry reg;
+  return reg;
+}
+
+store_registry::store_registry() {
+  add({.name = std::string(kDefaultStore),
+       .description = "two-level hashed page table + hot-page cache "
+                      "(the paper's layout; the baseline)",
+       .sharded = false,
+       .make = [](const store_config& cfg) -> std::unique_ptr<store> {
+         return std::make_unique<hashed_page_store>(cfg);
+       }});
+  add({.name = "sharded",
+       .description = "2^shard_bits address-hashed shards, each with its own "
+                      "page table, hot-page cache, and arena",
+       .sharded = true,
+       .make = [](const store_config& cfg) -> std::unique_ptr<store> {
+         return std::make_unique<sharded_store>(cfg);
+       }});
+  add({.name = "compact",
+       .description = "structure-of-arrays pages with arena-chained reader "
+                      "overflow (no per-record heap storage)",
+       .sharded = false,
+       .make = [](const store_config& cfg) -> std::unique_ptr<store> {
+         return std::make_unique<compact_store>(cfg);
+       }});
+}
+
+void store_registry::add(store_info info) {
+  FRD_CHECK_MSG(!info.name.empty() && info.make != nullptr,
+                "store registration needs a name and a factory");
+  FRD_CHECK_MSG(find(info.name) == nullptr, "store name already registered");
+  infos_.push_back(std::move(info));
+}
+
+const store_info* store_registry::find(std::string_view name) const {
+  for (const store_info& i : infos_)
+    if (i.name == name) return &i;
+  return nullptr;
+}
+
+const store_info& store_registry::at(std::string_view name) const {
+  if (const store_info* i = find(name)) return *i;
+  std::string msg = "unknown shadow store '";
+  msg += name;
+  msg += "'; registered stores:";
+  for (const std::string& n : names()) {
+    msg += ' ';
+    msg += n;
+  }
+  throw store_error(msg);
+}
+
+std::unique_ptr<store> store_registry::create(std::string_view name,
+                                              const store_config& cfg) const {
+  const store_info& info = at(name);
+  validate(cfg);
+  return info.make(cfg);
+}
+
+std::vector<std::string> store_registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const store_info& i : infos_) out.push_back(i.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace frd::shadow

@@ -1,0 +1,179 @@
+// shadow::store — the pluggable shadow-memory layer (paper §3, §6).
+//
+// The detector spends most of a full-detection run in the per-granule shadow
+// lookup, so the layout of that state is a scaling lever of its own,
+// independent of the reachability backend. This interface pins down the §3
+// access protocol as two store operations — one virtual call per memory
+// access — and lets implementations choose their layout:
+//
+//   hashed-page   the paper's two-level direct-mapped scheme with pages
+//                 keyed by a hash map and a one-entry hot-page cache
+//                 (the baseline; access_history's old layout).
+//   sharded       N address-hashed shards, each with its own page table,
+//                 hot-page cache, and arena — the address space partition
+//                 a future parallel detector will hand one lock/thread per
+//                 shard (store_config::shard_bits sizes N).
+//   compact       structure-of-arrays pages (hot writer/count planes split
+//                 from reader planes) with unique_ptr-free overflow chains
+//                 in a support arena.
+//
+// Stores register by name in a string-keyed store_registry mirroring the
+// backend_registry; frd::session resolves session::options::shadow_store at
+// construction. Every store must be observationally identical: the corpus
+// conformance suite replays every (entry × backend × store) triple against
+// the same goldens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shadow/granule_record.hpp"
+#include "support/function_ref.hpp"
+
+namespace frd::shadow {
+
+// Raised on unknown store names and out-of-range configurations. The message
+// lists the registered names (like detect::backend_error does for backends).
+class store_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct store_config {
+  // Second-level page size: 2^page_bits granules per page; [4, 24].
+  unsigned page_bits = 16;
+  // log2 of the granule size in bytes (2 = the paper's 4-byte granules).
+  unsigned granule_shift = 2;
+  // Sharded stores only: 2^shard_bits address-hashed shards; [0, 10].
+  unsigned shard_bits = 4;
+};
+
+// Throws store_error when cfg is outside the ranges above.
+void validate(const store_config& cfg);
+
+class store {
+ public:
+  explicit store(const store_config& cfg) : granule_shift_(cfg.granule_shift) {}
+  virtual ~store() = default;
+  store(const store&) = delete;
+  store& operator=(const store&) = delete;
+
+  std::uintptr_t granule_of(std::uintptr_t addr) const {
+    return addr >> granule_shift_;
+  }
+  unsigned granule_shift() const { return granule_shift_; }
+
+  virtual std::string_view name() const = 0;
+
+  // The §3 read step on the granule containing addr: returns the granule's
+  // last writer *before* this read (kNoStrand when none) for the caller's
+  // race check, and appends `reader` to the reader list unless the serial
+  // dedupe applies (the granule's writer or tail reader is already
+  // `reader`). Allocates the granule's page on first touch.
+  virtual strand_id read_step(std::uintptr_t addr, strand_id reader) = 0;
+
+  // The §3 write step on the granule containing addr: invokes `prior` once
+  // per recorded conflicting access — first the previous writer (is_write =
+  // true, skipped when there is none), then every recorded reader (is_write
+  // = false) in append order — then purges the reader list and installs
+  // `writer` as last-writer. The callback must not re-enter the store.
+  virtual void write_step(
+      std::uintptr_t addr, strand_id writer,
+      function_ref<void(strand_id prior, bool is_write)> prior) = 0;
+
+  // Layout-independent snapshot of one granule for tests and diagnostics;
+  // never allocates. touched == false means the granule's page was never
+  // materialized (writer/readers are then the pristine defaults).
+  struct granule_state {
+    bool touched = false;
+    strand_id writer = rt::kNoStrand;
+    std::vector<strand_id> readers;  // append order
+  };
+  virtual granule_state peek(std::uintptr_t addr) const = 0;
+
+  virtual std::size_t page_count() const = 0;
+  virtual std::size_t bytes_reserved() const = 0;
+  // 1 for unsharded stores.
+  virtual std::size_t shard_count() const { return 1; }
+
+ protected:
+  // The one definition of the §3 protocol steps over an AoS granule_record,
+  // shared by the hashed-page and sharded stores (the compact store
+  // implements the same steps over its SoA planes).
+  static strand_id read_step_on(granule_record& rec, strand_id reader) {
+    const strand_id prior = rec.writer;
+    if (rec.writer != reader && rec.last_reader() != reader)
+      rec.append_reader(reader);
+    return prior;
+  }
+  static void write_step_on(
+      granule_record& rec, strand_id writer,
+      function_ref<void(strand_id, bool)> prior) {
+    if (rec.writer != rt::kNoStrand) prior(rec.writer, /*is_write=*/true);
+    rec.for_each_reader([&](strand_id r) { prior(r, /*is_write=*/false); });
+    rec.clear_readers();
+    rec.writer = writer;
+  }
+  static granule_state state_of(const granule_record* rec) {
+    granule_state out;
+    if (rec == nullptr) return out;
+    out.touched = true;
+    out.writer = rec->writer;
+    out.readers.reserve(rec->reader_count());
+    rec->for_each_reader([&](strand_id r) { out.readers.push_back(r); });
+    return out;
+  }
+
+ private:
+  const unsigned granule_shift_;
+};
+
+// The baseline store every consumer defaults to.
+inline constexpr std::string_view kDefaultStore = "hashed-page";
+
+struct store_info {
+  std::string name;         // registry key, e.g. "sharded"
+  std::string description;  // one-line layout summary for docs/CLIs
+  // Capability flag: the store partitions its address space by
+  // store_config::shard_bits (selection UIs surface the knob only here).
+  bool sharded = false;
+  std::function<std::unique_ptr<store>(const store_config&)> make;
+};
+
+class store_registry {
+ public:
+  // Process-wide registry, pre-populated with the three in-tree stores.
+  static store_registry& instance();
+
+  // Registers a store; the name must be new.
+  void add(store_info info);
+
+  // Lookup by name; null when unknown.
+  const store_info* find(std::string_view name) const;
+
+  // Lookup by name; throws store_error listing every registered name.
+  const store_info& at(std::string_view name) const;
+
+  // Validates cfg and constructs a fresh store (throws like at()).
+  std::unique_ptr<store> create(std::string_view name,
+                                const store_config& cfg) const;
+
+  // All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  store_registry();  // registers the builtins
+
+  // Deque for the same reason as backend_registry: find()/at() hand out
+  // long-lived pointers, so registration must never relocate entries.
+  std::deque<store_info> infos_;
+};
+
+}  // namespace frd::shadow

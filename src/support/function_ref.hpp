@@ -1,0 +1,43 @@
+// Non-owning callable reference (the shape of std::function_ref, C++26).
+//
+// The shadow-store protocol API (shadow/store.hpp) takes per-reader
+// callbacks on its one-virtual-call-per-access hot path; std::function would
+// risk a heap allocation per access for captures past the SBO limit, and a
+// template parameter cannot cross a virtual interface. function_ref is two
+// words, trivially copyable, and never allocates. The referenced callable
+// must outlive the call (always true here: callers pass stack lambdas into
+// calls that return before the lambda dies).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace frd {
+
+template <typename Sig>
+class function_ref;
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  function_ref(F&& f) noexcept  // NOLINT: implicit by design, like the std one
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace frd

@@ -10,7 +10,7 @@ namespace {
 // Recorded addresses are 64-bit; on a narrower host a silent truncation
 // would collide distinct granules and quietly change the race report, so
 // out-of-range addresses are an error like any other malformed input.
-const void* checked_pointer(std::uint64_t addr) {
+std::uintptr_t checked_address(std::uint64_t addr) {
   if constexpr (sizeof(std::uintptr_t) < sizeof(std::uint64_t)) {
     if (addr > UINTPTR_MAX) {
       throw trace_error("trace granule address " + std::to_string(addr) +
@@ -18,7 +18,7 @@ const void* checked_pointer(std::uint64_t addr) {
                         "trace on a 64-bit build");
     }
   }
-  return reinterpret_cast<const void*>(static_cast<std::uintptr_t>(addr));
+  return static_cast<std::uintptr_t>(addr);
 }
 
 }  // namespace
@@ -29,9 +29,27 @@ trace_player::stats trace_player::play(rt::execution_listener* listener,
   stats st;
   std::vector<rt::child_record> children;
   std::vector<rt::strand_id> joins;
+  // Access runs accumulate here and flush as one on_accesses call before
+  // any dag event fires, so the sink observes accesses and dag events in
+  // true program order — the batching is invisible except in dispatch cost.
+  std::vector<detect::hooks::access> batch;
+  batch.reserve(kBatchCapacity);
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    if (sink) sink->on_accesses(batch, granule);
+    batch.clear();
+  };
   trace_event e;
   while (src_.next(e)) {
     ++st.events;
+    if (e.kind == event_kind::read || e.kind == event_kind::write) {
+      ++st.accesses;
+      batch.push_back(detect::hooks::access{
+          checked_address(e.access.addr), e.kind == event_kind::write});
+      if (batch.size() == kBatchCapacity) flush();
+      continue;
+    }
+    flush();
     switch (e.kind) {
       case event_kind::program_begin:
         if (listener) {
@@ -98,15 +116,11 @@ trace_player::stats trace_player::play(rt::execution_listener* listener,
         }
         break;
       case event_kind::read:
-        ++st.accesses;
-        if (sink) sink->on_read(checked_pointer(e.access.addr), granule);
-        break;
       case event_kind::write:
-        ++st.accesses;
-        if (sink) sink->on_write(checked_pointer(e.access.addr), granule);
-        break;
+        break;  // handled (batched) before the switch
     }
   }
+  flush();
   return st;
 }
 

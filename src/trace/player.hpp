@@ -4,14 +4,20 @@
 // The player is the inverse of trace_recorder: flattened sync_begin /
 // sync_child runs are reassembled into a single sync_event (children in
 // spawn order, join strands in span order) before on_sync fires, so a
-// replayed backend observes a stream bit-identical to the live one. Access
-// events call the sink with the recorded granule base address and the
-// header's granule as the byte count; replaying under the same granule
-// reproduces the live shadow behavior — and therefore the race report —
-// exactly. (The sink's raw call COUNT can exceed the live run's: an access
-// that spanned g granules was recorded as g events and replays as g calls,
-// so per-call tallies like detector::access_count() are upper bounds under
-// replay, while every granule-keyed result is identical.)
+// replayed backend observes a stream bit-identical to the live one.
+//
+// Access events are BATCHED: a run of consecutive read/write events (the
+// dominant shape of real traces — kernels issue long access runs between
+// dag events) is accumulated and handed to the sink as one
+// on_accesses(span) call instead of one virtual on_read/on_write per
+// event. Each batch element carries the recorded granule base address; the
+// batch's byte width is the header's granule. Replaying under the same
+// granule reproduces the live shadow behavior — and therefore the race
+// report — exactly. (The sink's ACCESS COUNT can exceed the live run's: an
+// access that spanned g granules was recorded as g events and replays as g
+// batch elements, so per-access tallies like detector::access_count() are
+// upper bounds under replay, while every granule-keyed result is
+// identical.)
 #pragma once
 
 #include <cstdint>
@@ -36,6 +42,11 @@ class trace_player {
   // trace_error on malformed input (e.g. a sync_child run cut short).
   stats play(rt::execution_listener* listener,
              detect::hooks::access_sink* sink);
+
+  // Longest run handed to the sink in one on_accesses call; bounds the
+  // batch buffer while keeping the per-call amortization (real runs are
+  // usually shorter than this between dag events).
+  static constexpr std::size_t kBatchCapacity = 256;
 
  private:
   trace_source& src_;

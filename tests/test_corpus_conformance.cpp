@@ -22,6 +22,7 @@
 #include "corpus/manifest.hpp"
 #include "corpus/programs.hpp"
 #include "corpus/runner.hpp"
+#include "shadow/store.hpp"
 #include "trace/codec.hpp"
 #include "trace/event.hpp"
 
@@ -54,14 +55,15 @@ TEST(CorpusInventory, ManifestLoads) {
 
 TEST(CorpusInventory, MeetsTheCoverageFloor) {
   const manifest& m = corpus_manifest();
-  EXPECT_GE(m.entries.size(), 8u);
+  EXPECT_GE(m.entries.size(), 14u);
   std::size_t paper = 0, adversarial = 0, general = 0;
   for (const corpus_entry& e : m.entries) {
     if (e.kind == entry_kind::paper_kernel) ++paper;
     if (e.kind == entry_kind::adversarial) ++adversarial;
     if (e.futures == detect::future_support::general) ++general;
   }
-  EXPECT_GE(paper, 3u) << "corpus must keep >= 3 paper kernels";
+  EXPECT_GE(paper, 6u) << "corpus must keep >= 6 paper kernels (lcs, sw, "
+                          "bst, dedup, heartwall, mm families)";
   EXPECT_GE(adversarial, 4u) << "corpus must keep >= 4 adversarial shapes";
   EXPECT_GE(general, 1u) << "corpus must keep >= 1 general-futures program";
 }
@@ -79,19 +81,26 @@ TEST(CorpusInventory, EveryEntryNamesARegisteredProgram) {
 
 // ---------------------------------------------------------- conformance --
 
-// One test per (entry, backend) pair via value-parameterization over the
-// manifest: ctest output localizes a divergence without re-running anything.
+// One test per (entry, backend, shadow store) triple via
+// value-parameterization over the manifest × the store registry: ctest
+// output localizes a divergence without re-running anything, and every
+// store layout is held to the same byte-identical goldens.
 struct conformance_case {
   std::string entry;
   std::string backend;
+  std::string store;
 };
 
 std::vector<conformance_case> all_cases() {
   std::vector<conformance_case> out;
   try {
+    const std::vector<std::string> stores =
+        shadow::store_registry::instance().names();
     for (const corpus_entry& e : corpus_manifest().entries) {
       for (const std::string& b : eligible_backends(e.futures)) {
-        out.push_back({e.name, b});
+        for (const std::string& s : stores) {
+          out.push_back({e.name, b, s});
+        }
       }
     }
   } catch (const std::exception&) {
@@ -115,15 +124,16 @@ TEST_P(CorpusConformance, ReplayMatchesGolden) {
       << "manifest and trace header disagree about the granule";
 
   const std::vector<std::string> details =
-      check_backend(tape, golden, c.backend);
+      check_backend(tape, golden, c.backend, c.store);
   for (const std::string& d : details) {
-    ADD_FAILURE() << "backend '" << c.backend << "' diverged on corpus entry '"
-                  << c.entry << "': " << d;
+    ADD_FAILURE() << "backend '" << c.backend << "' on store '" << c.store
+                  << "' diverged on corpus entry '" << c.entry << "': " << d;
   }
 }
 
 std::string case_name(const ::testing::TestParamInfo<conformance_case>& info) {
-  std::string s = info.param.entry + "_" + info.param.backend;
+  std::string s =
+      info.param.entry + "_" + info.param.backend + "_" + info.param.store;
   for (char& c : s) {
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
@@ -159,7 +169,7 @@ TEST_P(CorpusDeterminism, RegenerationReproducesTheCheckedInTrace) {
 
 INSTANTIATE_TEST_SUITE_P(Entries, CorpusDeterminism,
                          ::testing::Values("wide-fanin", "sync-heavy",
-                                           "fuzz-structured"),
+                                           "fuzz-structured", "mm-structured"),
                          [](const auto& info) {
                            std::string s = info.param;
                            for (char& c : s)
@@ -252,10 +262,21 @@ TEST(CorpusVerify, EngineAcceptsTheCheckedInCorpus) {
   const verify_result r = verify_corpus(corpus_manifest(), corpus_dir());
   for (const divergence& d : r.failures) {
     for (const std::string& line : d.details) {
-      ADD_FAILURE() << d.entry << " [" << d.backend << "]: " << line;
+      ADD_FAILURE() << d.entry << " [" << d.backend << "/" << d.store
+                    << "]: " << line;
     }
   }
   EXPECT_GT(r.checks, 0u);
+}
+
+TEST(CorpusVerify, UnknownStoreRestrictionIsAFailureNotAPass) {
+  const verify_result r =
+      verify_corpus(corpus_manifest(), corpus_dir(), {}, "no-such-store");
+  EXPECT_EQ(r.checks, 0u);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.failures.front().details.front().find("no-such-store"),
+            std::string::npos)
+      << "the failure must name the store that matched nothing";
 }
 
 TEST(CorpusVerify, ZeroEligibleChecksIsAFailureNotAPass) {

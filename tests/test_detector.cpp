@@ -290,7 +290,8 @@ TEST_P(AllBackends, InstrumentationLevelCountsButNeverReports) {
   });
   EXPECT_EQ(h.s.access_count(), 2u);
   EXPECT_FALSE(h.report().any());
-  EXPECT_EQ(h.s.detector().history().page_count(), 0u) << "no history maintained";
+  EXPECT_EQ(h.s.detector().shadow_store().page_count(), 0u)
+      << "no history maintained";
 }
 
 TEST_P(AllBackends, ReachabilityLevelAnswersQueries) {

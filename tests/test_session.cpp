@@ -10,6 +10,7 @@
 #include "api/session.hpp"
 #include "detect/registry.hpp"
 #include "graph/oracle_backend.hpp"
+#include "shadow/store.hpp"
 #include "trace/event.hpp"
 
 namespace frd {
@@ -277,12 +278,53 @@ TEST(Session, WiderGranuleMergesNeighbouringLocations) {
 
 TEST(Session, InvalidOptionsThrowInsteadOfAborting) {
   // Option validation is catchable, like the unknown-backend case: an
-  // embedder wiring options from a config file can report them.
+  // embedder wiring options from a config file can report them. Granule
+  // validation is the detector's (backend_error); shadow sizing belongs to
+  // the store layer (store_error). Both are std::runtime_error.
   EXPECT_THROW(session(session::options{.granule = 3}), backend_error);
   EXPECT_THROW(session(session::options{.granule = 0}), backend_error);
   EXPECT_THROW(session(session::options{.granule = 8192}), backend_error);
-  EXPECT_THROW(session(session::options{.shadow_page_bits = 2}), backend_error);
-  EXPECT_THROW(session(session::options{.shadow_page_bits = 32}), backend_error);
+  EXPECT_THROW(session(session::options{.shadow_page_bits = 2}),
+               shadow::store_error);
+  EXPECT_THROW(session(session::options{.shadow_page_bits = 32}),
+               shadow::store_error);
+  EXPECT_THROW(session(session::options{.shadow_shard_bits = 11}),
+               shadow::store_error);
+}
+
+TEST(Session, ShadowStoreOptionSelectsTheStore) {
+  // Every registered store plugs in through the same option and yields the
+  // same verdict on the canonical racy program.
+  for (const std::string& name : shadow::store_registry::instance().names()) {
+    session s(session::options{.shadow_store = name});
+    EXPECT_EQ(s.detector().shadow_store().name(), name);
+    racy_future_program(s);
+    EXPECT_TRUE(s.report().any()) << "store '" << name << "' missed the race";
+  }
+}
+
+TEST(Session, UnknownShadowStoreThrowsListingRegisteredStores) {
+  try {
+    session s(session::options{.shadow_store = "no-such-store"});
+    FAIL() << "unknown shadow store must throw";
+  } catch (const shadow::store_error& e) {
+    const std::string msg = e.what();
+    for (const std::string& n : shadow::store_registry::instance().names()) {
+      EXPECT_NE(msg.find(n), std::string::npos) << n;
+    }
+  }
+}
+
+TEST(Session, ShardCountFollowsTheShardBitsOption) {
+  session s(session::options{.shadow_store = "sharded",
+                             .shadow_shard_bits = 3});
+  EXPECT_EQ(s.detector().shadow_store().shard_count(), 8u);
+  session one(session::options{.shadow_store = "sharded",
+                               .shadow_shard_bits = 0});
+  EXPECT_EQ(one.detector().shadow_store().shard_count(), 1u);
+  // Unsharded stores ignore the knob.
+  session flat(session::options{.shadow_shard_bits = 9});
+  EXPECT_EQ(flat.detector().shadow_store().shard_count(), 1u);
 }
 
 TEST(Session, BaselineLevelInstallsNoListener) {

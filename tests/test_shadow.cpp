@@ -1,13 +1,26 @@
-// Unit tests for the access-history shadow memory.
+// Unit tests for the shadow-memory store layer.
+//
+// The protocol tests are parameterized over every registered store: the §3
+// semantics (lookup, reader append + dedupe, overflow, writer purge, lazy
+// page allocation) must be identical across layouts — the same contract the
+// corpus conformance suite enforces end-to-end, checked here at the store
+// interface where a failure localizes to one operation.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "shadow/access_history.hpp"
+#include "shadow/granule_record.hpp"
+#include "shadow/sharded_store.hpp"
+#include "shadow/store.hpp"
 
 namespace frd::shadow {
 namespace {
+
+// ---------------------------------------------------------- granule_record --
 
 TEST(GranuleRecord, InlineThenOverflowReaders) {
   granule_record rec;
@@ -48,75 +61,332 @@ TEST(GranuleRecord, ExactlyInlineBoundary) {
   EXPECT_EQ(got, (std::vector<strand_id>{1, 2, 3, 4}));
 }
 
-TEST(AccessHistory, FourByteGranularity) {
-  access_history h;
-  // Bytes 0-3 of a word share a granule; byte 4 starts the next.
+std::vector<strand_id> readers_of(const granule_record& rec) {
+  std::vector<strand_id> out;
+  rec.for_each_reader([&](strand_id s) { out.push_back(s); });
+  return out;
+}
+
+TEST(GranuleRecord, MoveTransfersStateAndEmptiesTheSource) {
+  granule_record rec;
+  rec.writer = 9;
+  for (strand_id s = 1; s <= 8; ++s) rec.append_reader(s);  // into overflow
+
+  granule_record moved(std::move(rec));
+  EXPECT_EQ(moved.writer, 9u);
+  EXPECT_EQ(moved.reader_count(), 8u);
+  EXPECT_EQ(readers_of(moved), (std::vector<strand_id>{1, 2, 3, 4, 5, 6, 7, 8}));
+  // The moved-from record is a valid empty record, usable again.
+  EXPECT_EQ(rec.writer, rt::kNoStrand);
+  EXPECT_EQ(rec.reader_count(), 0u);
+  rec.append_reader(42);
+  EXPECT_EQ(rec.last_reader(), 42u);
+}
+
+TEST(GranuleRecord, MoveAssignRelocatesIntoGrownStorage) {
+  // The scenario the move support exists for: records relocating when a
+  // store grows a container of them.
+  std::vector<granule_record> records;
+  records.emplace_back();
+  records[0].writer = 5;
+  for (strand_id s = 1; s <= 6; ++s) records[0].append_reader(s);
+  for (int i = 0; i < 64; ++i) records.emplace_back();  // forces regrowth
+  EXPECT_EQ(records[0].writer, 5u);
+  EXPECT_EQ(readers_of(records[0]), (std::vector<strand_id>{1, 2, 3, 4, 5, 6}));
+
+  granule_record other;
+  other.append_reader(77);
+  other = std::move(records[0]);
+  EXPECT_EQ(other.writer, 5u);
+  EXPECT_EQ(other.reader_count(), 6u);
+}
+
+// ------------------------------------------------------------- the stores --
+
+// Collects the (prior, is_write) pairs a write_step surfaces.
+struct prior_log {
+  std::vector<std::pair<strand_id, bool>> seen;
+  auto fn() {
+    return [this](strand_id s, bool w) { seen.emplace_back(s, w); };
+  }
+};
+
+class AllStores : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<store> make(store_config cfg = {}) const {
+    return store_registry::instance().create(GetParam(), cfg);
+  }
+};
+
+TEST_P(AllStores, FourByteGranularity) {
+  auto st = make();
   const std::uintptr_t base = 0x1000;
-  granule_record& a = h.record_for(base + 0);
-  granule_record& b = h.record_for(base + 3);
-  granule_record& c = h.record_for(base + 4);
-  EXPECT_EQ(&a, &b);
-  EXPECT_NE(&a, &c);
+  prior_log log;
+  st->write_step(base + 0, 7, log.fn());
+  // Bytes 0-3 of a word share a granule; byte 4 starts the next.
+  EXPECT_EQ(st->peek(base + 3).writer, 7u);
+  EXPECT_EQ(st->peek(base + 4).writer, rt::kNoStrand);
 }
 
-TEST(AccessHistory, PagesAllocatedLazily) {
-  access_history h(/*page_bits=*/8);  // 256 granules = 1 KiB of address space
-  EXPECT_EQ(h.page_count(), 0u);
-  h.record_for(0x10000);
-  EXPECT_EQ(h.page_count(), 1u);
-  h.record_for(0x10004);  // same page
-  EXPECT_EQ(h.page_count(), 1u);
-  h.record_for(0x90000);  // far away: new page
-  EXPECT_EQ(h.page_count(), 2u);
+TEST_P(AllStores, PagesAllocatedLazily) {
+  auto st = make({.page_bits = 8});  // 256 granules = 1 KiB of address space
+  EXPECT_EQ(st->page_count(), 0u);
+  st->read_step(0x10000, 1);
+  EXPECT_EQ(st->page_count(), 1u);
+  st->read_step(0x10004, 1);  // same page
+  EXPECT_EQ(st->page_count(), 1u);
+  st->read_step(0x90000, 1);  // far away: new page
+  EXPECT_EQ(st->page_count(), 2u);
 }
 
-TEST(AccessHistory, FindWithoutAllocation) {
-  access_history h;
-  EXPECT_EQ(h.find(0x2000), nullptr);
-  h.record_for(0x2000).writer = 9;
-  const granule_record* rec = h.find(0x2000);
-  ASSERT_NE(rec, nullptr);
-  EXPECT_EQ(rec->writer, 9u);
+TEST_P(AllStores, PeekNeverAllocates) {
+  auto st = make();
+  EXPECT_FALSE(st->peek(0x2000).touched);
+  EXPECT_EQ(st->page_count(), 0u);
+  prior_log log;
+  st->write_step(0x2000, 9, log.fn());
+  const store::granule_state got = st->peek(0x2000);
+  ASSERT_TRUE(got.touched);
+  EXPECT_EQ(got.writer, 9u);
   // A neighbouring granule on the same (now allocated) page exists but is
   // pristine; a granule on a never-touched page is absent entirely.
-  const granule_record* neighbour = h.find(0x2000 + 4);
-  ASSERT_NE(neighbour, nullptr);
-  EXPECT_EQ(neighbour->writer, rt::kNoStrand);
-  EXPECT_FALSE(neighbour->has_readers());
-  EXPECT_EQ(h.find(0x2000 + (std::uintptr_t{1} << 30)), nullptr);
+  const store::granule_state neighbour = st->peek(0x2000 + 4);
+  ASSERT_TRUE(neighbour.touched);
+  EXPECT_EQ(neighbour.writer, rt::kNoStrand);
+  EXPECT_TRUE(neighbour.readers.empty());
+  EXPECT_FALSE(st->peek(0x2000 + (std::uintptr_t{1} << 30)).touched);
+  EXPECT_EQ(st->page_count(), 1u);
 }
 
-TEST(AccessHistory, DistinctAddressesKeepDistinctState) {
-  access_history h;
+TEST_P(AllStores, DistinctAddressesKeepDistinctState) {
+  auto st = make();
+  prior_log log;
   std::vector<std::uintptr_t> addrs;
   for (std::uintptr_t i = 0; i < 1000; ++i) addrs.push_back(0x4000 + i * 4);
   for (std::size_t i = 0; i < addrs.size(); ++i)
-    h.record_for(addrs[i]).writer = static_cast<strand_id>(i);
+    st->write_step(addrs[i], static_cast<strand_id>(i), log.fn());
   for (std::size_t i = 0; i < addrs.size(); ++i)
-    EXPECT_EQ(h.record_for(addrs[i]).writer, static_cast<strand_id>(i));
+    EXPECT_EQ(st->peek(addrs[i]).writer, static_cast<strand_id>(i));
 }
 
-TEST(AccessHistory, HotPageCacheSurvivesInterleaving) {
-  access_history h(/*page_bits=*/4);  // tiny pages force frequent switches
+TEST_P(AllStores, HotPathSurvivesPageInterleaving) {
+  auto st = make({.page_bits = 4});  // tiny pages force frequent switches
+  prior_log log;
   for (int round = 0; round < 3; ++round) {
     for (std::uintptr_t a = 0; a < 64; ++a) {
-      h.record_for(0x1000 + a * 4).writer = 1;
-      h.record_for(0x8000 + a * 4).writer = 2;
+      st->write_step(0x1000 + a * 4, 1, log.fn());
+      st->write_step(0x8000 + a * 4, 2, log.fn());
     }
   }
   for (std::uintptr_t a = 0; a < 64; ++a) {
-    EXPECT_EQ(h.record_for(0x1000 + a * 4).writer, 1u);
-    EXPECT_EQ(h.record_for(0x8000 + a * 4).writer, 2u);
+    EXPECT_EQ(st->peek(0x1000 + a * 4).writer, 1u);
+    EXPECT_EQ(st->peek(0x8000 + a * 4).writer, 2u);
   }
 }
 
-TEST(AccessHistory, BytesReservedTracksPages) {
-  access_history h(/*page_bits=*/8);
-  h.record_for(0x1000);
-  const std::size_t one = h.bytes_reserved();
+TEST_P(AllStores, ReadStepReportsThePriorWriterAndAppends) {
+  auto st = make();
+  const std::uintptr_t a = 0x3000;
+  EXPECT_EQ(st->read_step(a, 4), rt::kNoStrand);  // no writer yet
+  prior_log log;
+  st->write_step(a, 7, log.fn());
+  EXPECT_EQ(st->read_step(a, 5), 7u);  // the §3 read race check input
+  const store::granule_state got = st->peek(a);
+  EXPECT_EQ(got.writer, 7u);
+  EXPECT_EQ(got.readers, (std::vector<strand_id>{5}));
+}
+
+TEST_P(AllStores, ReadDedupeSkipsTailReaderAndOwnWriter) {
+  auto st = make();
+  const std::uintptr_t a = 0x3000;
+  // Consecutive reads by one strand are recorded once (tail dedupe)...
+  st->read_step(a, 5);
+  st->read_step(a, 5);
+  st->read_step(a, 6);
+  st->read_step(a, 6);
+  EXPECT_EQ(st->peek(a).readers, (std::vector<strand_id>{5, 6}));
+  // ...and a strand that just wrote the granule is not recorded as a reader
+  // (the writer field already guards it).
+  prior_log log;
+  st->write_step(a, 9, log.fn());
+  st->read_step(a, 9);
+  EXPECT_TRUE(st->peek(a).readers.empty());
+  // A reader interleaved between two reads of another strand defeats the
+  // tail dedupe by design (both occurrences are real §3 state).
+  st->read_step(a, 5);
+  st->read_step(a, 6);
+  st->read_step(a, 5);
+  EXPECT_EQ(st->peek(a).readers, (std::vector<strand_id>{5, 6, 5}));
+}
+
+TEST_P(AllStores, ReaderOverflowKeepsAppendOrder) {
+  auto st = make();
+  const std::uintptr_t a = 0x5000;
+  std::vector<strand_id> want;
+  for (strand_id s = 1; s <= 100; ++s) {  // far past any inline capacity
+    st->read_step(a, s);
+    want.push_back(s);
+  }
+  EXPECT_EQ(st->peek(a).readers, want);
+}
+
+TEST_P(AllStores, WriteStepSurfacesWriterThenReadersThenPurges) {
+  auto st = make();
+  const std::uintptr_t a = 0x6000;
+  prior_log setup;
+  st->write_step(a, 1, setup.fn());
+  EXPECT_TRUE(setup.seen.empty()) << "pristine granule has no prior accesses";
+  st->read_step(a, 2);
+  st->read_step(a, 3);
+  st->read_step(a, 4);
+
+  prior_log log;
+  st->write_step(a, 9, log.fn());
+  const std::vector<std::pair<strand_id, bool>> want{
+      {1, true}, {2, false}, {3, false}, {4, false}};
+  EXPECT_EQ(log.seen, want) << "previous writer first, readers in append order";
+
+  const store::granule_state got = st->peek(a);
+  EXPECT_EQ(got.writer, 9u);
+  EXPECT_TRUE(got.readers.empty()) << "the write purges the reader list";
+  EXPECT_EQ(st->read_step(a, 2), 9u) << "the new writer answers later reads";
+}
+
+TEST_P(AllStores, PurgeCyclesReuseOverflowStorage) {
+  // Steady-state §3 behavior: grow a long reader list, purge, grow again.
+  // Storage must be reusable (bytes_reserved bounded by the peak, not the
+  // cumulative number of readers ever appended).
+  auto st = make();
+  const std::uintptr_t a = 0x7000;
+  prior_log log;
+  st->write_step(a, 1, log.fn());
+  for (strand_id s = 0; s < 256; ++s) st->read_step(a, s + 2);
+  st->write_step(a, 1, log.fn());
+  const std::size_t after_first_purge = st->bytes_reserved();
+  for (int round = 0; round < 50; ++round) {
+    for (strand_id s = 0; s < 256; ++s) st->read_step(a, s + 2);
+    st->write_step(a, 1, log.fn());
+    EXPECT_TRUE(st->peek(a).readers.empty());
+  }
+  EXPECT_LE(st->bytes_reserved(), after_first_purge)
+      << "purge cycles must recycle overflow storage, not leak it";
+}
+
+TEST_P(AllStores, BytesReservedTracksMaterializedPages) {
+  auto st = make({.page_bits = 8});
+  EXPECT_EQ(st->bytes_reserved(), 0u);
+  st->read_step(0x1000, 1);
+  const std::size_t one = st->bytes_reserved();
   EXPECT_GT(one, 0u);
-  h.record_for(0x100000);
-  EXPECT_EQ(h.bytes_reserved(), 2 * one);
+  st->read_step(0x100000, 1);
+  EXPECT_GT(st->bytes_reserved(), one);
+}
+
+TEST_P(AllStores, NameMatchesTheRegistryKey) {
+  auto st = make();
+  EXPECT_EQ(st->name(), GetParam());
+  EXPECT_GE(st->shard_count(), 1u);
+}
+
+std::string store_case_name(const ::testing::TestParamInfo<std::string>& i) {
+  std::string s = i.param;
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllStores,
+                         ::testing::ValuesIn(store_registry::instance().names()),
+                         store_case_name);
+
+// ----------------------------------------------------------- the registry --
+
+TEST(StoreRegistry, UnknownNameThrowsListingEveryStore) {
+  try {
+    store_registry::instance().create("no-such-store", {});
+    FAIL() << "unknown store name must throw";
+  } catch (const store_error& e) {
+    const std::string msg = e.what();
+    for (const std::string& n : store_registry::instance().names()) {
+      EXPECT_NE(msg.find(n), std::string::npos)
+          << "error must list registered store '" << n << "'";
+    }
+  }
+}
+
+TEST(StoreRegistry, RejectsOutOfRangeConfigs) {
+  auto& reg = store_registry::instance();
+  EXPECT_THROW(reg.create(kDefaultStore, {.page_bits = 3}), store_error);
+  EXPECT_THROW(reg.create(kDefaultStore, {.page_bits = 25}), store_error);
+  EXPECT_THROW(reg.create(kDefaultStore, {.granule_shift = 13}), store_error);
+  EXPECT_THROW(reg.create("sharded", {.shard_bits = 11}), store_error);
+}
+
+TEST(StoreRegistry, DefaultStoreIsRegisteredAndFlagsAreSane) {
+  auto& reg = store_registry::instance();
+  ASSERT_NE(reg.find(kDefaultStore), nullptr);
+  EXPECT_FALSE(reg.at(kDefaultStore).sharded);
+  EXPECT_TRUE(reg.at("sharded").sharded)
+      << "the sharded store must advertise that it honors shard_bits";
+}
+
+// ---------------------------------------------------------- sharded store --
+
+TEST(ShardedStore, AddressHashSpreadsPagesAcrossShards) {
+  sharded_store st({.page_bits = 8, .granule_shift = 2, .shard_bits = 3});
+  ASSERT_EQ(st.shard_count(), 8u);
+  // 64 distinct pages (page spans 2^(8+2) = 1 KiB of address space).
+  constexpr std::uintptr_t kPageSpan = 1 << 10;
+  prior_log log;
+  for (std::uintptr_t i = 0; i < 64; ++i)
+    st.write_step(0x100000 + i * kPageSpan, 1, log.fn());
+  EXPECT_EQ(st.page_count(), 64u);
+
+  const std::vector<std::size_t> counts = st.shard_page_counts();
+  ASSERT_EQ(counts.size(), 8u);
+  std::size_t total = 0, populated = 0, max_shard = 0;
+  for (std::size_t c : counts) {
+    total += c;
+    if (c > 0) ++populated;
+    if (c > max_shard) max_shard = c;
+  }
+  EXPECT_EQ(total, 64u);
+  // The multiplicative hash must actually spread sequential page ids: every
+  // shard populated, none holding more than a third of the pages. (64
+  // sequential pages over 8 shards — a weak hash would pile them up.)
+  EXPECT_EQ(populated, 8u) << "sequential pages must reach every shard";
+  EXPECT_LE(max_shard, 64u / 3) << "no shard may absorb the bulk of the pages";
+}
+
+TEST(ShardedStore, ShardAssignmentIsStablePerPage) {
+  sharded_store st({.page_bits = 8, .granule_shift = 2, .shard_bits = 4});
+  // Granules within one page always land in the same shard (the hot-page
+  // cache depends on it).
+  const std::uintptr_t base = 0x42000;
+  const std::size_t shard = st.shard_of(base);
+  for (std::uintptr_t off = 0; off < (1 << 10); off += 4)
+    EXPECT_EQ(st.shard_of(base + off), shard);
+}
+
+TEST(ShardedStore, ZeroShardBitsDegeneratesToOneShard) {
+  sharded_store st({.page_bits = 8, .granule_shift = 2, .shard_bits = 0});
+  EXPECT_EQ(st.shard_count(), 1u);
+  prior_log log;
+  st.write_step(0x1000, 3, log.fn());
+  st.write_step(0x900000, 4, log.fn());
+  EXPECT_EQ(st.peek(0x1000).writer, 3u);
+  EXPECT_EQ(st.peek(0x900000).writer, 4u);
+}
+
+TEST(ShardedStore, StateIsIndependentAcrossShards) {
+  sharded_store st({.page_bits = 4, .granule_shift = 2, .shard_bits = 4});
+  prior_log log;
+  // Scatter writers over many pages, then re-verify every one: a shard
+  // mixing up page tables would cross-contaminate.
+  for (std::uintptr_t i = 0; i < 256; ++i)
+    st.write_step(i * 64, static_cast<strand_id>(i + 1), log.fn());
+  for (std::uintptr_t i = 0; i < 256; ++i)
+    EXPECT_EQ(st.peek(i * 64).writer, static_cast<strand_id>(i + 1));
 }
 
 }  // namespace

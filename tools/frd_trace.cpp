@@ -23,6 +23,7 @@
 #include "api/session.hpp"
 #include "detect/registry.hpp"
 #include "graph/fuzz.hpp"
+#include "shadow/store.hpp"
 #include "support/flags.hpp"
 #include "support/granule.hpp"
 #include "trace/codec.hpp"
@@ -38,7 +39,7 @@ int usage(const char* prog) {
                "  record --program demo|fuzz|fuzz-general --out FILE\n"
                "         [--backend NAME] [--granule N] [--seed N]\n"
                "         [--format binary|jsonl]\n"
-               "  run   FILE [--backend NAME]\n"
+               "  run   FILE [--backend NAME] [--store NAME] [--shard-bits N]\n"
                "  dump  FILE\n"
                "  stats FILE\n",
                prog);
@@ -91,6 +92,7 @@ void fuzz_program(session& s, std::uint64_t seed, bool structured) {
 
 void print_report(const session& s, std::uint64_t events) {
   std::printf("backend:        %s\n", std::string(s.backend_name()).c_str());
+  std::printf("shadow store:   %s\n", s.opts().shadow_store.c_str());
   std::printf("mode:           %s\n", std::string(to_string(s.mode())).c_str());
   if (events) std::printf("trace events:   %llu\n",
                           static_cast<unsigned long long>(events));
@@ -183,7 +185,16 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   flag_parser flags(argc, argv);
   auto& backend = flags.string_flag("backend", "multibags+",
                                     "detection backend to replay through");
+  auto& store = flags.string_flag(
+      "store", std::string(shadow::kDefaultStore),
+      "shadow store to replay on (hashed-page | sharded | compact)");
+  auto& shard_bits = flags.int_flag(
+      "shard-bits", 4, "sharded store: 2^bits shards (ignored elsewhere)");
   flags.parse();
+  if (shard_bits < 0 || shard_bits > 10) {
+    std::fprintf(stderr, "run: --shard-bits must be in [0, 10]\n");
+    return 2;
+  }
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -193,7 +204,9 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   auto src = trace::open_source(in);
   session s(session::options{
       .backend = backend,
-      .granule = static_cast<std::size_t>(src->header().granule)});
+      .granule = static_cast<std::size_t>(src->header().granule),
+      .shadow_store = store,
+      .shadow_shard_bits = static_cast<unsigned>(shard_bits)});
   const std::uint64_t events = s.replay(*src);
   print_report(s, events);
   return 0;

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare a fresh replay-throughput snapshot against the perf/ history.
+
+Snapshots come from different machines, so absolute events/sec is not the
+signal (perf/README.md): what is comparable across snapshots is each
+backend's *relative* standing — its geometric-mean throughput normalized by
+the geomean over all backends in the same snapshot. This script computes
+that share per backend in the fresh snapshot and in a baseline (by default
+the highest-numbered perf/pr*_replay_throughput.json), takes the ratio, and
+exits non-zero when any backend's share dropped below --threshold of its
+baseline share — i.e. a backend got slower *relative to the others*, which
+no machine change explains.
+
+Only rows present in BOTH snapshots (same trace, same backend) and measured
+on the default shadow store participate, so corpus growth and store sweeps
+never skew the comparison. Rows without a "store" field (pre-store-layer
+snapshots) count as default-store rows.
+
+Usage:
+  perf_compare.py --fresh build/BENCH_replay_throughput.json [--history perf]
+                  [--baseline FILE] [--threshold 0.5] [--default-store NAME]
+
+Exit codes: 0 ok / no usable baseline, 1 regression, 2 bad invocation.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_STORE = "hashed-page"
+
+
+def load_rows(path, default_store):
+    """(trace, backend) -> events_per_sec for default-store rows of one snapshot."""
+    with open(path) as f:
+        snap = json.load(f)
+    rows = {}
+    for row in snap.get("rows", []):
+        if row.get("store", default_store) != default_store:
+            continue
+        eps = float(row["events_per_sec"])
+        if eps > 0:
+            rows[(row["trace"], row["backend"])] = eps
+    return rows
+
+
+def latest_baseline(history_dir):
+    """Highest-numbered perf/prN_replay_throughput.json, or None."""
+    best, best_n = None, -1
+    for p in Path(history_dir).glob("pr*_replay_throughput.json"):
+        m = re.match(r"pr(\d+)_", p.name)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = p, int(m.group(1))
+    return best
+
+
+def geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def backend_shares(rows):
+    """backend -> geomean(events/sec) normalized by the all-backend geomean."""
+    per_backend = {}
+    for (_, backend), eps in rows.items():
+        per_backend.setdefault(backend, []).append(eps)
+    means = {b: geomean(v) for b, v in per_backend.items()}
+    scale = geomean(list(means.values()))
+    return {b: m / scale for b, m in means.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True,
+                    help="BENCH_replay_throughput.json from this build")
+    ap.add_argument("--history", default="perf",
+                    help="directory of prN_replay_throughput.json snapshots")
+    ap.add_argument("--baseline", default=None,
+                    help="explicit baseline snapshot (overrides --history)")
+    ap.add_argument("--threshold", type=float, default=0.5,
+                    help="flag a backend whose relative share fell below "
+                         "THRESHOLD x its baseline share (default 0.5 — "
+                         "loose on purpose; replay times on small traces "
+                         "are noisy)")
+    ap.add_argument("--default-store", default=DEFAULT_STORE,
+                    help="store whose rows form the trajectory")
+    args = ap.parse_args()
+
+    baseline_path = args.baseline or latest_baseline(args.history)
+    if baseline_path is None:
+        print(f"perf_compare: no pr*_replay_throughput.json under "
+              f"'{args.history}' — nothing to compare against")
+        return 0
+
+    try:
+        fresh = load_rows(args.fresh, args.default_store)
+        base = load_rows(baseline_path, args.default_store)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"perf_compare: unreadable snapshot: {e}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(fresh) & set(base))
+    if not common:
+        print("perf_compare: the snapshots share no (trace, backend) rows — "
+              "corpus or backend set changed completely; not comparable",
+              file=sys.stderr)
+        return 2
+    fresh_shares = backend_shares({k: fresh[k] for k in common})
+    base_shares = backend_shares({k: base[k] for k in common})
+
+    print(f"perf_compare: {args.fresh} vs {baseline_path} "
+          f"({len(common)} common rows, threshold {args.threshold})")
+    print(f"  {'backend':<16} {'base share':>10} {'fresh share':>11} "
+          f"{'ratio':>6}")
+    regressions = []
+    for backend in sorted(base_shares):
+        b, f = base_shares[backend], fresh_shares[backend]
+        ratio = f / b
+        marker = ""
+        if ratio < args.threshold:
+            regressions.append(backend)
+            marker = "  <-- REGRESSION"
+        print(f"  {backend:<16} {b:>10.3f} {f:>11.3f} {ratio:>6.2f}{marker}")
+
+    if regressions:
+        print(f"perf_compare: relative regression in: "
+              f"{', '.join(regressions)} (share ratio < {args.threshold}); "
+              f"if intentional, land the new perf/prN snapshot with the "
+              f"change and say why", file=sys.stderr)
+        return 1
+    print("perf_compare: no per-backend relative regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
