@@ -20,7 +20,9 @@
 // access-history work — without kernel noise. Results go to stdout as a
 // table and to --json (default BENCH_replay_throughput.json) as the
 // machine-readable snapshot CI uploads; perf/ keeps one snapshot per PR.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -68,16 +70,17 @@ struct row {
   std::string trace;  // corpus entry name, or "fuzz" in fuzz mode
   std::string backend;
   std::string store;
+  std::size_t batch = 256;  // player run length (session replay_batch)
   std::uint64_t events = 0;
   double mean_s = 0, rsd = 0, events_per_sec = 0;
   std::uint64_t racy_granules = 0;
 };
 
-// Replays `tape` through `backend` on `store` `reps` times (after one
-// warmup) and fills the timing columns.
+// Replays `tape` through `backend` on `store` with the given player batch
+// size, `reps` times (after one warmup), and fills the timing columns.
 row bench_backend(trace::memory_trace& tape, const std::string& name,
                   const std::string& backend, const std::string& store,
-                  unsigned shard_bits, int reps) {
+                  unsigned shard_bits, std::size_t batch, int reps) {
   std::vector<double> times;
   std::uint64_t racy = 0;
   for (int r = 0; r < reps + 1; ++r) {
@@ -85,7 +88,8 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
     session s(session::options{.backend = backend,
                                .granule = tape.header().granule,
                                .shadow_store = store,
-                               .shadow_shard_bits = shard_bits});
+                               .shadow_shard_bits = shard_bits,
+                               .replay_batch = batch});
     wall_timer t;
     s.replay(tape);
     const double secs = t.seconds();
@@ -97,11 +101,32 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
   out.trace = name;
   out.backend = backend;
   out.store = store;
+  out.batch = batch;
   out.events = tape.size();
   out.mean_s = mean(times);
   out.rsd = rel_stddev(times);
   out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
   out.racy_granules = racy;
+  return out;
+}
+
+// --batch-size accepts one value or a comma-separated sweep ("64,256,1024").
+// Every token must parse completely — "64;256" must be a usage error, not a
+// silent single-size run.
+std::vector<std::size_t> parse_batch_sizes(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long v = tok.empty() ? 0 : std::strtol(tok.c_str(), &end, 10);
+    if (v < 1 || end == nullptr || *end != '\0') {
+      return {};  // caller reports the usage error
+    }
+    out.push_back(static_cast<std::size_t>(v));
+    pos = comma + 1;
+  }
   return out;
 }
 
@@ -114,7 +139,7 @@ void write_json(const std::string& path, const std::string& mode,
     const row& r = rows[i];
     json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
          << r.backend << "\", \"store\": \"" << r.store
-         << "\", \"events\": " << r.events
+         << "\", \"batch\": " << r.batch << ", \"events\": " << r.events
          << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
          << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"racy_granules\": " << r.racy_granules << "}"
@@ -131,13 +156,13 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 void print_table(const std::vector<row>& rows, const char* title) {
-  text_table table({"trace", "backend", "store", "events", "mean",
+  text_table table({"trace", "backend", "store", "batch", "events", "mean",
                     "events/sec", "racy"});
   for (const row& r : rows) {
     char eps[64];
     std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
-    table.add_row({r.trace, r.backend, r.store, std::to_string(r.events),
-                   text_table::seconds(r.mean_s), eps,
+    table.add_row({r.trace, r.backend, r.store, std::to_string(r.batch),
+                   std::to_string(r.events), text_table::seconds(r.mean_s), eps,
                    std::to_string(r.racy_granules)});
   }
   std::printf("\n== Replay throughput: %s ==\n%s", title,
@@ -145,7 +170,8 @@ void print_table(const std::vector<row>& rows, const char* title) {
 }
 
 int run_corpus_mode(const std::string& dir, const std::string& store,
-                    unsigned shard_bits, int reps,
+                    unsigned shard_bits,
+                    const std::vector<std::size_t>& batches, int reps,
                     const std::string& json_path) {
   const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
   std::vector<row> rows;
@@ -154,11 +180,14 @@ int run_corpus_mode(const std::string& dir, const std::string& store,
     const corpus::golden_report gold =
         corpus::load_golden(dir + "/" + e.golden_file);
     for (const std::string& backend : corpus::eligible_backends(e.futures)) {
-      row r = bench_backend(tape, e.name, backend, store, shard_bits, reps);
-      FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
-                    "replay race count diverged from the corpus golden — run "
-                    "frd-corpus verify");
-      rows.push_back(std::move(r));
+      for (const std::size_t batch : batches) {
+        row r = bench_backend(tape, e.name, backend, store, shard_bits, batch,
+                              reps);
+        FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
+                      "replay race count diverged from the corpus golden — "
+                      "run frd-corpus verify");
+        rows.push_back(std::move(r));
+      }
     }
   }
   print_table(rows, (std::to_string(m.entries.size()) + "-entry corpus, " +
@@ -190,9 +219,20 @@ int main(int argc, char** argv) {
       "store so the perf trajectory stays comparable)");
   auto& shard_bits = flags.int_flag(
       "shard-bits", 4, "sharded store: 2^bits shards (ignored elsewhere)");
+  auto& batch_spec = flags.string_flag(
+      "batch-size", "256",
+      "player run length(s) per on_accesses batch; comma-separated to sweep "
+      "(e.g. 64,256,1024 — rows carry the size in the \"batch\" field; the "
+      "per-PR snapshot uses the default so the trajectory stays comparable)");
   flags.parse();
   if (reps < 1) {
     std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
+    return 1;
+  }
+  const std::vector<std::size_t> batches = parse_batch_sizes(batch_spec);
+  if (batches.empty()) {
+    std::fprintf(stderr, "replay_throughput: --batch-size needs positive "
+                         "comma-separated integers (e.g. 64,256,1024)\n");
     return 1;
   }
   if (shard_bits < 0 || shard_bits > 10) {
@@ -209,7 +249,7 @@ int main(int argc, char** argv) {
   if (!corpus_dir.empty()) {
     try {
       return run_corpus_mode(corpus_dir, store,
-                             static_cast<unsigned>(shard_bits),
+                             static_cast<unsigned>(shard_bits), batches,
                              static_cast<int>(reps), json_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "replay_throughput: %s\n", e.what());
@@ -235,12 +275,14 @@ int main(int argc, char** argv) {
   const auto& reg = detect::backend_registry::instance();
   for (const std::string& name : reg.names()) {
     if (reg.at(name).futures == detect::future_support::none) continue;
-    row r = bench_backend(tape, "fuzz", name, store,
-                          static_cast<unsigned>(shard_bits),
-                          static_cast<int>(reps));
-    FRD_CHECK_MSG(r.racy_granules == baseline_racy,
-                  "replay race count diverged from the recording session");
-    rows.push_back(std::move(r));
+    for (const std::size_t batch : batches) {
+      row r = bench_backend(tape, "fuzz", name, store,
+                            static_cast<unsigned>(shard_bits), batch,
+                            static_cast<int>(reps));
+      FRD_CHECK_MSG(r.racy_granules == baseline_racy,
+                    "replay race count diverged from the recording session");
+      rows.push_back(std::move(r));
+    }
   }
 
   print_table(rows, (std::to_string(tape.size()) + "-event fuzz trace, " +

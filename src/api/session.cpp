@@ -58,7 +58,7 @@ std::uint64_t session::replay(trace::trace_source& src) {
         "; construct the session with the trace's granule");
   }
   mode_ = session_mode::replay;
-  trace::trace_player player(src);
+  trace::trace_player player(src, opt_.replay_batch);
   return player.play(build_listener(), det_.get()).events;
 }
 

@@ -89,6 +89,11 @@ class session {
     unsigned shadow_page_bits = 16;
     // Sharded stores: 2^shadow_shard_bits shards; ignored elsewhere.
     unsigned shadow_shard_bits = 4;
+    // Replay only: longest run of access events handed to the detector in
+    // one batched on_accesses call (trace_player::kDefaultBatchCapacity).
+    // Also bounds how many accesses share one batched reachability query;
+    // bench/replay_throughput --batch-size sweeps it.
+    std::size_t replay_batch = 256;
     // Abort on a second get() of the same future handle (paper §2's
     // structured single-touch restriction, enforced by the runtime).
     bool enforce_single_touch = false;
@@ -167,6 +172,13 @@ class session {
   std::uint64_t structured_violations() const {
     return det_->structured_violations();
   }
+  // Query-plane counters: batching effectiveness of this session's
+  // reachability queries (lookups, epoch-cache hits, issued batches).
+  const detect::query_plane_stats& query_stats() const {
+    return det_->query_stats();
+  }
+  // One-element wrapper over the backend's reachability_view (the query
+  // plane's only scalar entry point) — for tests and diagnostics.
   bool precedes_current(rt::strand_id u) { return det_->precedes_current(u); }
 
   // Explicit instrumentation points — exactly what hooks::active emits.

@@ -109,6 +109,20 @@ void run_mm(session& s, std::uint64_t seed) {
   FRD_CHECK_MSG(got == want, "mm kernel miscomputed while recording");
 }
 
+// The same kernel an order of magnitude up (ROADMAP "corpus at scale"):
+// n=28 with 7-wide blocks emits ~55k access events in ~784-access runs per
+// future body — runs that overflow the player's default 256-entry batch
+// capacity, so multi-page batches and the query plane's dedup path are
+// exercised for real, not just at repro size.
+void run_mm_large(session& s, std::uint64_t seed) {
+  const auto in = bench::make_mm_input(28, seed);
+  const auto want = bench::mm_reference(in);
+  const auto got = s.run([&](rt::serial_runtime& rt) {
+    return bench::mm_structured<active>(rt, in, 7);
+  });
+  FRD_CHECK_MSG(got == want, "mm-large kernel miscomputed while recording");
+}
+
 // --------------------------------------------------- adversarial shapes ----
 
 // Deep get-chain (§5 stress): future i joins future i-1 inside its own body,
@@ -292,6 +306,10 @@ const std::vector<corpus_program>& corpus_programs() {
        "§6 blocked mm without temporaries (n=12, B=4): one future chain per "
        "C block, (n/B)^3 futures",
        run_mm},
+      {"mm-structured-large", fs::structured,
+       "§6 blocked mm at ~10x corpus scale (n=28, B=7): ~784-access runs "
+       "that overflow the replay batch capacity",
+       run_mm_large},
       {"deep-get-chain", fs::general,
        "48-deep chain of in-body gets with strided multi-touch re-joins",
        run_deep_get_chain},

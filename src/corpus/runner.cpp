@@ -167,6 +167,7 @@ manifest builtin_manifest() {
       {"dedup-structured", entry_kind::paper_kernel, 6},
       {"heartwall-general", entry_kind::paper_kernel, 7},
       {"mm-structured", entry_kind::paper_kernel, 8},
+      {"mm-structured-large", entry_kind::paper_kernel, 9},
       {"deep-get-chain", entry_kind::adversarial, 0},
       {"wide-fanin", entry_kind::adversarial, 0},
       {"purge-stress", entry_kind::adversarial, 0},

@@ -1,5 +1,6 @@
 #include "detect/detector.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <string>
 
@@ -114,6 +115,7 @@ void detector::on_read(const void* p, std::size_t bytes) {
   if (cfg_.lvl != level::full) return;  // "instrumentation": the call is the cost
   for_each_granule(p, bytes, cfg_.granule, granule_mask_,
                    [&](std::uintptr_t a) { check_read(a); });
+  flush_pending();
 }
 
 void detector::on_write(const void* p, std::size_t bytes) {
@@ -121,12 +123,15 @@ void detector::on_write(const void* p, std::size_t bytes) {
   if (cfg_.lvl != level::full) return;
   for_each_granule(p, bytes, cfg_.granule, granule_mask_,
                    [&](std::uintptr_t a) { check_write(a); });
+  flush_pending();
 }
 
 // Replay hot path: a whole run of pre-granulated accesses behind ONE virtual
 // call, so neither the per-access dispatch nor the granule splitting of the
 // live path is paid per event. Counting matches the unbatched path exactly
-// (one access per element — the player records one event per granule).
+// (one access per element — the player records one event per granule). The
+// whole run's reachability questions resolve in one flush — and therefore
+// at most one view query — at the end.
 void detector::on_accesses(std::span<const hooks::access> batch,
                            std::size_t /*bytes*/) {
   accesses_ += batch.size();
@@ -139,34 +144,88 @@ void detector::on_accesses(std::span<const hooks::access> batch,
       check_read(g);
     }
   }
+  flush_pending();
 }
 
-// Read of l: race iff last-writer(l) is logically parallel with the current
-// strand; otherwise record the read (§3). The store's read_step appends the
-// reader (with the serial-order dedupe) and hands back the prior writer for
-// the race check.
+// Read of l: race candidate iff last-writer(l) might be logically parallel
+// with the current strand; the read is recorded either way (§3). The store's
+// read_step appends the reader (with the serial-order dedupe) and hands back
+// the prior writer for the race check.
 void detector::check_read(std::uintptr_t addr) {
   const rt::strand_id w = shadow_->read_step(addr, current_);
-  if (w != rt::kNoStrand && w != current_ &&
-      !backend_->precedes_current(w)) {
-    report_.record(
-        race{addr, w, access_kind::write, current_, access_kind::read});
+  if (w != rt::kNoStrand && w != current_) {
+    note_prior(addr, w, /*prior_is_write=*/true, /*current_is_write=*/false);
   }
 }
 
-// Write to l: race against the previous writer and against *every* recorded
-// reader; then purge the reader list and take over as last-writer (§3: any
-// later strand parallel to a purged reader is also parallel to this write).
-// The store surfaces each prior access through the callback — previous
-// writer first, then readers in append order, preserving report order.
+// Write to l: candidates against the previous writer and against *every*
+// recorded reader; then purge the reader list and take over as last-writer
+// (§3: any later strand parallel to a purged reader is also parallel to
+// this write). The store surfaces each prior access through the callback —
+// previous writer first, then readers in append order, preserving report
+// order through the in-order flush.
 void detector::check_write(std::uintptr_t addr) {
   shadow_->write_step(addr, current_, [&](rt::strand_id prior, bool is_write) {
-    if (prior != current_ && !backend_->precedes_current(prior)) {
-      report_.record(race{addr, prior,
-                          is_write ? access_kind::write : access_kind::read,
-                          current_, access_kind::write});
+    if (prior != current_) {
+      note_prior(addr, prior, is_write, /*current_is_write=*/true);
     }
   });
+}
+
+// Queues one §3 race candidate. The answer for `prior` is either already in
+// the epoch cache (a hit — no query work) or `prior` joins the current
+// run's query batch, deduplicated by marking its cache slot kQueued. A
+// cached kPreceding answer skips the pending list entirely — such a
+// candidate can never record a race, so dropping it here keeps race-free
+// runs (the common case) off the flush loop without perturbing report
+// order.
+void detector::note_prior(std::uintptr_t addr, rt::strand_id prior,
+                          bool prior_is_write, bool current_is_write) {
+  ++qstats_.lookups;
+  const std::uint64_t stamp = backend_->version() + 1;
+  if (prior >= qcache_.size()) qcache_.resize(prior + 1);
+  cache_entry& e = qcache_[prior];
+  if (e.stamp == stamp) {
+    ++qstats_.cache_hits;
+    if (e.state == kPreceding) return;
+  } else {
+    e.stamp = stamp;
+    e.state = kQueued;
+    query_buf_.push_back(prior);
+  }
+  pending_.push_back(candidate{addr, prior, prior_is_write, current_is_write});
+}
+
+// Resolves the access run: answers the not-yet-cached strands with ONE
+// batched view query (sorted and unique — the views' fast path), then
+// records races for the candidates in encounter order, exactly where the
+// scalar protocol would have recorded them.
+void detector::flush_pending() {
+  if (pending_.empty()) return;
+  const std::uint64_t stamp = backend_->version() + 1;
+  if (!query_buf_.empty()) {
+    std::sort(query_buf_.begin(), query_buf_.end());
+    std::span<bool> out = qout_.span(query_buf_.size());
+    backend_->view().query(query_buf_, out);
+    ++qstats_.batches;
+    qstats_.strands += query_buf_.size();
+    for (std::size_t i = 0; i < query_buf_.size(); ++i) {
+      qcache_[query_buf_[i]].state = out[i] ? kPreceding : kNotPreceding;
+    }
+    query_buf_.clear();
+  }
+  for (const candidate& c : pending_) {
+    const cache_entry& e = qcache_[c.prior];
+    FRD_DCHECK(e.stamp == stamp && e.state != kQueued);
+    (void)stamp;
+    if (e.state == kNotPreceding) {
+      report_.record(race{
+          c.addr, c.prior,
+          c.prior_is_write ? access_kind::write : access_kind::read, current_,
+          c.current_is_write ? access_kind::write : access_kind::read});
+    }
+  }
+  pending_.clear();
 }
 
 }  // namespace frd::detect

@@ -24,8 +24,15 @@
 // The detector itself is backend- and store-agnostic: it consumes runtime
 // events, forwards them when the level tracks reachability, enforces the
 // backend's declared capability envelope (future_support), and implements
-// the §3 access protocol on top of precedes_current() and the store's
-// read_step/write_step.
+// the §3 access protocol on top of the backend's reachability_view and the
+// store's read_step/write_step. Reachability questions are BATCHED
+// (DESIGN.md §4): each access run's store steps only collect race
+// candidates; the distinct prior strands not already answered by the
+// per-epoch strand cache go to the view in one query() call, and the
+// candidates are then resolved against the cache in encounter order — so
+// the report is byte-identical to the scalar protocol's. Dag events advance
+// the backend's epoch, which invalidates the cache wholesale (entries are
+// epoch-stamped; nothing is swept).
 //
 // Accesses arrive through two access_sink paths: the per-access on_read /
 // on_write hooks (live instrumented kernels; arbitrary byte spans, split
@@ -62,6 +69,18 @@ struct detector_config {
   future_support futures = future_support::general;
 };
 
+// Query-plane counters: how effectively the §3 protocol's reachability
+// questions batch. lookups counts every question the protocol asked;
+// cache_hits the ones answered by the per-epoch strand cache without
+// touching the view; batches/strands what actually crossed the
+// reachability_view::query boundary. (frd-trace run prints these.)
+struct query_plane_stats {
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t batches = 0;   // view.query() calls issued
+  std::uint64_t strands = 0;   // unique strands across all issued batches
+};
+
 class detector final : public rt::execution_listener, public hooks::access_sink {
  public:
   detector(std::unique_ptr<reachability_backend> backend, detector_config cfg);
@@ -84,6 +103,7 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   std::uint64_t structured_violations() const {
     return backend_->structured_violations();
   }
+  const query_plane_stats& query_stats() const { return qstats_; }
 
   // Memory hooks (hooks::access_sink; out of line on purpose: the call is
   // the instrumentation cost the paper's "instr" configuration measures).
@@ -94,8 +114,11 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
                    std::size_t bytes) override;
 
   // Reachability query against the currently executing strand; exposed for
-  // the oracle-validation tests.
-  bool precedes_current(rt::strand_id u) { return backend_->precedes_current(u); }
+  // the oracle-validation tests. A thin one-element wrapper over the
+  // backend's view (the query plane's only scalar entry point).
+  bool precedes_current(rt::strand_id u) {
+    return backend_->view().precedes_current(u);
+  }
 
   // execution_listener: forwards to the backend when level >= reachability.
   void on_program_begin(rt::func_id f, rt::strand_id s) override;
@@ -111,8 +134,30 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
               rt::strand_id w, rt::strand_id creator) override;
 
  private:
+  // One race candidate surfaced by a store step: resolved against the
+  // epoch cache at the end of the access run (flush_pending), preserving
+  // encounter order so reports match the scalar protocol byte for byte.
+  struct candidate {
+    std::uintptr_t addr;
+    rt::strand_id prior;
+    bool prior_is_write;
+    bool current_is_write;
+  };
+  // Per-epoch strand→answer cache entry. Valid iff stamp == backend version
+  // + 1 (the +1 keeps the zero-initialized entries invalid at epoch 0), so
+  // dag events invalidate the whole cache by advancing the version —
+  // nothing is swept on the event path.
+  struct cache_entry {
+    std::uint64_t stamp = 0;
+    std::uint8_t state = 0;  // kNotPreceding / kPreceding / kQueued
+  };
+  static constexpr std::uint8_t kNotPreceding = 0, kPreceding = 1, kQueued = 2;
+
   void check_read(std::uintptr_t addr);
   void check_write(std::uintptr_t addr);
+  void note_prior(std::uintptr_t addr, rt::strand_id prior, bool prior_is_write,
+                  bool current_is_write);
+  void flush_pending();
 
   const detector_config cfg_;
   const std::uintptr_t granule_mask_;  // clears sub-granule address bits
@@ -123,6 +168,14 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   rt::strand_id current_ = rt::kNoStrand;
   std::uint64_t accesses_ = 0;
   std::uint64_t gets_ = 0;
+  // Query-plane state (see the header comment): candidates of the access
+  // run in flight, the not-yet-answered strands destined for one view
+  // query, the epoch cache, and the query output buffer.
+  std::vector<candidate> pending_;
+  std::vector<rt::strand_id> query_buf_;
+  std::vector<cache_entry> qcache_;
+  bool_buffer qout_;
+  query_plane_stats qstats_;
 };
 
 }  // namespace frd::detect

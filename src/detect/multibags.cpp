@@ -2,41 +2,41 @@
 
 namespace frd::detect {
 
-void multibags::on_program_begin(rt::func_id main_fn, rt::strand_id first) {
+void multibags::handle_program_begin(rt::func_id main_fn, rt::strand_id first) {
   bags_.program_begin(main_fn, first);
 }
 
-void multibags::on_strand_begin(rt::strand_id s, rt::func_id owner) {
+void multibags::handle_strand_begin(rt::strand_id s, rt::func_id owner) {
   bags_.add_strand(owner, s);
 }
 
 // Paper Figure 1, line 1: S_G = Make-Set(w). spawn and create_fut are the
 // same operation for MultiBags.
-void multibags::on_spawn(rt::func_id, rt::strand_id, rt::func_id child,
+void multibags::handle_spawn(rt::func_id, rt::strand_id, rt::func_id child,
                          rt::strand_id w, rt::strand_id) {
   bags_.child_begin(child, w);
 }
 
-void multibags::on_create(rt::func_id, rt::strand_id, rt::func_id child,
+void multibags::handle_create(rt::func_id, rt::strand_id, rt::func_id child,
                           rt::strand_id w, rt::strand_id) {
   bags_.child_begin(child, w);
 }
 
 // Figure 1, line 2: P_G = S_G.
-void multibags::on_return(rt::func_id child, rt::strand_id, rt::func_id) {
+void multibags::handle_return(rt::func_id child, rt::strand_id, rt::func_id) {
   bags_.child_return(child);
 }
 
 // sync == one get_fut per outstanding child (§4). The virtual join strands
 // of the binary decomposition belong to the syncing function.
-void multibags::on_sync(const sync_event& e) {
+void multibags::handle_sync(const sync_event& e) {
   for (const rt::child_record& c : e.children) bags_.join_child(e.fn, c.child);
   for (rt::strand_id j : e.join_strands) bags_.add_strand(e.fn, j);
 }
 
 // Figure 1, line 3: S_F = Union(S_F, P_G). The discipline check: creator(G)
 // must precede the getter strand, i.e. sit in an S-bag right now.
-void multibags::on_get(rt::func_id fn, rt::strand_id, rt::strand_id,
+void multibags::handle_get(rt::func_id fn, rt::strand_id, rt::strand_id,
                        rt::func_id fut, rt::strand_id, rt::strand_id creator) {
   if (creator != rt::kNoStrand && !bags_.in_s_bag(creator)) ++violations_;
   bags_.join_child(fn, fut);

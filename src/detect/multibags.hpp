@@ -16,30 +16,51 @@ namespace frd::detect {
 
 class multibags final : public reachability_backend {
  public:
-  multibags() = default;
+  multibags() : view_(*this) {}
 
-  bool precedes_current(rt::strand_id u) override { return bags_.in_s_bag(u); }
+  reachability_view& view() override { return view_; }
   std::string_view name() const override { return "multibags"; }
   std::uint64_t structured_violations() const override { return violations_; }
 
   const dsu::forest_stats& dsu_stats() const { return bags_.stats(); }
 
-  // execution_listener
-  void on_program_begin(rt::func_id main_fn, rt::strand_id first) override;
-  void on_strand_begin(rt::strand_id s, rt::func_id owner) override;
-  void on_spawn(rt::func_id parent, rt::strand_id u, rt::func_id child,
-                rt::strand_id w, rt::strand_id v) override;
-  void on_create(rt::func_id parent, rt::strand_id u, rt::func_id child,
-                 rt::strand_id w, rt::strand_id v) override;
-  void on_return(rt::func_id child, rt::strand_id last,
-                 rt::func_id parent) override;
-  void on_sync(const sync_event& e) override;
-  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
-              rt::strand_id w, rt::strand_id creator) override;
+ protected:
+  // execution_listener hooks (epoch bumping handled by the base).
+  void handle_program_begin(rt::func_id main_fn, rt::strand_id first) override;
+  void handle_strand_begin(rt::strand_id s, rt::func_id owner) override;
+  void handle_spawn(rt::func_id parent, rt::strand_id u, rt::func_id child,
+                    rt::strand_id w, rt::strand_id v) override;
+  void handle_create(rt::func_id parent, rt::strand_id u, rt::func_id child,
+                     rt::strand_id w, rt::strand_id v) override;
+  void handle_return(rt::func_id child, rt::strand_id last,
+                     rt::func_id parent) override;
+  void handle_sync(const sync_event& e) override;
+  void handle_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                  rt::func_id fut, rt::strand_id w,
+                  rt::strand_id creator) override;
 
  private:
+  // Query (paper Figure 1 bottom): u precedes the current strand iff u's set
+  // is an S-bag. The batch sweep does one DSU find per unique strand.
+  class bag_view final : public reachability_view {
+   public:
+    explicit bag_view(multibags& owner)
+        : reachability_view(owner), owner_(owner) {}
+    void query(std::span<const rt::strand_id> strands,
+               std::span<bool> out) override {
+      answer_strand_batch(strands, out, scratch_, [this](rt::strand_id u) {
+        return owner_.bags_.in_s_bag(u);
+      });
+    }
+
+   private:
+    multibags& owner_;
+    batch_scratch scratch_;
+  };
+
   sp_bags bags_;
   std::uint64_t violations_ = 0;
+  bag_view view_;
 };
 
 }  // namespace frd::detect

@@ -3,33 +3,47 @@
 namespace frd::detect {
 
 // ---------------------------------------------------------------------------
-// Query (paper Figure 3).
+// Query (paper Figure 3), batched.
 // ---------------------------------------------------------------------------
-bool multibags_plus::precedes_current(rt::strand_id u) {
-  // Lines 1-2: a path with no get edges shows up as an S-bag hit.
-  if (dsp_.in_s_bag(u)) return true;
-
-  // Lines 3-5: proxy the current strand v through its attached predecessor.
-  nsp_set* sv = dnsp_.payload(elem(current_));
+// Lines 3-5, once per epoch: proxy the current strand v through its attached
+// predecessor and pin that node's R predecessor row. The row reference stays
+// valid for the whole epoch — R only grows in dag-event handlers, which
+// advance the version first.
+void multibags_plus::figure3_view::refresh() {
+  nsp_set* sv = owner_.dnsp_.payload(owner_.elem(owner_.current_));
   FRD_CHECK(sv != nullptr);
   if (!sv->attached) sv = sv->att_pred;
   FRD_CHECK(sv != nullptr && sv->attached);
+  preds_of_current_ = &owner_.r_.preds_of(sv->r_node);
+  cached_version_ = version() + 1;
+}
 
-  // Lines 6-9: proxy u through its attached successor; no successor means
-  // nothing after u's complete SP subdag has executed yet, so u is parallel
-  // to the current strand (Lemma A.11).
-  nsp_set* su = dnsp_.payload(elem(u));
-  FRD_CHECK(su != nullptr);
-  if (!su->attached) {
-    su = su->att_succ;
-    if (su == nullptr) return false;
-  }
-  FRD_CHECK(su->attached);
+void multibags_plus::figure3_view::query(
+    std::span<const rt::strand_id> strands, std::span<bool> out) {
+  if (cached_version_ != version() + 1) refresh();
+  const bitvec& row = *preds_of_current_;
+  answer_strand_batch(strands, out, scratch_, [&](rt::strand_id u) {
+    // Lines 1-2: a path with no get edges shows up as an S-bag hit.
+    if (owner_.dsp_.in_s_bag(u)) return true;
 
-  // Line 10: strict reachability in R. Equal sets return false here — when
-  // the true relation is "precedes", the witness path is SP-only and was
-  // already caught by the S-bag hit (DESIGN.md §4, Lemmas A.3/A.8).
-  return r_.reaches(su->r_node, sv->r_node);
+    // Lines 6-9: proxy u through its attached successor; no successor means
+    // nothing after u's complete SP subdag has executed yet, so u is
+    // parallel to the current strand (Lemma A.11).
+    nsp_set* su = owner_.dnsp_.payload(owner_.elem(u));
+    FRD_CHECK(su != nullptr);
+    if (!su->attached) {
+      su = su->att_succ;
+      if (su == nullptr) return false;
+    }
+    FRD_CHECK(su->attached);
+
+    // Line 10: strict reachability in R, as one bit test in the hoisted
+    // predecessor row (preds never contain the node itself, so equal sets
+    // test false — when the true relation is "precedes", the witness path
+    // is SP-only and was already caught by the S-bag hit; DESIGN.md §5,
+    // Lemmas A.3/A.8).
+    return row.size() > su->r_node && row.test(su->r_node);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -72,19 +86,19 @@ multibags_plus::nsp_set* multibags_plus::att_pred_of(rt::strand_id s) {
 // ---------------------------------------------------------------------------
 // Events (paper Figure 4).
 // ---------------------------------------------------------------------------
-void multibags_plus::on_program_begin(rt::func_id main_fn, rt::strand_id first) {
+void multibags_plus::handle_program_begin(rt::func_id main_fn, rt::strand_id first) {
   dsp_.program_begin(main_fn, first);
   make_attached(first);  // line 1: attached set with no predecessor
   current_ = first;
 }
 
-void multibags_plus::on_strand_begin(rt::strand_id s, rt::func_id owner) {
+void multibags_plus::handle_strand_begin(rt::strand_id s, rt::func_id owner) {
   dsp_.add_strand(owner, s);
   current_ = s;
 }
 
 // Lines 2-6. DSP treats spawn exactly like create_fut.
-void multibags_plus::on_spawn(rt::func_id, rt::strand_id u, rt::func_id child,
+void multibags_plus::handle_spawn(rt::func_id, rt::strand_id u, rt::func_id child,
                               rt::strand_id w, rt::strand_id v) {
   dsp_.child_begin(child, w);
   nsp_set* pred = att_pred_of(u);
@@ -93,7 +107,7 @@ void multibags_plus::on_spawn(rt::func_id, rt::strand_id u, rt::func_id child,
 }
 
 // Lines 7-12.
-void multibags_plus::on_create(rt::func_id, rt::strand_id u, rt::func_id child,
+void multibags_plus::handle_create(rt::func_id, rt::strand_id u, rt::func_id child,
                                rt::strand_id w, rt::strand_id v) {
   dsp_.child_begin(child, w);
   nsp_set* su = attachify(u);
@@ -104,13 +118,13 @@ void multibags_plus::on_create(rt::func_id, rt::strand_id u, rt::func_id child,
 }
 
 // Line 13.
-void multibags_plus::on_return(rt::func_id child, rt::strand_id, rt::func_id) {
+void multibags_plus::handle_return(rt::func_id child, rt::strand_id, rt::func_id) {
   dsp_.child_return(child);
 }
 
 // Lines 14-17. No DSP work: multi-touch futures may get the same P-bag
 // twice, so DSP ignores get entirely (§5 "Reachability data structures").
-void multibags_plus::on_get(rt::func_id, rt::strand_id u, rt::strand_id v,
+void multibags_plus::handle_get(rt::func_id, rt::strand_id u, rt::strand_id v,
                             rt::func_id, rt::strand_id w, rt::strand_id) {
   nsp_set* su = attachify(u);
   nsp_set* av = make_attached(v);
@@ -122,7 +136,7 @@ void multibags_plus::on_get(rt::func_id, rt::strand_id u, rt::strand_id v,
 }
 
 // Lines 23-46, one binary join at a time, innermost (= last spawned) first.
-void multibags_plus::on_sync(const sync_event& e) {
+void multibags_plus::handle_sync(const sync_event& e) {
   const std::size_t c = e.children.size();
   FRD_CHECK(e.join_strands.size() == c);
   rt::strand_id t2 = e.before;

@@ -14,7 +14,10 @@
 //          (rgraph.hpp).
 //
 // Query (paper Figure 3): S-bag hit, else proxy u through attSucc and v
-// through attPred and ask R.
+// through attPred and ask R. The batched view hoists the v side — the
+// current strand's attached predecessor and its R predecessor row — once
+// per epoch, so a batch costs one row lookup plus one bit test (and a DSU
+// find) per unique strand.
 //
 // Attached-set payloads are arena-allocated and *stable*: two attached sets
 // never union, and attached ∪ unattached keeps the attached payload, so the
@@ -31,26 +34,28 @@ namespace frd::detect {
 
 class multibags_plus final : public reachability_backend {
  public:
-  multibags_plus() = default;
+  multibags_plus() : view_(*this) {}
 
-  bool precedes_current(rt::strand_id u) override;
+  reachability_view& view() override { return view_; }
   std::string_view name() const override { return "multibags+"; }
 
   const dsu::forest_stats& dsp_stats() const { return dsp_.stats(); }
   const rgraph& r() const { return r_; }
 
-  // execution_listener
-  void on_program_begin(rt::func_id main_fn, rt::strand_id first) override;
-  void on_strand_begin(rt::strand_id s, rt::func_id owner) override;
-  void on_spawn(rt::func_id parent, rt::strand_id u, rt::func_id child,
-                rt::strand_id w, rt::strand_id v) override;
-  void on_create(rt::func_id parent, rt::strand_id u, rt::func_id child,
-                 rt::strand_id w, rt::strand_id v) override;
-  void on_return(rt::func_id child, rt::strand_id last,
-                 rt::func_id parent) override;
-  void on_sync(const sync_event& e) override;
-  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
-              rt::strand_id w, rt::strand_id creator) override;
+ protected:
+  // execution_listener hooks (epoch bumping handled by the base).
+  void handle_program_begin(rt::func_id main_fn, rt::strand_id first) override;
+  void handle_strand_begin(rt::strand_id s, rt::func_id owner) override;
+  void handle_spawn(rt::func_id parent, rt::strand_id u, rt::func_id child,
+                    rt::strand_id w, rt::strand_id v) override;
+  void handle_create(rt::func_id parent, rt::strand_id u, rt::func_id child,
+                     rt::strand_id w, rt::strand_id v) override;
+  void handle_return(rt::func_id child, rt::strand_id last,
+                     rt::func_id parent) override;
+  void handle_sync(const sync_event& e) override;
+  void handle_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                  rt::func_id fut, rt::strand_id w,
+                  rt::strand_id creator) override;
 
  private:
   // Payload of a DNSP set. For attached sets, r_node is its node in R and
@@ -62,6 +67,26 @@ class multibags_plus final : public reachability_backend {
     nsp_set* att_pred = nullptr;
     nsp_set* att_succ = nullptr;
     rgraph::node r_node = rgraph::kNoNode;
+  };
+
+  // Figure 3's query with the current-strand side precomputed: refresh()
+  // resolves the attached predecessor of the current strand and pins its R
+  // predecessor row once per epoch; each unique strand then costs an S-bag
+  // find plus one bit test in that row.
+  class figure3_view final : public reachability_view {
+   public:
+    explicit figure3_view(multibags_plus& owner)
+        : reachability_view(owner), owner_(owner) {}
+    void query(std::span<const rt::strand_id> strands,
+               std::span<bool> out) override;
+
+   private:
+    void refresh();
+
+    multibags_plus& owner_;
+    batch_scratch scratch_;
+    std::uint64_t cached_version_ = 0;  // 0 = never refreshed (version_ + 1)
+    const bitvec* preds_of_current_ = nullptr;  // R row of the v-side proxy
   };
 
   // --- element plumbing -----------------------------------------------
@@ -95,6 +120,7 @@ class multibags_plus final : public reachability_backend {
   rgraph r_;
   arena arena_;
   rt::strand_id current_ = rt::kNoStrand;
+  figure3_view view_;
 };
 
 }  // namespace frd::detect

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "support/bitvec.hpp"
+#include "support/check.hpp"
 
 namespace frd::detect {
 
@@ -39,6 +40,15 @@ class rgraph {
 
   // Strict reachability: true iff a != b and a path a -> b exists.
   bool reaches(node a, node b) const;
+
+  // Predecessor row of b: every node with a path to b (never b itself —
+  // R is acyclic and self-arcs are dropped). Reference valid until the next
+  // add_node/add_arc. The query plane's batch pass resolves many sources
+  // against one destination through this row: reaches(a, b) == (row has a).
+  const bitvec& preds_of(node b) const {
+    FRD_DCHECK(b < to_.size());
+    return to_[b];
+  }
 
   std::size_t size() const { return from_.size(); }
   const counters& stats() const { return stats_; }

@@ -17,46 +17,66 @@ namespace frd::detect {
 
 class sp_bags_backend final : public reachability_backend {
  public:
-  sp_bags_backend() = default;
+  sp_bags_backend() : view_(*this) {}
 
-  bool precedes_current(rt::strand_id u) override { return bags_.in_s_bag(u); }
+  reachability_view& view() override { return view_; }
   std::string_view name() const override { return "sp-bags"; }
 
   const dsu::forest_stats& dsu_stats() const { return bags_.stats(); }
 
-  // execution_listener
-  void on_program_begin(rt::func_id main_fn, rt::strand_id first) override {
+ protected:
+  // execution_listener hooks (epoch bumping handled by the base).
+  void handle_program_begin(rt::func_id main_fn, rt::strand_id first) override {
     bags_.program_begin(main_fn, first);
   }
-  void on_strand_begin(rt::strand_id s, rt::func_id owner) override {
+  void handle_strand_begin(rt::strand_id s, rt::func_id owner) override {
     bags_.add_strand(owner, s);
   }
-  void on_spawn(rt::func_id, rt::strand_id, rt::func_id child, rt::strand_id w,
-                rt::strand_id) override {
+  void handle_spawn(rt::func_id, rt::strand_id, rt::func_id child,
+                    rt::strand_id w, rt::strand_id) override {
     bags_.child_begin(child, w);
   }
-  void on_create(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
-                 rt::strand_id) override {
+  void handle_create(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
+                     rt::strand_id) override {
     FRD_CHECK_MSG(false,
                   "sp-bags handles fork-join programs only (no futures); use "
                   "multibags or multibags+");
   }
-  void on_return(rt::func_id child, rt::strand_id, rt::func_id) override {
+  void handle_return(rt::func_id child, rt::strand_id, rt::func_id) override {
     bags_.child_return(child);
   }
-  void on_sync(const sync_event& e) override {
+  void handle_sync(const sync_event& e) override {
     for (const rt::child_record& c : e.children) bags_.join_child(e.fn, c.child);
     for (rt::strand_id j : e.join_strands) bags_.add_strand(e.fn, j);
   }
-  void on_get(rt::func_id, rt::strand_id, rt::strand_id, rt::func_id,
-              rt::strand_id, rt::strand_id) override {
+  void handle_get(rt::func_id, rt::strand_id, rt::strand_id, rt::func_id,
+                  rt::strand_id, rt::strand_id) override {
     FRD_CHECK_MSG(false,
                   "sp-bags handles fork-join programs only (no futures); use "
                   "multibags or multibags+");
   }
 
  private:
+  // Same query as MultiBags: S-bag membership, one DSU find per unique
+  // strand of the batch.
+  class bag_view final : public reachability_view {
+   public:
+    explicit bag_view(sp_bags_backend& owner)
+        : reachability_view(owner), owner_(owner) {}
+    void query(std::span<const rt::strand_id> strands,
+               std::span<bool> out) override {
+      answer_strand_batch(strands, out, scratch_, [this](rt::strand_id u) {
+        return owner_.bags_.in_s_bag(u);
+      });
+    }
+
+   private:
+    sp_bags_backend& owner_;
+    batch_scratch scratch_;
+  };
+
   sp_bags bags_;
+  bag_view view_;
 };
 
 }  // namespace frd::detect

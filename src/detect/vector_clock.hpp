@@ -22,12 +22,9 @@ namespace frd::detect {
 
 class vector_clock_backend final : public reachability_backend {
  public:
-  bool precedes_current(rt::strand_id u) override {
-    FRD_DCHECK(u < strands_.size());
-    const strand_pos& p = strands_[u];
-    return p.fn < cur_.size() && cur_[p.fn] >= p.idx;
-  }
+  vector_clock_backend() : view_(*this) {}
 
+  reachability_view& view() override { return view_; }
   std::string_view name() const override { return "vector-clock"; }
 
   // Total clock entries ever copied/merged — the Θ(n) per construct cost.
@@ -39,40 +36,41 @@ class vector_clock_backend final : public reachability_backend {
     return n * sizeof(std::uint32_t);
   }
 
-  // execution_listener
-  void on_program_begin(rt::func_id f, rt::strand_id s) override {
+ protected:
+  // execution_listener hooks (epoch bumping handled by the base).
+  void handle_program_begin(rt::func_id f, rt::strand_id s) override {
     begin_strand(s, f);
   }
-  void on_strand_begin(rt::strand_id s, rt::func_id f) override {
+  void handle_strand_begin(rt::strand_id s, rt::func_id f) override {
     if (s < strands_.size() && strands_[s].fn != rt::kNoFunc) {
-      // A virtual join strand already positioned by on_sync; just adopt it.
+      // A virtual join strand already positioned by handle_sync; adopt it.
       return;
     }
     begin_strand(s, f);
   }
-  void on_spawn(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
-                rt::strand_id v) override {
+  void handle_spawn(rt::func_id, rt::strand_id, rt::func_id, rt::strand_id,
+                    rt::strand_id v) override {
     // The continuation resumes from the fork point, not from wherever the
     // eagerly executed child left the current clock.
     saved_[v] = cur_;
     clock_work_ += cur_.size();
   }
-  void on_create(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
-                 rt::strand_id v) override {
-    on_spawn(p, u, c, w, v);
+  void handle_create(rt::func_id p, rt::strand_id u, rt::func_id c,
+                     rt::strand_id w, rt::strand_id v) override {
+    handle_spawn(p, u, c, w, v);
   }
-  void on_return(rt::func_id child, rt::strand_id, rt::func_id) override {
+  void handle_return(rt::func_id child, rt::strand_id, rt::func_id) override {
     // The child's final clock is what joins at sync/get.
     final_[child] = cur_;
     clock_work_ += cur_.size();
   }
-  void on_sync(const sync_event& e) override {
+  void handle_sync(const sync_event& e) override {
     // Restore the syncing function's own timeline, then merge every child.
     for (const rt::child_record& c : e.children) merge(final_[c.child]);
     for (rt::strand_id j : e.join_strands) position(j, e.fn);
   }
-  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
-              rt::strand_id, rt::strand_id) override {
+  void handle_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                  rt::func_id fut, rt::strand_id, rt::strand_id) override {
     (void)fn;
     (void)u;
     (void)v;
@@ -85,13 +83,34 @@ class vector_clock_backend final : public reachability_backend {
     std::uint32_t idx = 0;
   };
 
+  // The batch pass is one sweep over the current clock: every unique strand
+  // costs a single position lookup and one compare against cur_.
+  class clock_view final : public reachability_view {
+   public:
+    explicit clock_view(vector_clock_backend& owner)
+        : reachability_view(owner), owner_(owner) {}
+    void query(std::span<const rt::strand_id> strands,
+               std::span<bool> out) override {
+      const std::vector<std::uint32_t>& cur = owner_.cur_;
+      answer_strand_batch(strands, out, scratch_, [&](rt::strand_id u) {
+        FRD_DCHECK(u < owner_.strands_.size());
+        const strand_pos& p = owner_.strands_[u];
+        return p.fn < cur.size() && cur[p.fn] >= p.idx;
+      });
+    }
+
+   private:
+    vector_clock_backend& owner_;
+    batch_scratch scratch_;
+  };
+
   void begin_strand(rt::strand_id s, rt::func_id f) {
     // Resuming a continuation restores the clock snapshot taken at the fork.
     auto it = saved_.find(s);
     if (it != saved_.end()) {
       // The eager child's effects are NOT in the continuation's past; but the
-      // child's final clock was already captured at on_return, so it is safe
-      // to overwrite cur_ entirely.
+      // child's final clock was already captured at handle_return, so it is
+      // safe to overwrite cur_ entirely.
       cur_ = std::move(it->second);
       saved_.erase(it);
       clock_work_ += cur_.size();
@@ -122,6 +141,7 @@ class vector_clock_backend final : public reachability_backend {
   std::unordered_map<rt::strand_id, std::vector<std::uint32_t>> saved_;
   std::unordered_map<rt::func_id, std::vector<std::uint32_t>> final_;
   std::uint64_t clock_work_ = 0;
+  clock_view view_;
 };
 
 }  // namespace frd::detect

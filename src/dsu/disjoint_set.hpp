@@ -6,7 +6,7 @@
 // structure: each *set* (not element) carries a tag object — a bag
 // descriptor for DSP, an attached/unattached set descriptor for DNSP.
 //
-// Payload rules (DESIGN.md §4):
+// Payload rules (DESIGN.md §5):
 //  * the payload lives logically on the set, physically on the current root;
 //  * union_into(a, b) merges b's set into a's set and the merged set keeps
 //    a's payload — matching the paper's "A = Union(D, A, B): unions the set

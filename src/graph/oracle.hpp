@@ -28,6 +28,13 @@ class online_oracle final : public rt::execution_listener {
     return u != v && !precedes(u, v) && !precedes(v, u);
   }
 
+  // v's full ancestor row (null when v is unknown); bit u set iff u ≺ v.
+  // Reference valid until the next dag event. The oracle backend's batched
+  // view answers a whole batch against this one row.
+  const bitvec* anc_row(rt::strand_id v) const {
+    return v < anc_.size() ? &anc_[v] : nullptr;
+  }
+
   std::size_t strand_count() const { return anc_.size(); }
 
   // execution_listener

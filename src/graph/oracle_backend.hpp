@@ -15,39 +15,64 @@ namespace frd::graph {
 
 class oracle_backend final : public detect::reachability_backend {
  public:
-  oracle_backend() = default;
+  oracle_backend() : view_(*this) {}
 
-  bool precedes_current(rt::strand_id u) override {
-    return oracle_.precedes(u, current_);
-  }
+  detect::reachability_view& view() override { return view_; }
   std::string_view name() const override { return "reference"; }
 
   const online_oracle& oracle() const { return oracle_; }
 
-  // execution_listener: forward dag growth to the oracle, track the strand
-  // the runtime is currently executing (the query's right-hand side).
-  void on_program_begin(rt::func_id f, rt::strand_id s) override {
+ protected:
+  // execution_listener hooks: forward dag growth to the oracle, track the
+  // strand the runtime is currently executing (the query's right-hand side).
+  // Epoch bumping is handled by the reachability_backend base.
+  void handle_program_begin(rt::func_id f, rt::strand_id s) override {
     current_ = s;
     oracle_.on_program_begin(f, s);
   }
-  void on_strand_begin(rt::strand_id s, rt::func_id) override { current_ = s; }
-  void on_spawn(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
-                rt::strand_id v) override {
+  void handle_strand_begin(rt::strand_id s, rt::func_id) override {
+    current_ = s;
+  }
+  void handle_spawn(rt::func_id p, rt::strand_id u, rt::func_id c,
+                    rt::strand_id w, rt::strand_id v) override {
     oracle_.on_spawn(p, u, c, w, v);
   }
-  void on_create(rt::func_id p, rt::strand_id u, rt::func_id c, rt::strand_id w,
-                 rt::strand_id v) override {
+  void handle_create(rt::func_id p, rt::strand_id u, rt::func_id c,
+                     rt::strand_id w, rt::strand_id v) override {
     oracle_.on_create(p, u, c, w, v);
   }
-  void on_sync(const sync_event& e) override { oracle_.on_sync(e); }
-  void on_get(rt::func_id fn, rt::strand_id u, rt::strand_id v, rt::func_id fut,
-              rt::strand_id w, rt::strand_id creator) override {
+  void handle_sync(const sync_event& e) override { oracle_.on_sync(e); }
+  void handle_get(rt::func_id fn, rt::strand_id u, rt::strand_id v,
+                  rt::func_id fut, rt::strand_id w,
+                  rt::strand_id creator) override {
     oracle_.on_get(fn, u, v, fut, w, creator);
   }
 
  private:
+  // The whole batch answers against the current strand's one ancestor row:
+  // a bit test per unique strand.
+  class anc_row_view final : public detect::reachability_view {
+   public:
+    explicit anc_row_view(oracle_backend& owner)
+        : reachability_view(owner), owner_(owner) {}
+    void query(std::span<const rt::strand_id> strands,
+               std::span<bool> out) override {
+      const bitvec* row = owner_.oracle_.anc_row(owner_.current_);
+      detect::answer_strand_batch(strands, out, scratch_,
+                                  [row](rt::strand_id u) {
+                                    return row != nullptr && row->size() > u &&
+                                           row->test(u);
+                                  });
+    }
+
+   private:
+    oracle_backend& owner_;
+    detect::batch_scratch scratch_;
+  };
+
   online_oracle oracle_;
   rt::strand_id current_ = rt::kNoStrand;
+  anc_row_view view_;
 };
 
 }  // namespace frd::graph

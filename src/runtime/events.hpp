@@ -8,7 +8,7 @@
 //   on_spawn   u --spawn-->  w (child first strand),  u --continue--> v
 //   on_create  u --create--> w (future first strand), u --continue--> v
 //   on_sync    one *binary* join per outstanding child, innermost first
-//              (paper footnote 2 assumes binary joins; DESIGN.md §4):
+//              (paper footnote 2 assumes binary joins; DESIGN.md §5):
 //              t1 --join--> j,  t2 --continue--> j
 //   on_get     w (future last strand) --get--> v,  u --continue--> v
 //

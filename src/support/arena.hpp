@@ -4,7 +4,7 @@
 // allocated at high rate and freed all at once when a detection run ends.
 // The arena hands out pointer-stable storage (no reallocation), which the
 // detector relies on: DNSP attached-set payloads are referenced by attPred /
-// attSucc proxies for the rest of the run (DESIGN.md §4).
+// attSucc proxies for the rest of the run (DESIGN.md §5).
 #pragma once
 
 #include <cstddef>

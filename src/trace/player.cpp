@@ -33,7 +33,7 @@ trace_player::stats trace_player::play(rt::execution_listener* listener,
   // any dag event fires, so the sink observes accesses and dag events in
   // true program order — the batching is invisible except in dispatch cost.
   std::vector<detect::hooks::access> batch;
-  batch.reserve(kBatchCapacity);
+  batch.reserve(batch_capacity_);
   const auto flush = [&] {
     if (batch.empty()) return;
     if (sink) sink->on_accesses(batch, granule);
@@ -46,7 +46,7 @@ trace_player::stats trace_player::play(rt::execution_listener* listener,
       ++st.accesses;
       batch.push_back(detect::hooks::access{
           checked_address(e.access.addr), e.kind == event_kind::write});
-      if (batch.size() == kBatchCapacity) flush();
+      if (batch.size() == batch_capacity_) flush();
       continue;
     }
     flush();

@@ -30,7 +30,12 @@ namespace frd::trace {
 
 class trace_player {
  public:
-  explicit trace_player(trace_source& src) : src_(src) {}
+  // batch_capacity bounds the access runs handed to the sink in one
+  // on_accesses call (clamped to >= 1); session::options::replay_batch and
+  // bench/replay_throughput --batch-size plumb through here.
+  explicit trace_player(trace_source& src,
+                        std::size_t batch_capacity = kDefaultBatchCapacity)
+      : src_(src), batch_capacity_(batch_capacity < 1 ? 1 : batch_capacity) {}
 
   struct stats {
     std::uint64_t events = 0;    // trace events consumed
@@ -43,13 +48,16 @@ class trace_player {
   stats play(rt::execution_listener* listener,
              detect::hooks::access_sink* sink);
 
-  // Longest run handed to the sink in one on_accesses call; bounds the
-  // batch buffer while keeping the per-call amortization (real runs are
+  // Default longest run handed to the sink in one on_accesses call; bounds
+  // the batch buffer while keeping the per-call amortization (real runs are
   // usually shorter than this between dag events).
-  static constexpr std::size_t kBatchCapacity = 256;
+  static constexpr std::size_t kDefaultBatchCapacity = 256;
+
+  std::size_t batch_capacity() const { return batch_capacity_; }
 
  private:
   trace_source& src_;
+  std::size_t batch_capacity_;
 };
 
 }  // namespace frd::trace

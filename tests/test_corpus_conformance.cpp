@@ -55,15 +55,16 @@ TEST(CorpusInventory, ManifestLoads) {
 
 TEST(CorpusInventory, MeetsTheCoverageFloor) {
   const manifest& m = corpus_manifest();
-  EXPECT_GE(m.entries.size(), 14u);
+  EXPECT_GE(m.entries.size(), 15u);
   std::size_t paper = 0, adversarial = 0, general = 0;
   for (const corpus_entry& e : m.entries) {
     if (e.kind == entry_kind::paper_kernel) ++paper;
     if (e.kind == entry_kind::adversarial) ++adversarial;
     if (e.futures == detect::future_support::general) ++general;
   }
-  EXPECT_GE(paper, 6u) << "corpus must keep >= 6 paper kernels (lcs, sw, "
-                          "bst, dedup, heartwall, mm families)";
+  EXPECT_GE(paper, 7u) << "corpus must keep >= 7 paper kernels (lcs, sw, "
+                          "bst, dedup, heartwall, mm families incl. the "
+                          "mm-structured-large scale-up)";
   EXPECT_GE(adversarial, 4u) << "corpus must keep >= 4 adversarial shapes";
   EXPECT_GE(general, 1u) << "corpus must keep >= 1 general-futures program";
 }

@@ -1,0 +1,278 @@
+// Query-plane tests: the snapshot-based batched reachability API.
+//
+// Three angles:
+//   1. Differential batched-vs-scalar: for every corpus entry × eligible
+//      backend, a batch query (unsorted, duplicate-laden) must answer
+//      exactly like one-element scalar queries at many points of the
+//      replayed stream — this pins the views' sort/dedup/hoist plumbing to
+//      the per-element semantics.
+//   2. Epoch invalidation: version() advances on every dag event, a view's
+//      answers change with it, and the detector's per-epoch answer cache
+//      must not leak a stale verdict across a dag event.
+//   3. Counters: the detector's query_plane_stats reflect real batching
+//      (memoization within an epoch, one view query per access run).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/runner.hpp"
+#include "detect/backend.hpp"
+#include "detect/multibags_plus.hpp"
+#include "detect/registry.hpp"
+#include "runtime/serial.hpp"
+#include "trace/player.hpp"
+
+namespace frd::detect {
+namespace {
+
+std::string corpus_dir() {
+  if (const char* env = std::getenv("FRD_CORPUS_DIR")) return env;
+  return FRD_CORPUS_DIR;
+}
+
+// ------------------------------------------------- batched vs scalar ----
+
+// Rides a replayed dag stream next to a backend (mux order: backend first)
+// and, every few strands, asks the backend's view one shuffled,
+// duplicate-laden batch over the strands seen so far — comparing each slot
+// against the one-element wrapper.
+class batch_checker final : public rt::execution_listener {
+ public:
+  explicit batch_checker(reachability_backend& b) : backend_(b) {}
+
+  std::uint64_t batches_checked = 0;
+  std::uint64_t slots_checked = 0;
+
+  void on_program_begin(rt::func_id, rt::strand_id s) override { seen(s); }
+  void on_strand_begin(rt::strand_id s, rt::func_id) override {
+    seen(s);
+    if (++events_ % 3 == 0) check_batch();
+  }
+
+ private:
+  void seen(rt::strand_id s) {
+    known_.push_back(s);
+    if (known_.size() > kWindow) known_.erase(known_.begin());
+  }
+
+  void check_batch() {
+    if (known_.size() < 2) return;
+    // Reverse order (unsorted) + every strand twice (duplicates): the
+    // general path of answer_strand_batch, scattered back per slot.
+    std::vector<rt::strand_id> batch;
+    for (auto it = known_.rbegin(); it != known_.rend(); ++it) {
+      batch.push_back(*it);
+      batch.push_back(*it);
+    }
+    reachability_view& view = backend_.view();
+    std::span<bool> out = buf_.span(batch.size());
+    view.query(batch, out);
+    ++batches_checked;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool scalar = view.precedes_current(batch[i]);
+      ASSERT_EQ(out[i], scalar)
+          << "batched answer diverged from the one-element wrapper for "
+          << "strand " << batch[i] << " (backend " << backend_.name() << ")";
+      ++slots_checked;
+    }
+  }
+
+  static constexpr std::size_t kWindow = 48;
+  reachability_backend& backend_;
+  std::vector<rt::strand_id> known_;
+  bool_buffer buf_;
+  std::uint64_t events_ = 0;
+};
+
+struct query_case {
+  std::string entry;
+  std::string backend;
+};
+
+std::vector<query_case> all_query_cases() {
+  std::vector<query_case> out;
+  try {
+    const corpus::manifest m =
+        corpus::load_manifest(corpus_dir() + "/MANIFEST");
+    for (const corpus::corpus_entry& e : m.entries) {
+      for (const std::string& b : corpus::eligible_backends(e.futures)) {
+        out.push_back({e.name, b});
+      }
+    }
+  } catch (const std::exception&) {
+    // Degrade to zero cases; CorpusInventory.ManifestLoads (conformance
+    // suite) reports the broken corpus with its path.
+  }
+  return out;
+}
+
+class BatchedVsScalar : public ::testing::TestWithParam<query_case> {};
+
+TEST_P(BatchedVsScalar, CorpusReplayAgrees) {
+  const query_case& c = GetParam();
+  const corpus::manifest m = corpus::load_manifest(corpus_dir() + "/MANIFEST");
+  const corpus::corpus_entry* e = m.find(c.entry);
+  ASSERT_NE(e, nullptr);
+  trace::memory_trace tape = corpus::load_trace(corpus_dir() + "/" +
+                                                e->trace_file);
+
+  std::unique_ptr<reachability_backend> backend =
+      backend_registry::instance().create(c.backend);
+  batch_checker checker(*backend);
+  rt::listener_mux mux;
+  mux.add(backend.get());
+  mux.add(&checker);
+  trace::trace_player player(tape);
+  player.play(&mux, /*sink=*/nullptr);
+
+  EXPECT_GT(checker.batches_checked, 0u) << "vacuous run: no batch checked";
+  EXPECT_GT(checker.slots_checked, 0u);
+}
+
+std::string query_case_name(const ::testing::TestParamInfo<query_case>& info) {
+  std::string s = info.param.entry + "_" + info.param.backend;
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BatchedVsScalar,
+                         ::testing::ValuesIn(all_query_cases()),
+                         query_case_name);
+
+// ---------------------------------------------------- epoch semantics ----
+
+TEST(QueryPlaneEpoch, EveryDagEventAdvancesTheVersion) {
+  multibags_plus mbp;
+  rt::serial_runtime rt(&mbp);
+  std::uint64_t last = mbp.version();
+  EXPECT_EQ(last, 0u) << "a fresh backend starts at epoch 0";
+  const auto bumped = [&] {
+    const std::uint64_t now = mbp.version();
+    const bool ok = now > last;
+    last = now;
+    return ok;
+  };
+  rt.run([&] {
+    EXPECT_TRUE(bumped()) << "program_begin must invalidate views";
+    rt.spawn([&] { EXPECT_TRUE(bumped()) << "spawn/strand_begin"; });
+    EXPECT_TRUE(bumped()) << "return/strand_begin after the child";
+    auto f = rt.create_future([&] {
+      EXPECT_TRUE(bumped()) << "create/strand_begin";
+      return 1;
+    });
+    EXPECT_TRUE(bumped());
+    rt.sync();
+    EXPECT_TRUE(bumped()) << "sync";
+    f.get();
+    EXPECT_TRUE(bumped()) << "get";
+  });
+  EXPECT_TRUE(bumped()) << "program_end";
+}
+
+TEST(QueryPlaneEpoch, ViewAnswersTrackDagEventsAcrossEpochs) {
+  multibags_plus mbp;
+  rt::serial_runtime rt(&mbp);
+  rt::strand_id child = rt::kNoStrand;
+  rt.run([&] {
+    rt.spawn([&] { child = rt.current_strand(); });
+    // The view object is stable across epochs; its answers are not.
+    reachability_view& view = mbp.view();
+    const std::uint64_t before = view.version();
+    EXPECT_FALSE(view.precedes_current(child)) << "spawn child is parallel";
+    rt.sync();
+    EXPECT_GT(view.version(), before)
+        << "the dag event must invalidate the outstanding view";
+    EXPECT_TRUE(view.precedes_current(child)) << "ordered after the sync";
+  });
+}
+
+// The end-to-end teeth of invalidation: if the detector's per-epoch answer
+// cache survived a dag event, the second write below would reuse the
+// pre-sync "parallel" verdict for the child strand and report a second racy
+// granule.
+TEST(QueryPlaneEpoch, CachedAnswerDoesNotSurviveADagEvent) {
+  session s("multibags+");
+  int x = 0, y = 0;
+  s.run([&] {
+    auto& rt = s.runtime();
+    rt.spawn([&] {
+      s.write(&x);
+      s.write(&y);
+    });
+    s.write(&x);  // child parallel: the one real race, answer cached
+    rt.sync();    // epoch changes; the child now precedes
+    s.write(&y);  // stale cache would resurface "parallel" and flag y
+  });
+  EXPECT_EQ(s.report().racy_granules().size(), 1u)
+      << "a cached reachability answer leaked across a dag event";
+  EXPECT_EQ(s.report().racy_granules().count(
+                reinterpret_cast<std::uintptr_t>(&x) & ~std::uintptr_t{3}),
+            1u);
+}
+
+// ---------------------------------------------------------- counters ----
+
+TEST(QueryPlaneStats, MemoizationCollapsesRepeatQuestionsWithinAnEpoch) {
+  session s("multibags+");
+  constexpr int kCells = 64;
+  alignas(64) static int cells[kCells];
+  s.run([&] {
+    auto& rt = s.runtime();
+    rt.spawn([&] {
+      for (int i = 0; i < kCells; ++i) s.write(&cells[i]);
+    });
+    // 64 prior-writer questions, all about the same child strand, with no
+    // dag event in between: one view query, 63 epoch-cache hits.
+    for (int i = 0; i < kCells; ++i) s.write(&cells[i]);
+    rt.sync();
+  });
+  const detect::query_plane_stats& q = s.query_stats();
+  EXPECT_EQ(q.lookups, static_cast<std::uint64_t>(kCells));
+  EXPECT_EQ(q.cache_hits, static_cast<std::uint64_t>(kCells - 1));
+  EXPECT_EQ(q.batches, 1u);
+  EXPECT_EQ(q.strands, 1u);
+  EXPECT_EQ(s.report().racy_granules().size(), static_cast<std::size_t>(kCells));
+}
+
+TEST(QueryPlaneStats, ReplayBatchesWholeRuns) {
+  // Record a program whose racy run spans many accesses, then replay it:
+  // the player hands the run to the detector in one on_accesses call, so
+  // the whole run resolves through at most one view query.
+  trace::memory_trace tape(trace::trace_header{trace::kTraceVersion, 4});
+  constexpr int kCells = 32;
+  alignas(64) static int cells[kCells];
+  {
+    session rec("multibags+");
+    rec.record_to(tape);
+    rec.run([&] {
+      auto& rt = rec.runtime();
+      rt.spawn([&] {
+        for (int i = 0; i < kCells; ++i) rec.write(&cells[i]);
+      });
+      for (int i = 0; i < kCells; ++i) rec.write(&cells[i]);
+      rt.sync();
+    });
+  }
+  tape.rewind();
+  session rep("multibags+");
+  rep.replay(tape);
+  const detect::query_plane_stats& q = rep.query_stats();
+  EXPECT_EQ(q.lookups, static_cast<std::uint64_t>(kCells));
+  EXPECT_EQ(q.batches, 1u) << "one access run must issue one view query";
+  EXPECT_EQ(q.strands, 1u);
+  EXPECT_EQ(rep.report().racy_granules().size(),
+            static_cast<std::size_t>(kCells));
+}
+
+}  // namespace
+}  // namespace frd::detect

@@ -103,6 +103,21 @@ void print_report(const session& s, std::uint64_t events) {
   std::printf("races:          %llu (%zu distinct granules)\n",
               static_cast<unsigned long long>(s.report().total()),
               s.report().racy_granules().size());
+  // Query-plane counters: how the §3 protocol's reachability questions
+  // batched (lookups -> epoch-cache hits -> issued view queries). A
+  // regression in batching effectiveness shows up here, not just in perf.
+  const frd::detect::query_plane_stats& q = s.query_stats();
+  std::printf("reach lookups:  %llu (epoch-cache hits %llu, %.1f%%)\n",
+              static_cast<unsigned long long>(q.lookups),
+              static_cast<unsigned long long>(q.cache_hits),
+              q.lookups ? 100.0 * static_cast<double>(q.cache_hits) /
+                              static_cast<double>(q.lookups)
+                        : 0.0);
+  std::printf("view queries:   %llu (%.2f strands/batch)\n",
+              static_cast<unsigned long long>(q.batches),
+              q.batches ? static_cast<double>(q.strands) /
+                              static_cast<double>(q.batches)
+                        : 0.0);
 }
 
 int cmd_record(int argc, char** argv) {
@@ -236,6 +251,10 @@ int cmd_stats(const std::string& path) {
   std::uint64_t counts[trace::kEventKindCount] = {};
   std::uint64_t total = 0, accesses = 0;
   std::uint32_t max_strand = 0;
+  // Access-run shape: maximal runs of consecutive read/write events — the
+  // trace-side bound on the player's batches and on how many accesses can
+  // share one batched reachability query.
+  std::uint64_t runs = 0, run_len = 0, max_run = 0;
   trace::trace_event e;
   while (src->next(e)) {
     ++counts[static_cast<int>(e.kind)];
@@ -243,6 +262,10 @@ int cmd_stats(const std::string& path) {
     if (e.kind == trace::event_kind::read ||
         e.kind == trace::event_kind::write) {
       ++accesses;
+      if (run_len++ == 0) ++runs;
+      if (run_len > max_run) max_run = run_len;
+    } else {
+      run_len = 0;
     }
     if (e.kind == trace::event_kind::strand_begin &&
         e.strand_begin.s > max_strand) {
@@ -256,6 +279,11 @@ int cmd_stats(const std::string& path) {
               static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(accesses));
   std::printf("strands:  >= %u\n", max_strand + 1);
+  std::printf("access runs: %llu (mean %.1f, max %llu per run)\n",
+              static_cast<unsigned long long>(runs),
+              runs ? static_cast<double>(accesses) / static_cast<double>(runs)
+                   : 0.0,
+              static_cast<unsigned long long>(max_run));
   for (int k = 0; k < trace::kEventKindCount; ++k) {
     if (counts[k] == 0) continue;
     std::printf("  %-14s %llu\n",

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare a fresh replay-throughput snapshot against the perf/ history.
+"""Compare fresh perf snapshots against the perf/ history.
 
 Snapshots come from different machines, so absolute events/sec is not the
 signal (perf/README.md): what is comparable across snapshots is each
@@ -11,14 +11,23 @@ exits non-zero when any backend's share dropped below --threshold of its
 baseline share — i.e. a backend got slower *relative to the others*, which
 no machine change explains.
 
-Only rows present in BOTH snapshots (same trace, same backend) and measured
-on the default shadow store participate, so corpus growth and store sweeps
-never skew the comparison. Rows without a "store" field (pre-store-layer
-snapshots) count as default-store rows.
+Only rows present in BOTH snapshots (same trace, same backend) measured on
+the default shadow store at the default replay batch size participate, so
+corpus growth, store sweeps, and --batch-size sweeps never skew the
+comparison. Rows without a "store"/"batch" field (older snapshots) count as
+default rows.
+
+With --fresh-micro the same relative-share guard also runs over the
+BENCH_micro_shadow.json Google-Benchmark snapshot, grouped by shadow store
+(the second component of each benchmark name, e.g.
+"BM_WriteStepSequential/sharded"): a store whose per-op speed share fell
+below the threshold fails the run with the store named.
 
 Usage:
   perf_compare.py --fresh build/BENCH_replay_throughput.json [--history perf]
                   [--baseline FILE] [--threshold 0.5] [--default-store NAME]
+                  [--fresh-micro build/BENCH_micro_shadow.json]
+                  [--baseline-micro FILE]
 
 Exit codes: 0 ok / no usable baseline, 1 regression, 2 bad invocation.
 """
@@ -31,15 +40,19 @@ import sys
 from pathlib import Path
 
 DEFAULT_STORE = "hashed-page"
+DEFAULT_BATCH = 256
 
 
 def load_rows(path, default_store):
-    """(trace, backend) -> events_per_sec for default-store rows of one snapshot."""
+    """(trace, backend) -> events_per_sec for default-store, default-batch
+    rows of one replay snapshot."""
     with open(path) as f:
         snap = json.load(f)
     rows = {}
     for row in snap.get("rows", []):
         if row.get("store", default_store) != default_store:
+            continue
+        if row.get("batch", DEFAULT_BATCH) != DEFAULT_BATCH:
             continue
         eps = float(row["events_per_sec"])
         if eps > 0:
@@ -47,10 +60,31 @@ def load_rows(path, default_store):
     return rows
 
 
-def latest_baseline(history_dir):
-    """Highest-numbered perf/prN_replay_throughput.json, or None."""
+def load_micro_rows(path):
+    """benchmark name -> per-op speed (1/cpu_time) for iteration rows of a
+    Google-Benchmark snapshot."""
+    with open(path) as f:
+        snap = json.load(f)
+    rows = {}
+    for b in snap.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        t = float(b["cpu_time"])
+        if t > 0:
+            rows[b["name"]] = 1.0 / t
+    return rows
+
+
+def micro_store_of(name):
+    """BM_WriteStepSequential/sharded/65536 -> sharded."""
+    parts = name.split("/")
+    return parts[1] if len(parts) > 1 else parts[0]
+
+
+def latest_baseline(history_dir, suffix):
+    """Highest-numbered perf/prN_<suffix>.json, or None."""
     best, best_n = None, -1
-    for p in Path(history_dir).glob("pr*_replay_throughput.json"):
+    for p in Path(history_dir).glob(f"pr*_{suffix}.json"):
         m = re.match(r"pr(\d+)_", p.name)
         if m and int(m.group(1)) > best_n:
             best, best_n = p, int(m.group(1))
@@ -61,14 +95,29 @@ def geomean(xs):
     return math.exp(sum(math.log(x) for x in xs) / len(xs))
 
 
-def backend_shares(rows):
-    """backend -> geomean(events/sec) normalized by the all-backend geomean."""
-    per_backend = {}
-    for (_, backend), eps in rows.items():
-        per_backend.setdefault(backend, []).append(eps)
-    means = {b: geomean(v) for b, v in per_backend.items()}
+def shares(rows, group_of):
+    """group -> geomean(speed) normalized by the all-group geomean."""
+    per_group = {}
+    for key, speed in rows.items():
+        per_group.setdefault(group_of(key), []).append(speed)
+    means = {g: geomean(v) for g, v in per_group.items()}
     scale = geomean(list(means.values()))
-    return {b: m / scale for b, m in means.items()}
+    return {g: m / scale for g, m in means.items()}
+
+
+def compare_shares(label, base_shares, fresh_shares, threshold):
+    """Prints the share table; returns the group names that regressed."""
+    print(f"  {label:<16} {'base share':>10} {'fresh share':>11} {'ratio':>6}")
+    regressions = []
+    for group in sorted(base_shares):
+        b, f = base_shares[group], fresh_shares[group]
+        ratio = f / b
+        marker = ""
+        if ratio < threshold:
+            regressions.append(group)
+            marker = "  <-- REGRESSION"
+        print(f"  {group:<16} {b:>10.3f} {f:>11.3f} {ratio:>6.2f}{marker}")
+    return regressions
 
 
 def main():
@@ -76,61 +125,98 @@ def main():
     ap.add_argument("--fresh", required=True,
                     help="BENCH_replay_throughput.json from this build")
     ap.add_argument("--history", default="perf",
-                    help="directory of prN_replay_throughput.json snapshots")
+                    help="directory of prN_*.json snapshots")
     ap.add_argument("--baseline", default=None,
-                    help="explicit baseline snapshot (overrides --history)")
+                    help="explicit replay baseline (overrides --history)")
     ap.add_argument("--threshold", type=float, default=0.5,
-                    help="flag a backend whose relative share fell below "
-                         "THRESHOLD x its baseline share (default 0.5 — "
-                         "loose on purpose; replay times on small traces "
-                         "are noisy)")
+                    help="flag a backend/store whose relative share fell "
+                         "below THRESHOLD x its baseline share (default 0.5 "
+                         "— loose on purpose; times on small traces and "
+                         "per-op microbenches are noisy)")
     ap.add_argument("--default-store", default=DEFAULT_STORE,
-                    help="store whose rows form the trajectory")
+                    help="store whose rows form the replay trajectory")
+    ap.add_argument("--fresh-micro", default=None,
+                    help="BENCH_micro_shadow.json from this build; also "
+                         "guard the per-store microbench trajectory")
+    ap.add_argument("--baseline-micro", default=None,
+                    help="explicit micro-shadow baseline (overrides "
+                         "--history)")
     args = ap.parse_args()
 
-    baseline_path = args.baseline or latest_baseline(args.history)
+    failed = False
+
+    baseline_path = args.baseline or latest_baseline(args.history,
+                                                     "replay_throughput")
     if baseline_path is None:
         print(f"perf_compare: no pr*_replay_throughput.json under "
               f"'{args.history}' — nothing to compare against")
-        return 0
+    else:
+        try:
+            fresh = load_rows(args.fresh, args.default_store)
+            base = load_rows(baseline_path, args.default_store)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"perf_compare: unreadable snapshot: {e}", file=sys.stderr)
+            return 2
+        common = sorted(set(fresh) & set(base))
+        if not common:
+            print("perf_compare: the snapshots share no (trace, backend) "
+                  "rows — corpus or backend set changed completely; not "
+                  "comparable", file=sys.stderr)
+            return 2
+        print(f"perf_compare: {args.fresh} vs {baseline_path} "
+              f"({len(common)} common rows, threshold {args.threshold})")
+        regressions = compare_shares(
+            "backend",
+            shares({k: base[k] for k in common}, lambda k: k[1]),
+            shares({k: fresh[k] for k in common}, lambda k: k[1]),
+            args.threshold)
+        if regressions:
+            print(f"perf_compare: relative replay regression in backend(s): "
+                  f"{', '.join(regressions)} (share ratio < "
+                  f"{args.threshold}); if intentional, land the new "
+                  f"perf/prN snapshot with the change and say why",
+                  file=sys.stderr)
+            failed = True
 
-    try:
-        fresh = load_rows(args.fresh, args.default_store)
-        base = load_rows(baseline_path, args.default_store)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"perf_compare: unreadable snapshot: {e}", file=sys.stderr)
-        return 2
+    if args.fresh_micro:
+        micro_base_path = args.baseline_micro or latest_baseline(
+            args.history, "micro_shadow")
+        if micro_base_path is None:
+            print(f"perf_compare: no pr*_micro_shadow.json under "
+                  f"'{args.history}' — skipping the store trajectory")
+        else:
+            try:
+                fresh_m = load_micro_rows(args.fresh_micro)
+                base_m = load_micro_rows(micro_base_path)
+            except (OSError, ValueError, KeyError) as e:
+                print(f"perf_compare: unreadable micro snapshot: {e}",
+                      file=sys.stderr)
+                return 2
+            common_m = sorted(set(fresh_m) & set(base_m))
+            if not common_m:
+                print("perf_compare: the micro snapshots share no benchmark "
+                      "rows — store set changed completely; not comparable",
+                      file=sys.stderr)
+                return 2
+            print(f"perf_compare: {args.fresh_micro} vs {micro_base_path} "
+                  f"({len(common_m)} common rows, threshold "
+                  f"{args.threshold})")
+            regressions = compare_shares(
+                "store",
+                shares({k: base_m[k] for k in common_m}, micro_store_of),
+                shares({k: fresh_m[k] for k in common_m}, micro_store_of),
+                args.threshold)
+            if regressions:
+                print(f"perf_compare: relative micro-shadow regression in "
+                      f"store(s): {', '.join(regressions)} (share ratio < "
+                      f"{args.threshold}); if intentional, land the new "
+                      f"perf/prN snapshot with the change and say why",
+                      file=sys.stderr)
+                failed = True
 
-    common = sorted(set(fresh) & set(base))
-    if not common:
-        print("perf_compare: the snapshots share no (trace, backend) rows — "
-              "corpus or backend set changed completely; not comparable",
-              file=sys.stderr)
-        return 2
-    fresh_shares = backend_shares({k: fresh[k] for k in common})
-    base_shares = backend_shares({k: base[k] for k in common})
-
-    print(f"perf_compare: {args.fresh} vs {baseline_path} "
-          f"({len(common)} common rows, threshold {args.threshold})")
-    print(f"  {'backend':<16} {'base share':>10} {'fresh share':>11} "
-          f"{'ratio':>6}")
-    regressions = []
-    for backend in sorted(base_shares):
-        b, f = base_shares[backend], fresh_shares[backend]
-        ratio = f / b
-        marker = ""
-        if ratio < args.threshold:
-            regressions.append(backend)
-            marker = "  <-- REGRESSION"
-        print(f"  {backend:<16} {b:>10.3f} {f:>11.3f} {ratio:>6.2f}{marker}")
-
-    if regressions:
-        print(f"perf_compare: relative regression in: "
-              f"{', '.join(regressions)} (share ratio < {args.threshold}); "
-              f"if intentional, land the new perf/prN snapshot with the "
-              f"change and say why", file=sys.stderr)
+    if failed:
         return 1
-    print("perf_compare: no per-backend relative regression")
+    print("perf_compare: no relative regression")
     return 0
 
 
