@@ -68,6 +68,7 @@ void fuzz_into(session& s, std::uint64_t seed, int depth, int actions,
 
 struct row {
   std::string trace;  // corpus entry name, or "fuzz" in fuzz mode
+  std::string format = "frdt";  // artifact format: frdt | frdtz | memory
   std::string backend;
   std::string store;
   std::size_t batch = 256;  // player run length (session replay_batch)
@@ -137,8 +138,9 @@ void write_json(const std::string& path, const std::string& mode,
        << "  \"mode\": \"" << mode << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const row& r = rows[i];
-    json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
-         << r.backend << "\", \"store\": \"" << r.store
+    json << "    {\"trace\": \"" << r.trace << "\", \"format\": \""
+         << r.format << "\", \"backend\": \"" << r.backend << "\", \"store\": \""
+         << r.store
          << "\", \"batch\": " << r.batch << ", \"events\": " << r.events
          << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
          << ", \"events_per_sec\": " << r.events_per_sec
@@ -179,10 +181,12 @@ int run_corpus_mode(const std::string& dir, const std::string& store,
     trace::memory_trace tape = corpus::load_trace(dir + "/" + e.trace_file);
     const corpus::golden_report gold =
         corpus::load_golden(dir + "/" + e.golden_file);
+    const bool compressed = e.trace_file.ends_with(".frdtz");
     for (const std::string& backend : corpus::eligible_backends(e.futures)) {
       for (const std::size_t batch : batches) {
         row r = bench_backend(tape, e.name, backend, store, shard_bits, batch,
                               reps);
+        r.format = compressed ? "frdtz" : "frdt";
         FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
                       "replay race count diverged from the corpus golden — "
                       "run frd-corpus verify");
@@ -279,6 +283,7 @@ int main(int argc, char** argv) {
       row r = bench_backend(tape, "fuzz", name, store,
                             static_cast<unsigned>(shard_bits), batch,
                             static_cast<int>(reps));
+      r.format = "memory";
       FRD_CHECK_MSG(r.racy_granules == baseline_racy,
                     "replay race count diverged from the recording session");
       rows.push_back(std::move(r));

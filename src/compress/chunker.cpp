@@ -16,29 +16,26 @@ const std::uint64_t* gear_table() {
   return table;
 }
 
-std::vector<chunk_ref> chunk_bytes(std::span<const std::uint8_t> data,
-                                   const chunk_params& params) {
+stream_chunker::stream_chunker(const chunk_params& params)
+    : params_(params), gear_(gear_table()) {
   FRD_CHECK_MSG(params.min_size > 0 && params.min_size <= params.target_size &&
                     params.target_size <= params.max_size,
                 "chunk_params must satisfy min <= target <= max");
   // Mask with log2(target) low bits: expected chunk length ~= target.
   std::uint64_t mask = 1;
   while (mask < params.target_size) mask <<= 1;
-  mask -= 1;
+  mask_ = mask - 1;
+}
 
-  const std::uint64_t* gear = gear_table();
+std::vector<chunk_ref> chunk_bytes(std::span<const std::uint8_t> data,
+                                   const chunk_params& params) {
+  stream_chunker ck(params);
   std::vector<chunk_ref> chunks;
   std::size_t start = 0;
-  std::uint64_t h = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    h = (h << 1) + gear[data[i]];
-    const std::size_t len = i - start + 1;
-    const bool cut = (len >= params.min_size && (h & mask) == 0) ||
-                     len >= params.max_size;
-    if (cut) {
-      chunks.push_back(chunk_ref{start, len});
+    if (ck.push(data[i])) {
+      chunks.push_back(chunk_ref{start, i - start + 1});
       start = i + 1;
-      h = 0;
     }
   }
   if (start < data.size())

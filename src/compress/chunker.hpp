@@ -27,6 +27,43 @@ struct chunk_ref {
 std::vector<chunk_ref> chunk_bytes(std::span<const std::uint8_t> data,
                                    const chunk_params& params = {});
 
+// Incremental form of the same cut decision, for producers that stream bytes
+// instead of materializing them (the .frdtz container writer). Feeding any
+// byte sequence through push() one call at a time — regardless of how the
+// sequence is split across calls — yields exactly the cut points
+// chunk_bytes() finds on the whole buffer; tests hold the two to each other.
+class stream_chunker {
+ public:
+  explicit stream_chunker(const chunk_params& params = {});
+
+  // Consumes one byte; returns true when a chunk boundary falls AFTER this
+  // byte (the byte is the last of its chunk). State resets for the next
+  // chunk automatically.
+  bool push(std::uint8_t b) {
+    hash_ = (hash_ << 1) + gear_[b];
+    ++len_;
+    const bool cut =
+        (len_ >= params_.min_size && (hash_ & mask_) == 0) ||
+        len_ >= params_.max_size;
+    if (cut) {
+      hash_ = 0;
+      len_ = 0;
+    }
+    return cut;
+  }
+
+  // Bytes accumulated since the last cut (the open chunk's length so far).
+  std::size_t pending() const { return len_; }
+  const chunk_params& params() const { return params_; }
+
+ private:
+  chunk_params params_;
+  std::uint64_t mask_;
+  const std::uint64_t* gear_;
+  std::uint64_t hash_ = 0;
+  std::size_t len_ = 0;
+};
+
 // The gear table (exposed for tests: determinism across runs/platforms).
 const std::uint64_t* gear_table();
 

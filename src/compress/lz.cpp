@@ -14,34 +14,43 @@ std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
   std::uint64_t v = 0;
   int shift = 0;
   for (;;) {
-    FRD_CHECK_MSG(pos < in.size(), "truncated varint");
+    if (pos >= in.size()) throw decode_error("truncated varint");
     const std::uint8_t b = in[pos++];
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;
-    FRD_CHECK_MSG(shift < 64, "varint overflow");
+    if (shift >= 64) throw decode_error("varint overflows 64 bits");
   }
 }
 
-std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> in) {
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> in,
+                                        std::size_t max_output) {
   std::vector<std::uint8_t> out;
   std::size_t pos = 0;
   for (;;) {
-    FRD_CHECK_MSG(pos < in.size(), "truncated stream");
+    if (pos >= in.size()) throw decode_error("truncated stream: end opcode missing");
     const std::uint8_t op = in[pos++];
     if (op == 0x00) return out;
     if (op == 0x01) {
       const std::uint64_t n = get_varint(in, pos);
-      FRD_CHECK_MSG(pos + n <= in.size(), "literal run past end of stream");
+      if (n > in.size() - pos) throw decode_error("literal run past end of stream");
+      if (n > max_output - out.size()) {
+        throw decode_error("literal run overflows the declared output size");
+      }
       out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(pos),
                  in.begin() + static_cast<std::ptrdiff_t>(pos + n));
       pos += n;
       continue;
     }
-    FRD_CHECK_MSG(op == 0x02, "unknown opcode");
+    if (op != 0x02) throw decode_error("unknown opcode");
     const std::uint64_t len = get_varint(in, pos);
     const std::uint64_t dist = get_varint(in, pos);
-    FRD_CHECK_MSG(dist != 0 && dist <= out.size(), "match distance out of range");
+    if (dist == 0 || dist > out.size()) {
+      throw decode_error("match distance out of range");
+    }
+    if (len > max_output - out.size()) {
+      throw decode_error("match length overflows the declared output size");
+    }
     // Byte-by-byte on purpose: overlapping matches (dist < len) replicate.
     std::size_t src = out.size() - dist;
     for (std::uint64_t k = 0; k < len; ++k) out.push_back(out[src++]);

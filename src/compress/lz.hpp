@@ -18,16 +18,28 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "support/check.hpp"
 
 namespace frd::compress {
 
+// Raised on malformed compressed input: truncated varints, unknown opcodes,
+// out-of-window match distances, or output overrunning a declared bound.
+// Decoding runs on UNTRUSTED bytes (container chunks pulled off disk), so
+// corruption must surface as a catchable error the caller can diagnose —
+// never as a check.hpp abort.
+class decode_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 // Varint plumbing shared by the codec and its tests (LEB128, low 7 bits
 // first).
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
-// Reads at `pos`, advances it; aborts on truncation (corrupt stream).
+// Reads at `pos`, advances it; throws decode_error on truncation or a value
+// overflowing 64 bits (corrupt stream).
 std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos);
 
 namespace detail {
@@ -124,8 +136,12 @@ std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> in) {
   return out;
 }
 
-// Decompresses a stream produced by lz_compress. Aborts (FRD_CHECK) on a
-// malformed stream — corrupt archives are a caller bug in this codebase.
-std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> in);
+// Decompresses a stream produced by lz_compress; throws decode_error on a
+// malformed stream. `max_output` bounds the produced bytes: a corrupt match
+// length must not be able to balloon the output (the container passes each
+// chunk's declared raw size; the default is effectively unbounded for
+// trusted in-process streams like the dedup pipeline's).
+std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> in,
+                                        std::size_t max_output = SIZE_MAX);
 
 }  // namespace frd::compress

@@ -1,0 +1,130 @@
+#include "container/source.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "compress/digest.hpp"
+#include "compress/lz.hpp"
+
+namespace frd::container {
+
+using trace::trace_error;
+
+std::vector<char> load_chunk(std::istream& file, const chunk_entry& entry,
+                             std::size_t index) {
+  file.clear();
+  file.seekg(static_cast<std::streamoff>(entry.offset), std::ios::beg);
+  std::vector<std::uint8_t> stored(
+      static_cast<std::size_t>(entry.stored_size));
+  file.read(reinterpret_cast<char*>(stored.data()),
+            static_cast<std::streamsize>(stored.size()));
+  if (file.gcount() != static_cast<std::streamsize>(stored.size())) {
+    throw trace_error("corrupt trace container: chunk " +
+                      std::to_string(index) + " read cut short");
+  }
+
+  std::vector<std::uint8_t> raw;
+  if (entry.encoding == chunk_encoding::lz) {
+    try {
+      raw = compress::lz_decompress(
+          stored, static_cast<std::size_t>(entry.raw_size));
+    } catch (const compress::decode_error& e) {
+      throw trace_error("corrupt trace container: chunk " +
+                        std::to_string(index) + " fails to decompress (" +
+                        e.what() + ")");
+    }
+  } else {
+    raw = std::move(stored);
+  }
+  if (raw.size() != entry.raw_size) {
+    throw trace_error("corrupt trace container: chunk " +
+                      std::to_string(index) + " decompresses to " +
+                      std::to_string(raw.size()) + " bytes, footer says " +
+                      std::to_string(entry.raw_size));
+  }
+  if (compress::sha1(raw) != entry.digest) {
+    throw trace_error("corrupt trace container: chunk " +
+                      std::to_string(index) + " digest mismatch");
+  }
+  return std::vector<char>(raw.begin(), raw.end());
+}
+
+// ---------------------------------------------------- chunk_feed_streambuf --
+
+container_source::chunk_feed_streambuf::int_type
+container_source::chunk_feed_streambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (next_ >= info_.chunks.size()) return traits_type::eof();
+  const chunk_entry& entry = info_.chunks[next_];
+  chunk_ = load_chunk(file_, entry, next_);
+  ++next_;
+  // stored + raw coexist inside load_chunk; charge both to the high-water
+  // mark even though the stored copy is gone by the time we return.
+  const std::uint64_t resident =
+      entry.encoding == chunk_encoding::lz
+          ? entry.stored_size + entry.raw_size
+          : entry.raw_size;
+  if (resident > max_resident_) max_resident_ = resident;
+  setg(chunk_.data(), chunk_.data(), chunk_.data() + chunk_.size());
+  return traits_type::to_int_type(*gptr());
+}
+
+// -------------------------------------------------------- container_source --
+
+container_source::container_source(std::istream& in)
+    : file_(in),
+      info_(read_container_info(in)),
+      buf_(file_, info_),
+      inner_stream_(&buf_) {
+  // An istream swallows exceptions thrown by its streambuf (it just sets
+  // badbit); with badbit in the exception mask it rethrows the original, so
+  // a chunk diagnosis from underflow() reaches the caller by name instead
+  // of surfacing as a confusing short-read error from the inner codec.
+  inner_stream_.exceptions(std::ios::badbit);
+  reader_ = std::make_unique<trace::trace_reader>(inner_stream_);
+  const trace::trace_header& h = reader_->header();
+  if (h.version != info_.inner_version || h.granule != info_.granule) {
+    throw trace_error(
+        "corrupt trace container: footer declares version " +
+        std::to_string(info_.inner_version) + "/granule " +
+        std::to_string(info_.granule) + " but the inner trace header says " +
+        std::to_string(h.version) + "/" + std::to_string(h.granule));
+  }
+}
+
+const trace::trace_header& container_source::header() const {
+  return reader_->header();
+}
+
+bool container_source::next(trace::trace_event& e) {
+  if (reader_->next(e)) {
+    ++events_;
+    return true;
+  }
+  if (events_ != info_.event_count) {
+    throw trace_error("corrupt trace container: footer declares " +
+                      std::to_string(info_.event_count) +
+                      " events but the stream holds " +
+                      std::to_string(events_));
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ unpack --
+
+container_info unpack(std::istream& in, std::ostream& out) {
+  container_info info = read_container_info(in);
+  for (std::size_t i = 0; i < info.chunks.size(); ++i) {
+    const std::vector<char> raw = load_chunk(in, info.chunks[i], i);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+    if (!out) {
+      throw trace_error("trace container: write failed while unpacking chunk " +
+                        std::to_string(i));
+    }
+  }
+  out.flush();
+  if (!out) throw trace_error("trace container: flush failed after unpack");
+  return info;
+}
+
+}  // namespace frd::container

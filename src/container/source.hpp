@@ -1,0 +1,77 @@
+// container_source: a streaming trace_source over a .frdtz container.
+//
+// The source reads the footer once, then feeds an inner trace_reader through
+// a streambuf that materializes ONE chunk per underflow: seek to the chunk's
+// stored bytes, decompress (bounded by the declared raw size), and verify the
+// SHA-1 before a single byte reaches the decoder. Peak memory is one chunk's
+// stored + raw bytes — O(chunk size), independent of trace length — and
+// max_resident_bytes() reports the high-water mark so tests can hold it to
+// that bound. Every integrity defect (digest mismatch, short chunk, footer
+// disagreeing with the inner header or event count) throws trace_error
+// naming the defect.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <istream>
+#include <memory>
+#include <streambuf>
+#include <vector>
+
+#include "container/format.hpp"
+#include "trace/codec.hpp"
+
+namespace frd::container {
+
+class container_source final : public trace::trace_source {
+ public:
+  // `in` must be seekable (an opened binary ifstream); the footer is read
+  // and validated eagerly, the chunks lazily.
+  explicit container_source(std::istream& in);
+
+  const trace::trace_header& header() const override;
+  bool next(trace::trace_event& e) override;
+
+  const container_info& info() const { return info_; }
+  std::uint64_t events_delivered() const { return events_; }
+  // High-water mark of chunk bytes held at once (stored + decompressed).
+  std::uint64_t max_resident_bytes() const { return buf_.max_resident(); }
+
+ private:
+  // Serves the inner FRDT byte stream one verified chunk per underflow.
+  class chunk_feed_streambuf final : public std::streambuf {
+   public:
+    chunk_feed_streambuf(std::istream& file, const container_info& info)
+        : file_(file), info_(info) {}
+    std::uint64_t max_resident() const { return max_resident_; }
+
+   protected:
+    int_type underflow() override;
+
+   private:
+    std::istream& file_;
+    const container_info& info_;
+    std::vector<char> chunk_;  // the current chunk, decompressed + verified
+    std::size_t next_ = 0;
+    std::uint64_t max_resident_ = 0;
+  };
+
+  std::istream& file_;
+  container_info info_;
+  chunk_feed_streambuf buf_;
+  std::istream inner_stream_;
+  std::unique_ptr<trace::trace_reader> reader_;
+  std::uint64_t events_ = 0;
+};
+
+// Loads, verifies, and decompresses one chunk's raw bytes (the shared chunk
+// path of container_source and unpack). Throws trace_error naming the chunk
+// on a short read, oversized/corrupt compressed data, or digest mismatch.
+std::vector<char> load_chunk(std::istream& file, const chunk_entry& entry,
+                             std::size_t index);
+
+// Streams the verified inner FRDT byte stream to `out` — byte-identical to
+// the .frdt the container was packed from. Returns the footer for stats.
+container_info unpack(std::istream& in, std::ostream& out);
+
+}  // namespace frd::container

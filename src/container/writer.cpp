@@ -1,0 +1,155 @@
+#include "container/writer.hpp"
+
+#include <cstring>
+#include <exception>
+#include <ostream>
+
+#include "compress/digest.hpp"
+#include "compress/lz.hpp"
+#include "detect/hooks.hpp"
+
+namespace frd::container {
+
+using trace::trace_error;
+
+// ---------------------------------------------------- chunking_streambuf --
+
+void container_writer::chunking_streambuf::push_byte(std::uint8_t b) {
+  if (pending_start_) {
+    if (!open_has_start_) {
+      open_first_event_ = pending_event_;
+      open_has_start_ = true;
+    }
+    started_ = pending_event_ + 1;
+    pending_start_ = false;
+  }
+  buf_.push_back(b);
+  ++raw_total_;
+  if (chunker_.push(b)) {
+    owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_);
+    buf_.clear();
+    open_has_start_ = false;
+  }
+}
+
+container_writer::chunking_streambuf::int_type
+container_writer::chunking_streambuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+  push_byte(static_cast<std::uint8_t>(ch));
+  return ch;
+}
+
+std::streamsize container_writer::chunking_streambuf::xsputn(
+    const char* s, std::streamsize n) {
+  for (std::streamsize i = 0; i < n; ++i)
+    push_byte(static_cast<std::uint8_t>(s[i]));
+  return n;
+}
+
+void container_writer::chunking_streambuf::flush_open_chunk() {
+  if (buf_.empty()) return;
+  owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_);
+  buf_.clear();
+  open_has_start_ = false;
+}
+
+// ------------------------------------------------------- container_writer --
+
+container_writer::container_writer(std::ostream& out, trace::trace_header h,
+                                   compress::chunk_params params)
+    : out_(out),
+      buf_(*this, params),
+      inner_stream_(&buf_),
+      ctor_exceptions_(std::uncaught_exceptions()) {
+  out_.write(kMagic, sizeof(kMagic));
+  std::vector<std::uint8_t> v;
+  compress::put_varint(v, kContainerVersion);
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size()));
+  if (!out_) throw trace_error("trace container: write failed on header");
+  file_offset_ = sizeof(kMagic) + v.size();
+  info_.inner_version = h.version;
+  info_.granule = h.granule;
+  // The inner writer serializes the FRDT header into the chunk stream
+  // immediately; those bytes belong to the first chunk.
+  inner_ = std::make_unique<trace::trace_writer>(inner_stream_, h);
+}
+
+container_writer::~container_writer() {
+  if (std::uncaught_exceptions() > ctor_exceptions_) return;
+  try {
+    finish();
+  } catch (...) {
+    // Like trace_writer: destructors cannot throw; callers who care about
+    // the container call finish() themselves.
+  }
+}
+
+void container_writer::on_header(const trace::trace_header& h) {
+  inner_->on_header(h);
+  info_.inner_version = h.version;
+  info_.granule = h.granule;
+}
+
+void container_writer::put(const trace::trace_event& e) {
+  buf_.note_event_start(events_);
+  inner_->put(e);
+  ++events_;
+}
+
+void container_writer::emit_chunk(const std::vector<std::uint8_t>& raw,
+                                  std::uint64_t first_event) {
+  const compress::sha1_digest digest = compress::sha1(raw);
+  chunk_entry entry;
+  entry.raw_size = raw.size();
+  entry.first_event = first_event;
+  entry.digest = digest;
+
+  if (const auto it = dedup_.find(digest); it != dedup_.end()) {
+    const chunk_entry& first = info_.chunks[it->second];
+    entry.offset = first.offset;
+    entry.stored_size = first.stored_size;
+    entry.encoding = first.encoding;
+    info_.chunks.push_back(entry);
+    return;
+  }
+
+  auto packed = compress::lz_compress<detect::hooks::none>(raw);
+  const bool use_lz = packed.size() < raw.size();
+  const std::vector<std::uint8_t>& stored = use_lz ? packed : raw;
+  entry.offset = file_offset_;
+  entry.stored_size = stored.size();
+  entry.encoding = use_lz ? chunk_encoding::lz : chunk_encoding::raw;
+  out_.write(reinterpret_cast<const char*>(stored.data()),
+             static_cast<std::streamsize>(stored.size()));
+  if (!out_) throw trace_error("trace container: write failed on chunk");
+  file_offset_ += stored.size();
+  dedup_.emplace(digest, info_.chunks.size());
+  info_.chunks.push_back(entry);
+}
+
+void container_writer::finish() {
+  if (finished_) return;
+  inner_->finish();           // end marker lands in the chunk stream
+  buf_.flush_open_chunk();    // whatever remains becomes the last chunk
+  finished_ = true;
+
+  info_.event_count = events_;
+  info_.raw_size = buf_.raw_total();
+
+  const std::uint64_t footer_offset = file_offset_;
+  std::vector<std::uint8_t> footer;
+  encode_footer(footer, info_);
+  out_.write(reinterpret_cast<const char*>(footer.data()),
+             static_cast<std::streamsize>(footer.size()));
+
+  std::uint8_t trailer[kTrailerSize];
+  for (int i = 0; i < 8; ++i)
+    trailer[i] = static_cast<std::uint8_t>(footer_offset >> (8 * i));
+  std::memcpy(trailer + 8, kTrailerMagic, 4);
+  out_.write(reinterpret_cast<const char*>(trailer), kTrailerSize);
+  out_.flush();
+  if (!out_) throw trace_error("trace container: write failed on footer");
+}
+
+}  // namespace frd::container

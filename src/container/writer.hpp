@@ -1,0 +1,105 @@
+// container_writer: a trace_sink that produces a .frdtz container.
+//
+// The sink owns an inner trace_writer whose bytes land in a chunking
+// streambuf instead of the file: each byte rolls through the incremental
+// content-defined chunker, and every finished chunk is deduplicated by
+// SHA-1, LZ-compressed when that helps, and appended to the output stream.
+// Peak memory is one chunk (<= chunk_params::max_size) plus the footer
+// table — a million-event trace streams through without ever being whole in
+// RAM. finish() seals the container (footer + trailer); like trace_writer,
+// the destructor finishes on the happy path but swallows errors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <streambuf>
+#include <vector>
+
+#include "compress/chunker.hpp"
+#include "container/format.hpp"
+#include "trace/codec.hpp"
+
+namespace frd::container {
+
+class container_writer final : public trace::trace_sink {
+ public:
+  explicit container_writer(std::ostream& out, trace::trace_header h = {},
+                            compress::chunk_params params = {});
+  ~container_writer() override;
+  container_writer(const container_writer&) = delete;
+  container_writer& operator=(const container_writer&) = delete;
+
+  // Forwarded to the inner trace_writer (which rejects a granule mismatch).
+  void on_header(const trace::trace_header& h) override;
+  void put(const trace::trace_event& e) override;
+  // Ends the inner trace, flushes the open chunk, writes footer + trailer.
+  // Idempotent; throws trace::trace_error when the stream failed.
+  void finish() override;
+
+  std::uint64_t events_written() const { return events_; }
+  // The footer that was (or will be) written; complete after finish().
+  const container_info& info() const { return info_; }
+
+ private:
+  // std::streambuf sitting between the inner trace_writer and the file:
+  // accumulates the inner byte stream into content-defined chunks and hands
+  // each finished chunk to the owning container_writer.
+  class chunking_streambuf final : public std::streambuf {
+   public:
+    chunking_streambuf(container_writer& owner,
+                       const compress::chunk_params& params)
+        : owner_(owner), chunker_(params) {
+      buf_.reserve(params.max_size);
+    }
+
+    // The next byte pushed begins event `index` (used to stamp first_event
+    // on each chunk).
+    void note_event_start(std::uint64_t index) {
+      pending_event_ = index;
+      pending_start_ = true;
+    }
+    // Emits the open (sub-min-size) chunk, if any.
+    void flush_open_chunk();
+    std::uint64_t raw_total() const { return raw_total_; }
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+   private:
+    void push_byte(std::uint8_t b);
+
+    container_writer& owner_;
+    compress::stream_chunker chunker_;
+    std::vector<std::uint8_t> buf_;  // the open chunk's raw bytes
+    std::uint64_t raw_total_ = 0;
+    // First event starting in the open chunk; `started_` is the index the
+    // NEXT event to start will get, which is what a start-free chunk reports.
+    std::uint64_t open_first_event_ = 0;
+    bool open_has_start_ = false;
+    std::uint64_t pending_event_ = 0;
+    bool pending_start_ = false;
+    std::uint64_t started_ = 0;
+  };
+
+  // Dedups, compresses, and appends one finished chunk; records its table
+  // entry with `first_event`.
+  void emit_chunk(const std::vector<std::uint8_t>& raw,
+                  std::uint64_t first_event);
+
+  std::ostream& out_;
+  chunking_streambuf buf_;
+  std::ostream inner_stream_;
+  std::unique_ptr<trace::trace_writer> inner_;
+  container_info info_;
+  // Full-digest dedup index: raw content -> first occurrence's table entry.
+  std::map<compress::sha1_digest, std::size_t> dedup_;
+  std::uint64_t file_offset_ = 0;
+  std::uint64_t events_ = 0;
+  int ctor_exceptions_;
+  bool finished_ = false;
+};
+
+}  // namespace frd::container

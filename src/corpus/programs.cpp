@@ -12,6 +12,8 @@
 #include "bench_suite/mm.hpp"
 #include "bench_suite/sw.hpp"
 #include "graph/fuzz.hpp"
+#include "image/phantom.hpp"
+#include "image/tracking.hpp"
 #include "support/check.hpp"
 
 namespace frd::corpus {
@@ -121,6 +123,89 @@ void run_mm_large(session& s, std::uint64_t seed) {
     return bench::mm_structured<active>(rt, in, 7);
   });
   FRD_CHECK_MSG(got == want, "mm-large kernel miscomputed while recording");
+}
+
+// The same kernel again at container scale (ROADMAP "corpus at 100×"):
+// n=80 with 16-wide blocks is ~1.1M access events through 125 future
+// chains — the first corpus entry whose artifact only stays reviewable as
+// a compressed .frdtz container. Strand count stays in the hundreds, so
+// the quadratic reference oracle still replays it in test time.
+void run_mm_xl(session& s, std::uint64_t seed) {
+  const auto in = bench::make_mm_input(80, seed);
+  const auto want = bench::mm_reference(in);
+  const auto got = s.run([&](rt::serial_runtime& rt) {
+    return bench::mm_structured<active>(rt, in, 16);
+  });
+  FRD_CHECK_MSG(got == want, "mm-xl kernel miscomputed while recording");
+}
+
+// Heartwall's tracking pipeline rebuilt in its STRUCTURED form on the raw
+// image substrate (phantom + track_point — unused by any corpus entry until
+// now): one single-touch future chain per sample point, each link tracking
+// the point one frame forward from where the previous link left it. A
+// monitor spawn reads every point's published position while the chains are
+// still running — those granules race; the end-of-run reads are joined
+// through the chain tails and do not. ~1.25M access events from the
+// template-scan inner loops.
+void run_tracking_xl(session& s, std::uint64_t seed) {
+  constexpr int kFrames = 26, kTmplRad = 2, kSearchRad = 2;
+  constexpr std::size_t kPoints = 40;
+  const image::phantom_sequence seq(64, 64, static_cast<int>(kPoints), seed);
+  std::vector<image::frame> frames;
+  frames.reserve(kFrames);
+  for (int t = 0; t < kFrames; ++t) frames.push_back(seq.make_frame(t));
+  const std::vector<image::point> start = seq.initial_points();
+  FRD_CHECK_MSG(start.size() == kPoints,
+                "phantom produced an unexpected point count");
+
+  std::vector<int> xs(kPoints), ys(kPoints);
+  s.run([&] {
+    auto& rt = s.runtime();
+    std::vector<rt::future<image::point>> chain(kPoints);
+    for (std::size_t p = 0; p < kPoints; ++p) {
+      chain[p] = rt.create_future([&, p] {
+        xs[p] = start[p].x;
+        ys[p] = start[p].y;
+        s.write(&xs[p]);
+        s.write(&ys[p]);
+        return start[p];
+      });
+    }
+    // The monitor races every chain's position writes (including the seed
+    // writes above): 2*kPoints racy granules, deterministically.
+    rt.spawn([&] {
+      for (std::size_t p = 0; p < kPoints; ++p) {
+        s.read(&xs[p]);
+        s.read(&ys[p]);
+      }
+    });
+    for (int t = 1; t < kFrames; ++t) {
+      for (std::size_t p = 0; p < kPoints; ++p) {
+        auto prev = std::move(chain[p]);
+        chain[p] = rt.create_future(
+            [&, t, p, prev = std::move(prev)]() mutable {
+              const image::point at = prev.get();  // single touch: structured
+              const image::point next = image::track_point<active>(
+                  frames[static_cast<std::size_t>(t - 1)],
+                  frames[static_cast<std::size_t>(t)], at, kTmplRad,
+                  kSearchRad);
+              xs[p] = next.x;
+              ys[p] = next.y;
+              s.write(&xs[p]);
+              s.write(&ys[p]);
+              return next;
+            });
+      }
+    }
+    for (std::size_t p = 0; p < kPoints; ++p) {
+      const image::point end = chain[p].get();
+      s.read(&xs[p]);  // ordered through the tail get: race-free
+      s.read(&ys[p]);
+      FRD_CHECK_MSG(frames[0].contains(end.x, end.y),
+                    "tracking-xl walked a point off the frame");
+    }
+    rt.sync();  // joins the monitor
+  });
 }
 
 // --------------------------------------------------- adversarial shapes ----
@@ -310,6 +395,14 @@ const std::vector<corpus_program>& corpus_programs() {
        "§6 blocked mm at ~10x corpus scale (n=28, B=7): ~784-access runs "
        "that overflow the replay batch capacity",
        run_mm_large},
+      {"mm-structured-xl", fs::structured,
+       "§6 blocked mm at container scale (n=80, B=16): ~1.1M events, "
+       "stored as a .frdtz container",
+       run_mm_xl},
+      {"tracking-structured-xl", fs::structured,
+       "§6 heartwall tracking, structured chains on the raw phantom "
+       "substrate (40 points x 25 frame steps): ~1.25M events, .frdtz",
+       run_tracking_xl},
       {"deep-get-chain", fs::general,
        "48-deep chain of in-body gets with strided multi-touch re-joins",
        run_deep_get_chain},

@@ -1,10 +1,12 @@
 #include "corpus/runner.hpp"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
 #include "api/session.hpp"
+#include "container/writer.hpp"
 #include "corpus/programs.hpp"
 #include "detect/registry.hpp"
 #include "trace/codec.hpp"
@@ -122,22 +124,30 @@ std::vector<std::string> check_backend(trace::memory_trace& tape,
 trace::memory_trace load_trace(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw corpus_error("cannot open trace '" + path + "'");
-  trace::trace_reader reader(in);
-  trace::memory_trace tape(reader.header());
+  // Auto-detects flat binary, JSONL, and .frdtz containers.
+  auto reader = trace::open_source(in);
+  trace::memory_trace tape(reader->header());
   trace::trace_event e;
-  while (reader.next(e)) tape.put(e);
+  while (reader->next(e)) tape.put(e);
   return tape;
 }
 
 void save_trace(const std::string& path, trace::memory_trace& tape) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw corpus_error("cannot open trace '" + path + "' for writing");
-  trace::trace_writer w(out, tape.header());
+  // Entries named *.frdtz are stored compressed; the container wraps the
+  // same byte stream trace_writer would emit.
+  std::unique_ptr<trace::trace_sink> w;
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".frdtz") == 0) {
+    w = std::make_unique<container::container_writer>(out, tape.header());
+  } else {
+    w = std::make_unique<trace::trace_writer>(out, tape.header());
+  }
   tape.rewind();
   trace::trace_event e;
-  while (tape.next(e)) w.put(e);
+  while (tape.next(e)) w->put(e);
   tape.rewind();
-  w.finish();
+  w->finish();
   out.close();
   if (!out) throw corpus_error("writing trace '" + path + "' failed");
 }
@@ -155,6 +165,9 @@ manifest builtin_manifest() {
     const char* name;
     entry_kind kind;
     std::uint64_t seed;
+    // Million-event entries are stored as .frdtz containers; a flat FRDT
+    // artifact at that scale would dwarf the rest of the corpus combined.
+    bool compressed = false;
   };
   // Program name == entry name: the builtin corpus records each registered
   // program exactly once, at a fixed seed.
@@ -168,6 +181,8 @@ manifest builtin_manifest() {
       {"heartwall-general", entry_kind::paper_kernel, 7},
       {"mm-structured", entry_kind::paper_kernel, 8},
       {"mm-structured-large", entry_kind::paper_kernel, 9},
+      {"mm-structured-xl", entry_kind::paper_kernel, 10, true},
+      {"tracking-structured-xl", entry_kind::paper_kernel, 11, true},
       {"deep-get-chain", entry_kind::adversarial, 0},
       {"wide-fanin", entry_kind::adversarial, 0},
       {"purge-stress", entry_kind::adversarial, 0},
@@ -189,7 +204,7 @@ manifest builtin_manifest() {
     e.futures = prog->futures;
     e.granule = 4;
     e.seed = sp.seed;
-    e.trace_file = e.name + ".frdt";
+    e.trace_file = e.name + (sp.compressed ? ".frdtz" : ".frdt");
     e.golden_file = e.name + ".golden";
     e.provenance = prog->description;
     m.entries.push_back(std::move(e));

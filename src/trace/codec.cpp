@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "container/source.hpp"
 #include "support/granule.hpp"
 
 namespace frd::trace {
@@ -364,6 +365,8 @@ bool jsonl_reader::next(trace_event& e) {
 std::unique_ptr<trace_source> open_source(std::istream& in) {
   const int first = in.peek();
   if (first == '{') return std::make_unique<jsonl_reader>(in);
+  if (container::looks_like_container(in))
+    return std::make_unique<container::container_source>(in);
   return std::make_unique<trace_reader>(in);
 }
 

@@ -90,6 +90,60 @@ for store in sharded compact; do
   fi
 done
 
+# ----------------------------------------------- .frdtz container surface --
+
+expect_rc 2 "frd-trace pack without --out" "$FRD_TRACE" pack "$TMP/demo.frdt"
+expect_rc 1 "frd-trace pack on a missing file" \
+  "$FRD_TRACE" pack "$TMP/nope.frdt" --out "$TMP/nope.frdtz"
+[ -e "$TMP/nope.frdtz" ] && fail "failed pack left a partial artifact behind"
+expect_rc 2 "frd-trace unpack without --out" "$FRD_TRACE" unpack "$TMP/demo.frdtz"
+expect_rc 1 "frd-trace unpack rejects a flat trace" \
+  "$FRD_TRACE" unpack "$TMP/demo.frdt" --out "$TMP/flat.frdt"
+expect_rc 2 "frd-trace record rejects --compress with --format jsonl" \
+  "$FRD_TRACE" record --program demo --compress --format jsonl \
+  --out "$TMP/x.frdtz"
+
+# pack -> unpack must reproduce the flat trace byte for byte.
+expect_rc 0 "frd-trace pack wraps the demo trace" \
+  "$FRD_TRACE" pack "$TMP/demo.frdt" --out "$TMP/demo.frdtz"
+expect_rc 0 "frd-trace unpack restores the flat trace" \
+  "$FRD_TRACE" unpack "$TMP/demo.frdtz" --out "$TMP/demo.roundtrip.frdt"
+cmp -s "$TMP/demo.frdt" "$TMP/demo.roundtrip.frdt" ||
+  fail "pack/unpack round trip is not byte-identical"
+
+# Replay auto-detects the container and agrees with the flat replay.
+"$FRD_TRACE" run "$TMP/demo.frdtz" >"$TMP/run_frdtz.txt" 2>&1 ||
+  fail "replaying the packed demo trace (container auto-detect)"
+if ! diff <(grep '^races:' "$TMP/run_bin.txt") \
+          <(grep '^races:' "$TMP/run_frdtz.txt") >/dev/null; then
+  fail "flat and container replays of the same trace disagree on races"
+fi
+
+# record --compress writes a container directly.
+expect_rc 0 "frd-trace record --compress writes a container" \
+  "$FRD_TRACE" record --program demo --compress --out "$TMP/rec.frdtz"
+expect_rc 0 "frd-trace run replays a recorded container" \
+  "$FRD_TRACE" run "$TMP/rec.frdtz"
+
+# stats on a container reports the container section.
+expect_rc 0 "frd-trace stats reads the container" \
+  "$FRD_TRACE" stats "$TMP/demo.frdtz"
+grep -q '^container:' "$TMP/out" ||
+  fail "stats on a .frdtz must print the container section"
+grep -q 'ratio' "$TMP/out" ||
+  fail "stats on a .frdtz must print the compression ratio"
+
+# A corrupted container must be rejected with a named diagnosis.
+cp "$TMP/demo.frdtz" "$TMP/bad.frdtz"
+printf 'X' | dd of="$TMP/bad.frdtz" bs=1 seek=20 conv=notrunc 2>/dev/null
+expect_rc 1 "frd-trace run rejects a corrupted container" \
+  "$FRD_TRACE" run "$TMP/bad.frdtz"
+grep -q 'corrupt trace container' "$TMP/err" ||
+  fail "corrupted-container error must name the container layer"
+head -c 40 "$TMP/demo.frdtz" >"$TMP/cut.frdtz"
+expect_rc 1 "frd-trace run rejects a truncated container" \
+  "$FRD_TRACE" run "$TMP/cut.frdtz"
+
 # ------------------------------------------------------------ frd-corpus --
 
 expect_rc 2 "frd-corpus with no arguments prints usage" "$FRD_CORPUS"

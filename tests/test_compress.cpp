@@ -90,10 +90,73 @@ TEST(Lz, MixedRedundancyRoundTrips) {
   EXPECT_LT(c.size(), in.size());
 }
 
-TEST(LzDeath, RejectsCorruptStream) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
-  std::vector<std::uint8_t> garbage{0x02, 0x10, 0xFF};  // match past history
-  EXPECT_DEATH((void)lz_decompress(garbage), "match distance|truncated");
+// Corrupt input is a recoverable decode_error, never an abort: container
+// chunks come off disk untrusted.
+TEST(LzDecodeError, RejectsCorruptStreams) {
+  auto reject = [](std::vector<std::uint8_t> bytes) {
+    EXPECT_THROW((void)lz_decompress(bytes), decode_error);
+  };
+  // Match whose varint distance is truncated.
+  reject({0x02, 0x10, 0xFF});
+  // Match reaching past the produced history.
+  reject({0x02, 0x04, 0x10, 0x00});
+  // Zero distance is never valid.
+  reject({0x01, 0x01, 'x', 0x02, 0x02, 0x00, 0x00});
+  // Literal run claiming more bytes than the stream holds.
+  reject({0x01, 0x7F, 'a', 'b'});
+  // Unknown opcode.
+  reject({0x03});
+  // Missing end opcode.
+  reject({0x01, 0x01, 'x'});
+  // Empty stream is also missing its end opcode.
+  reject({});
+  // A varint spread over more than 64 bits of payload.
+  std::vector<std::uint8_t> wide{0x01};
+  for (int i = 0; i < 10; ++i) wide.push_back(0x80);
+  wide.push_back(0x01);
+  reject(wide);
+}
+
+TEST(LzDecodeError, MaxOutputBoundsDecodedSize) {
+  std::vector<std::uint8_t> in(500, 'a');
+  auto c = lz_compress<none>(in);
+  EXPECT_EQ(lz_decompress(c, 500).size(), 500u);
+  // One byte short: the RLE match would overflow the declared bound.
+  EXPECT_THROW((void)lz_decompress(c, 499), decode_error);
+  // A pure-literal stream overflowing the bound is caught too.
+  const std::vector<std::uint8_t> lit{0x01, 0x03, 'x', 'y', 'z', 0x00};
+  EXPECT_THROW((void)lz_decompress(lit, 2), decode_error);
+}
+
+TEST(Lz, WindowBoundaryMatches) {
+  // A motif recurring at exactly the 64 KiB window edge: the second copy is
+  // the farthest back-reference the format can emit. Either the matcher
+  // finds it or falls back to literals — the round-trip must hold both ways.
+  constexpr std::size_t kWindow = detail::kWindow;
+  prng rng(31);
+  std::vector<std::uint8_t> motif(256);
+  for (auto& b : motif) b = static_cast<std::uint8_t>(rng.next());
+
+  for (std::size_t gap : {kWindow - motif.size(), kWindow - motif.size() + 1,
+                          kWindow, kWindow + 1}) {
+    std::vector<std::uint8_t> in(motif);
+    while (in.size() < motif.size() + gap)
+      in.push_back(static_cast<std::uint8_t>(rng.next()));
+    in.insert(in.end(), motif.begin(), motif.end());
+    auto c = lz_compress<none>(in);
+    EXPECT_EQ(lz_decompress(c), in) << "gap " << gap;
+  }
+}
+
+TEST(Lz, MaxLengthLiteralRun) {
+  // Incompressible data long enough that the final literal run's varint
+  // needs several bytes; decode must reproduce it exactly.
+  prng rng(77);
+  std::vector<std::uint8_t> in(300000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+  auto c = lz_compress<none>(in);
+  auto out = lz_decompress(c, in.size());
+  EXPECT_EQ(out, in);
 }
 
 TEST(Lz, InstrumentedVariantProducesIdenticalOutput) {
@@ -174,6 +237,59 @@ TEST(Chunker, InsertionOnlyShiftsLocalChunks) {
     for (auto g : h2)
       if (h == g) ++common;
   EXPECT_GE(common, 8) << "content-defined boundaries must resynchronize";
+}
+
+TEST(StreamChunker, MatchesChunkBytesExactly) {
+  // The incremental chunker must find the very cut points chunk_bytes does —
+  // the container writer depends on it.
+  prng rng(42);
+  std::vector<std::uint8_t> data(300000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  auto whole = chunk_bytes(data);
+
+  stream_chunker ck;
+  std::vector<std::size_t> cut_offsets;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (ck.push(data[i])) cut_offsets.push_back(i + 1);
+  if (ck.pending() > 0) cut_offsets.push_back(data.size());
+
+  ASSERT_EQ(cut_offsets.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i)
+    EXPECT_EQ(cut_offsets[i], whole[i].offset + whole[i].size) << i;
+}
+
+TEST(StreamChunker, CutsAreIndependentOfFeedAlignment) {
+  // Push the same bytes in wildly different batch sizes: identical cuts.
+  prng rng(1234);
+  std::vector<std::uint8_t> data(120000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+  auto cuts_with_batches = [&](std::size_t batch) {
+    stream_chunker ck;
+    std::vector<std::size_t> cuts;
+    // The chunker is byte-at-a-time; "batching" here exercises restarts of
+    // the feeding loop at every alignment batch induces.
+    for (std::size_t start = 0; start < data.size(); start += batch)
+      for (std::size_t i = start;
+           i < std::min(start + batch, data.size()); ++i)
+        if (ck.push(data[i])) cuts.push_back(i + 1);
+    return cuts;
+  };
+  const auto one = cuts_with_batches(1);
+  for (std::size_t batch : {7u, 1024u, 4096u, 65536u})
+    EXPECT_EQ(cuts_with_batches(batch), one) << "batch " << batch;
+}
+
+TEST(StreamChunker, PendingTracksOpenChunk) {
+  stream_chunker ck;
+  EXPECT_EQ(ck.pending(), 0u);
+  std::size_t expect = 0;
+  prng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const bool cut = ck.push(static_cast<std::uint8_t>(rng.next()));
+    expect = cut ? 0 : expect + 1;
+    ASSERT_EQ(ck.pending(), expect);
+  }
 }
 
 TEST(Chunker, GearTableIsDeterministic) {

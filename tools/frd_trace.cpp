@@ -2,25 +2,35 @@
 //
 //   frd-trace record --program demo --out demo.frdt [--backend multibags+]
 //                    [--granule 4] [--seed 1] [--format binary|jsonl]
-//   frd-trace run   <trace> [--backend multibags+]
-//   frd-trace dump  <trace>              # JSONL to stdout
-//   frd-trace stats <trace>              # event-kind histogram + totals
+//                    [--compress]
+//   frd-trace run    <trace> [--backend multibags+]
+//   frd-trace dump   <trace>             # JSONL to stdout
+//   frd-trace stats  <trace>             # event-kind histogram + totals;
+//                                        # chunk/dedup stats for containers
+//   frd-trace pack   <trace> --out FILE  # any format -> .frdtz container
+//   frd-trace unpack <frdtz> --out FILE  # container -> the original .frdt
 //
 // A trace is a shareable repro artifact: `record` captures one of the
 // built-in programs (demo — a deterministic racy mix of spawns, syncs, and
 // escaping futures — or a seeded fuzz program), `run` replays it through any
 // registered backend with no user code executing, and `dump`/`stats` make it
-// reviewable. Binary and JSONL inputs are auto-detected.
+// reviewable. Binary, JSONL, and .frdtz container inputs are auto-detected
+// everywhere a trace is read; `--compress` records straight into a
+// container, and pack/unpack convert losslessly (unpack reproduces the
+// packed .frdt byte-for-byte).
 #include <array>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "api/session.hpp"
+#include "container/source.hpp"
+#include "container/writer.hpp"
 #include "detect/registry.hpp"
 #include "graph/fuzz.hpp"
 #include "shadow/store.hpp"
@@ -38,10 +48,12 @@ int usage(const char* prog) {
                "usage: %s <command> ...\n"
                "  record --program demo|fuzz|fuzz-general --out FILE\n"
                "         [--backend NAME] [--granule N] [--seed N]\n"
-               "         [--format binary|jsonl]\n"
-               "  run   FILE [--backend NAME] [--store NAME] [--shard-bits N]\n"
-               "  dump  FILE\n"
-               "  stats FILE\n",
+               "         [--format binary|jsonl] [--compress]\n"
+               "  run    FILE [--backend NAME] [--store NAME] [--shard-bits N]\n"
+               "  dump   FILE\n"
+               "  stats  FILE\n"
+               "  pack   FILE --out FILE   (any trace -> .frdtz container)\n"
+               "  unpack FILE --out FILE   (.frdtz container -> .frdt)\n",
                prog);
   return 2;
 }
@@ -130,6 +142,8 @@ int cmd_record(int argc, char** argv) {
   auto& granule = flags.int_flag("granule", 4, "shadow granule (bytes)");
   auto& seed = flags.int_flag("seed", 1, "fuzz seed");
   auto& format = flags.string_flag("format", "binary", "binary | jsonl");
+  auto& do_compress = flags.bool_flag(
+      "compress", false, "write a .frdtz container instead of a flat trace");
   flags.parse();
   // Every input is validated (and the session constructed — bad backend
   // names throw here) BEFORE the output file is created, so no failure mode
@@ -144,6 +158,12 @@ int cmd_record(int argc, char** argv) {
   }
   if (format != "binary" && format != "jsonl") {
     std::fprintf(stderr, "record: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (do_compress && format == "jsonl") {
+    std::fprintf(stderr,
+                 "record: --compress wraps the binary codec; drop "
+                 "--format jsonl\n");
     return 2;
   }
   if (granule < 1 || !frd::valid_granule(static_cast<std::size_t>(granule))) {
@@ -163,7 +183,9 @@ int cmd_record(int argc, char** argv) {
   const trace::trace_header header{
       trace::kTraceVersion, static_cast<std::uint32_t>(granule)};
   std::unique_ptr<trace::trace_sink> sink;
-  if (format == "binary") {
+  if (do_compress) {
+    sink = std::make_unique<container::container_writer>(out, header);
+  } else if (format == "binary") {
     sink = std::make_unique<trace::trace_writer>(out, header);
   } else {
     sink = std::make_unique<trace::jsonl_writer>(out, header);
@@ -191,7 +213,7 @@ int cmd_record(int argc, char** argv) {
   }
 
   std::printf("recorded '%s' to %s (%s)\n", program.c_str(), out_path.c_str(),
-              format.c_str());
+              do_compress ? "container" : format.c_str());
   print_report(s, 0);
   return 0;
 }
@@ -240,6 +262,9 @@ int cmd_dump(const std::string& path) {
   out.finish();  // surfaces a failed stdout (redirected to a full disk, ...)
   return 0;
 }
+
+void print_container_stats(const container::container_info& ci,
+                           std::uint64_t file_size, bool per_chunk);
 
 int cmd_stats(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -290,6 +315,140 @@ int cmd_stats(const std::string& path) {
                 std::string(to_string(static_cast<trace::event_kind>(k))).c_str(),
                 static_cast<unsigned long long>(counts[k]));
   }
+  // Containers get a second section: what the chunk layer did to the bytes.
+  if (const auto* cs = dynamic_cast<container::container_source*>(src.get())) {
+    in.clear();
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    print_container_stats(cs->info(), file_size, /*per_chunk=*/false);
+  }
+  return 0;
+}
+
+void print_container_stats(const container::container_info& ci,
+                           std::uint64_t file_size, bool per_chunk) {
+  std::set<std::uint64_t> seen;
+  std::uint64_t lz_unique = 0, raw_unique = 0;
+  for (const auto& c : ci.chunks) {
+    if (!seen.insert(c.offset).second) continue;
+    ++(c.encoding == container::chunk_encoding::lz ? lz_unique : raw_unique);
+  }
+  const std::uint64_t hits = ci.dedup_hits();
+  std::printf("container: %llu chunks (%llu unique: %llu lz, %llu raw)\n",
+              static_cast<unsigned long long>(ci.chunks.size()),
+              static_cast<unsigned long long>(ci.chunks.size() - hits),
+              static_cast<unsigned long long>(lz_unique),
+              static_cast<unsigned long long>(raw_unique));
+  std::printf("  raw stream:    %llu bytes in %llu events\n",
+              static_cast<unsigned long long>(ci.raw_size),
+              static_cast<unsigned long long>(ci.event_count));
+  std::printf("  stored:        %llu payload bytes, %llu on disk (ratio "
+              "%.2fx)\n",
+              static_cast<unsigned long long>(ci.payload_bytes()),
+              static_cast<unsigned long long>(file_size),
+              ci.compression_ratio(file_size));
+  std::printf("  dedup:         %llu hits (%.1f%% of chunks), %llu raw bytes "
+              "saved\n",
+              static_cast<unsigned long long>(hits),
+              ci.chunks.empty() ? 0.0
+                                : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(ci.chunks.size()),
+              static_cast<unsigned long long>(ci.dedup_saved_raw_bytes()));
+  if (!per_chunk) return;
+  std::printf("  %-5s %-10s %-9s %-9s %-11s %s\n", "chunk", "offset",
+              "stored", "raw", "first-ev", "enc");
+  for (std::size_t i = 0; i < ci.chunks.size(); ++i) {
+    const auto& c = ci.chunks[i];
+    std::printf("  %-5zu %-10llu %-9llu %-9llu %-11llu %s\n", i,
+                static_cast<unsigned long long>(c.offset),
+                static_cast<unsigned long long>(c.stored_size),
+                static_cast<unsigned long long>(c.raw_size),
+                static_cast<unsigned long long>(c.first_event),
+                c.encoding == container::chunk_encoding::lz ? "lz" : "raw");
+  }
+}
+
+int cmd_pack(const std::string& path, int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& out_path = flags.string_flag("out", "", "output .frdtz (required)");
+  auto& chunks = flags.bool_flag("chunks", false, "print the chunk table");
+  flags.parse();
+  if (out_path.empty()) {
+    std::fprintf(stderr, "pack: --out is required\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pack: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  auto src = trace::open_source(in);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "pack: cannot open '%s' for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  try {
+    container::container_writer cw(out, src->header());
+    trace::trace_event e;
+    while (src->next(e)) cw.put(e);
+    cw.finish();
+    out.close();
+    if (!out) throw trace::trace_error("writing '" + out_path + "' failed");
+
+    std::ifstream packed(out_path, std::ios::binary | std::ios::ate);
+    const auto file_size = static_cast<std::uint64_t>(packed.tellg());
+    std::printf("packed %s -> %s\n", path.c_str(), out_path.c_str());
+    print_container_stats(cw.info(), file_size, chunks);
+  } catch (...) {
+    // Same no-partial-artifact contract as record.
+    out.close();
+    std::remove(out_path.c_str());
+    throw;
+  }
+  return 0;
+}
+
+int cmd_unpack(const std::string& path, int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& out_path = flags.string_flag("out", "", "output .frdt (required)");
+  flags.parse();
+  if (out_path.empty()) {
+    std::fprintf(stderr, "unpack: --out is required\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "unpack: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  if (!container::looks_like_container(in)) {
+    std::fprintf(stderr, "unpack: '%s' is not a .frdtz container\n",
+                 path.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "unpack: cannot open '%s' for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  try {
+    const container::container_info ci = container::unpack(in, out);
+    out.close();
+    if (!out) throw trace::trace_error("writing '" + out_path + "' failed");
+    std::printf("unpacked %s -> %s (%llu bytes, %llu events, %zu chunks "
+                "verified)\n",
+                path.c_str(), out_path.c_str(),
+                static_cast<unsigned long long>(ci.raw_size),
+                static_cast<unsigned long long>(ci.event_count),
+                ci.chunks.size());
+  } catch (...) {
+    out.close();
+    std::remove(out_path.c_str());
+    throw;
+  }
   return 0;
 }
 
@@ -300,7 +459,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "record") return cmd_record(argc - 1, argv + 1);
-    if (cmd == "run" || cmd == "dump" || cmd == "stats") {
+    if (cmd == "run" || cmd == "dump" || cmd == "stats" || cmd == "pack" ||
+        cmd == "unpack") {
       if (argc < 3 || argv[2][0] == '-') {
         std::fprintf(stderr, "%s: expected a trace file argument\n",
                      cmd.c_str());
@@ -309,6 +469,8 @@ int main(int argc, char** argv) {
       const std::string path = argv[2];
       if (cmd == "run") return cmd_run(path, argc - 2, argv + 2);
       if (cmd == "dump") return cmd_dump(path);
+      if (cmd == "pack") return cmd_pack(path, argc - 2, argv + 2);
+      if (cmd == "unpack") return cmd_unpack(path, argc - 2, argv + 2);
       return cmd_stats(path);
     }
   } catch (const std::exception& e) {

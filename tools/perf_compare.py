@@ -45,7 +45,15 @@ DEFAULT_BATCH = 256
 
 def load_rows(path, default_store):
     """(trace, backend) -> events_per_sec for default-store, default-batch
-    rows of one replay snapshot."""
+    rows of one replay snapshot.
+
+    Newer snapshots may carry extra row fields ("format" — frdt vs frdtz
+    container vs in-memory — or "container" details); those never affect
+    matching. Replay throughput is measured after decode, so a trace is the
+    same trajectory point whether its artifact was flat or compressed. If a
+    snapshot ever benches two artifact forms of the same (trace, backend),
+    the first row wins so the pair still maps to one comparable number.
+    """
     with open(path) as f:
         snap = json.load(f)
     rows = {}
@@ -56,7 +64,7 @@ def load_rows(path, default_store):
             continue
         eps = float(row["events_per_sec"])
         if eps > 0:
-            rows[(row["trace"], row["backend"])] = eps
+            rows.setdefault((row["trace"], row["backend"]), eps)
     return rows
 
 
