@@ -46,11 +46,16 @@ void session::record_to(trace::trace_sink& out) {
 }
 
 std::uint64_t session::replay(trace::trace_source& src) {
+  return replay(src, replay_checkpoint{});
+}
+
+std::uint64_t session::replay(trace::trace_source& src,
+                              const replay_checkpoint& cp) {
   FRD_CHECK_MSG(rt_ == nullptr,
                 "replay needs a fresh session: this one already built its "
                 "runtime (run() was called or recording is set up)");
   FRD_CHECK_MSG(mode_ == session_mode::live,
-                "a session records or replays exactly once");
+                "a session records or replays exactly once (reset() first)");
   if (src.header().granule != opt_.granule) {
     throw trace::trace_error(
         "trace was recorded at granule " + std::to_string(src.header().granule) +
@@ -59,7 +64,31 @@ std::uint64_t session::replay(trace::trace_source& src) {
   }
   mode_ = session_mode::replay;
   trace::trace_player player(src, opt_.replay_batch);
-  return player.play(build_listener(), det_.get()).events;
+  if (cp.every_events == 0 || !cp.fn) {
+    return player.play(build_listener(), det_.get()).events;
+  }
+  return player
+      .play(build_listener(), det_.get(), cp.every_events,
+            [&](const trace::trace_player::stats& st) {
+              cp.fn(st.events, st.accesses);
+            })
+      .events;
+}
+
+// Pristine state, same options: the detector resets in place (fresh backend
+// instance, fresh shadow store, cleared report and caches), the runtime /
+// recorder / mux / extra listeners are dropped entirely — they are
+// per-run wiring, and the next run rebuilds them. The backend_info pointer
+// and options survive, so a pooled session recycles without re-resolving
+// anything.
+void session::reset() {
+  det_->reset(info_->make());
+  recorder_.reset();
+  mux_.reset();
+  rt_.reset();
+  extras_.clear();
+  mode_ = session_mode::live;
+  sink_ = det_.get();
 }
 
 // The one definition of who observes this session's event stream — live

@@ -33,11 +33,17 @@
 //            backend and granule yields a race report identical to the live
 //            run that recorded it.
 //
-// Sessions are one-shot like the ids the runtime mints: construct a fresh
-// session per detection run (and per replay).
+// A session performs one detection run — the ids the runtime mints are
+// one-shot — but the OBJECT is recyclable: reset() returns it to the
+// pristine post-construction state under the same options (fresh backend
+// and shadow state, cleared report and caches), after which it can run,
+// record, or replay again. The ingest daemon's session pool (src/serve/)
+// recycles sessions across client streams exactly this way; everyone else
+// can keep constructing a fresh session per run.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -133,6 +139,37 @@ class session {
   // per recorded granule event — so it exceeds the live count when accesses
   // spanned granule boundaries at record time.
   std::uint64_t replay(trace::trace_source& src);
+
+  // Periodic observation hook for long replays: `fn` fires with the running
+  // (events, accesses) totals roughly every `every_events` consumed events.
+  // An exception thrown from the callback aborts the replay and propagates
+  // out of replay() — the ingest daemon enforces per-stream memory budgets
+  // by throwing here. every_events == 0 (or a null fn) disables it.
+  struct replay_checkpoint {
+    std::uint64_t every_events = 0;
+    std::function<void(std::uint64_t events, std::uint64_t accesses)> fn;
+  };
+  std::uint64_t replay(trace::trace_source& src, const replay_checkpoint& cp);
+
+  // Returns the session to its pristine post-construction state under the
+  // same options: fresh backend and shadow store (pages and arenas
+  // released), report/counters/query-plane caches cleared (retaining buffer
+  // capacity), mode back to live, recorder and extra listeners detached.
+  // After reset() the session can run, record, or replay again — the seam
+  // that lets the ingest daemon's pool recycle sessions across streams.
+  void reset();
+
+  // Memory accounting snapshot (shadow pages, store arena bytes, report
+  // capacity in use) — the counters the serve daemon's per-session budget
+  // enforcement reads; `frd-trace run` prints them.
+  detect::memory_stats memory_stats() const { return det_->memory(); }
+
+  // Incremental race observer: invoked once per recorded race, in encounter
+  // order (see detector::set_race_sink). Cleared by reset() — a per-run
+  // capture must not fire for the next pooled stream.
+  void set_race_sink(std::function<void(const detect::race&)> sink) {
+    det_->set_race_sink(std::move(sink));
+  }
 
   session_mode mode() const { return mode_; }
 

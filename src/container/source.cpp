@@ -51,13 +51,10 @@ std::vector<char> load_chunk(std::istream& file, const chunk_entry& entry,
 
 // ---------------------------------------------------- chunk_feed_streambuf --
 
-container_source::chunk_feed_streambuf::int_type
-container_source::chunk_feed_streambuf::underflow() {
-  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-  if (next_ >= info_.chunks.size()) return traits_type::eof();
-  const chunk_entry& entry = info_.chunks[next_];
-  chunk_ = load_chunk(file_, entry, next_);
-  ++next_;
+void container_source::chunk_feed_streambuf::load(std::size_t index) {
+  const chunk_entry& entry = info_.chunks[index];
+  chunk_ = load_chunk(file_, entry, index);
+  next_ = index + 1;
   // stored + raw coexist inside load_chunk; charge both to the high-water
   // mark even though the stored copy is gone by the time we return.
   const std::uint64_t resident =
@@ -65,8 +62,28 @@ container_source::chunk_feed_streambuf::underflow() {
           ? entry.stored_size + entry.raw_size
           : entry.raw_size;
   if (resident > max_resident_) max_resident_ = resident;
+}
+
+container_source::chunk_feed_streambuf::int_type
+container_source::chunk_feed_streambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (next_ >= info_.chunks.size()) return traits_type::eof();
+  load(next_);
   setg(chunk_.data(), chunk_.data(), chunk_.data() + chunk_.size());
   return traits_type::to_int_type(*gptr());
+}
+
+void container_source::chunk_feed_streambuf::reposition(
+    std::size_t chunk_index, std::uint64_t intra_offset) {
+  load(chunk_index);
+  if (intra_offset >= chunk_.size()) {
+    throw trace_error("corrupt trace container: seek offset " +
+                      std::to_string(intra_offset) + " lands past chunk " +
+                      std::to_string(chunk_index) + "'s " +
+                      std::to_string(chunk_.size()) + " raw bytes");
+  }
+  setg(chunk_.data(), chunk_.data() + intra_offset,
+       chunk_.data() + chunk_.size());
 }
 
 // -------------------------------------------------------- container_source --
@@ -89,6 +106,45 @@ container_source::container_source(std::istream& in)
         std::to_string(info_.inner_version) + "/granule " +
         std::to_string(info_.granule) + " but the inner trace header says " +
         std::to_string(h.version) + "/" + std::to_string(h.granule));
+  }
+  header_ = h;
+}
+
+void container_source::seek_to_event(std::uint64_t n) {
+  if (n > info_.event_count) {
+    throw trace_error("seek to event " + std::to_string(n) +
+                      " past the end of a " +
+                      std::to_string(info_.event_count) + "-event container");
+  }
+  if (info_.seekable() && !info_.chunks.empty()) {
+    // Largest chunk whose first STARTING event is <= n and in which an event
+    // actually starts (first_offset < raw_size; start-free chunks only
+    // continue a spanning event). Chunk 0 always qualifies: it starts with
+    // event 0 right after the inner header bytes.
+    std::size_t lo = 0;
+    for (std::size_t i = 1; i < info_.chunks.size(); ++i) {
+      const chunk_entry& c = info_.chunks[i];
+      if (c.first_event > n) break;
+      if (c.first_offset < c.raw_size) lo = i;
+    }
+    buf_.reposition(lo, info_.chunks[lo].first_offset);
+    inner_stream_.clear();  // a prior read may have parked eofbit
+    reader_ = std::make_unique<trace::trace_reader>(inner_stream_, header_);
+    events_ = info_.chunks[lo].first_event;
+  } else if (n < events_) {
+    throw trace_error(
+        "cannot seek backwards in a version-1 trace container (no byte "
+        "index); repack it with `frd-trace pack` to gain the seek index");
+  }
+  // Decode-and-discard up to the target: at most one chunk's worth of events
+  // when the jump above ran, the whole remaining prefix on the v1 fallback.
+  trace::trace_event e;
+  while (events_ < n) {
+    if (!next(e)) {
+      throw trace_error("corrupt trace container: stream ended at event " +
+                        std::to_string(events_) + " while seeking to " +
+                        std::to_string(n));
+    }
   }
 }
 

@@ -32,6 +32,16 @@ class container_source final : public trace::trace_source {
   const trace::trace_header& header() const override;
   bool next(trace::trace_event& e) override;
 
+  // Positions the source so the NEXT next() call delivers event `n` (which
+  // may equal event_count: positioned at end). In a v2 container this jumps
+  // via the footer's per-chunk first_event/first_offset index and decodes at
+  // most one chunk's worth of events to land exactly on `n` — the prefix is
+  // never read. A v1 container has no byte index, so seeking degrades to
+  // decoding forward from the current position (and seeking backwards
+  // throws, suggesting a repack). Throws trace_error when `n` lies past the
+  // declared event count.
+  void seek_to_event(std::uint64_t n);
+
   const container_info& info() const { return info_; }
   std::uint64_t events_delivered() const { return events_; }
   // High-water mark of chunk bytes held at once (stored + decompressed).
@@ -45,10 +55,17 @@ class container_source final : public trace::trace_source {
         : file_(file), info_(info) {}
     std::uint64_t max_resident() const { return max_resident_; }
 
+    // Abandons the current read position: loads chunk `chunk_index` and
+    // resumes the byte stream `intra_offset` bytes into its raw content
+    // (the seek path; intra_offset must be < the chunk's raw size).
+    void reposition(std::size_t chunk_index, std::uint64_t intra_offset);
+
    protected:
     int_type underflow() override;
 
    private:
+    void load(std::size_t index);
+
     std::istream& file_;
     const container_info& info_;
     std::vector<char> chunk_;  // the current chunk, decompressed + verified
@@ -61,6 +78,12 @@ class container_source final : public trace::trace_source {
   chunk_feed_streambuf buf_;
   std::istream inner_stream_;
   std::unique_ptr<trace::trace_reader> reader_;
+  // Copy of the validated inner header: seek_to_event rebuilds the reader
+  // mid-stream, where the on-disk header bytes are behind us.
+  trace::trace_header header_;
+  // Absolute index of the next event next() will deliver — a cursor, not a
+  // delivered-count, so the end-of-stream event-count check stays valid
+  // after seeks.
   std::uint64_t events_ = 0;
 };
 

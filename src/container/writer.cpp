@@ -18,6 +18,7 @@ void container_writer::chunking_streambuf::push_byte(std::uint8_t b) {
   if (pending_start_) {
     if (!open_has_start_) {
       open_first_event_ = pending_event_;
+      open_first_offset_ = buf_.size();  // this byte begins that event
       open_has_start_ = true;
     }
     started_ = pending_event_ + 1;
@@ -26,7 +27,8 @@ void container_writer::chunking_streambuf::push_byte(std::uint8_t b) {
   buf_.push_back(b);
   ++raw_total_;
   if (chunker_.push(b)) {
-    owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_);
+    owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_,
+                      open_has_start_ ? open_first_offset_ : buf_.size());
     buf_.clear();
     open_has_start_ = false;
   }
@@ -48,7 +50,8 @@ std::streamsize container_writer::chunking_streambuf::xsputn(
 
 void container_writer::chunking_streambuf::flush_open_chunk() {
   if (buf_.empty()) return;
-  owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_);
+  owner_.emit_chunk(buf_, open_has_start_ ? open_first_event_ : started_,
+                    open_has_start_ ? open_first_offset_ : buf_.size());
   buf_.clear();
   open_has_start_ = false;
 }
@@ -98,11 +101,13 @@ void container_writer::put(const trace::trace_event& e) {
 }
 
 void container_writer::emit_chunk(const std::vector<std::uint8_t>& raw,
-                                  std::uint64_t first_event) {
+                                  std::uint64_t first_event,
+                                  std::uint64_t first_offset) {
   const compress::sha1_digest digest = compress::sha1(raw);
   chunk_entry entry;
   entry.raw_size = raw.size();
   entry.first_event = first_event;
+  entry.first_offset = first_offset;
   entry.digest = digest;
 
   if (const auto it = dedup_.find(digest); it != dedup_.end()) {

@@ -78,6 +78,8 @@ class container_writer final : public trace::trace_sink {
     // First event starting in the open chunk; `started_` is the index the
     // NEXT event to start will get, which is what a start-free chunk reports.
     std::uint64_t open_first_event_ = 0;
+    // Byte offset of that event within the open chunk (the v2 seek index).
+    std::uint64_t open_first_offset_ = 0;
     bool open_has_start_ = false;
     std::uint64_t pending_event_ = 0;
     bool pending_start_ = false;
@@ -85,9 +87,10 @@ class container_writer final : public trace::trace_sink {
   };
 
   // Dedups, compresses, and appends one finished chunk; records its table
-  // entry with `first_event`.
+  // entry with `first_event` / `first_offset` (the latter == raw.size() when
+  // no event starts in the chunk).
   void emit_chunk(const std::vector<std::uint8_t>& raw,
-                  std::uint64_t first_event);
+                  std::uint64_t first_event, std::uint64_t first_offset);
 
   std::ostream& out_;
   chunking_streambuf buf_;

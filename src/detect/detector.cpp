@@ -42,6 +42,43 @@ detector::detector(std::unique_ptr<reachability_backend> backend,
 
 detector::~detector() = default;
 
+memory_stats detector::memory() const {
+  memory_stats m;
+  m.store_bytes = shadow_->bytes_reserved();
+  m.store_pages = shadow_->page_count();
+  m.store_shards = shadow_->shard_count();
+  m.report_retained = report_.retained().size();
+  m.report_capacity = report_.max_retained();
+  m.query_cache_bytes = qcache_.capacity() * sizeof(cache_entry);
+  return m;
+}
+
+// Pristine state under the same config: the shadow store is re-created (the
+// one operation that releases its pages and arenas wholesale), the report
+// and query-plane buffers clear in place keeping capacity — that retained
+// capacity is what makes recycling a pooled session cheaper than
+// constructing a fresh one.
+void detector::reset(std::unique_ptr<reachability_backend> fresh_backend) {
+  FRD_CHECK_MSG(fresh_backend != nullptr,
+                "detector::reset needs a fresh reachability backend");
+  backend_ = std::move(fresh_backend);
+  shadow_ = shadow::store_registry::instance().create(
+      cfg_.shadow_store,
+      shadow::store_config{.page_bits = cfg_.shadow_page_bits,
+                           .granule_shift = granule_shift_of(cfg_.granule),
+                           .shard_bits = cfg_.shadow_shard_bits});
+  report_.reset();
+  fut_touched_.clear();
+  current_ = rt::kNoStrand;
+  accesses_ = 0;
+  gets_ = 0;
+  pending_.clear();
+  query_buf_.clear();
+  qcache_.clear();  // entries re-materialize zero-stamped (epoch-invalid)
+  qstats_ = {};
+  race_sink_ = nullptr;  // per-run observer; a stale capture must not leak
+}
+
 // ---------------------------------------------------------------------------
 // Event forwarding. The baseline level ignores everything so that a single
 // detector type serves all four configurations. The capability checks run
@@ -219,10 +256,12 @@ void detector::flush_pending() {
     FRD_DCHECK(e.stamp == stamp && e.state != kQueued);
     (void)stamp;
     if (e.state == kNotPreceding) {
-      report_.record(race{
-          c.addr, c.prior,
-          c.prior_is_write ? access_kind::write : access_kind::read, current_,
-          c.current_is_write ? access_kind::write : access_kind::read});
+      const race r{c.addr, c.prior,
+                   c.prior_is_write ? access_kind::write : access_kind::read,
+                   current_,
+                   c.current_is_write ? access_kind::write : access_kind::read};
+      report_.record(r);
+      if (race_sink_) race_sink_(r);
     }
   }
   pending_.clear();

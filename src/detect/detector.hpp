@@ -41,6 +41,7 @@
 // virtual call — see hooks::access_sink).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -81,6 +82,20 @@ struct query_plane_stats {
   std::uint64_t strands = 0;   // unique strands across all issued batches
 };
 
+// Memory accounting of one detection run — the counters the ingest daemon's
+// per-session budget enforcement reads (src/serve/) and `frd-trace run`
+// prints. store_bytes is the shadow store's reservation (page storage plus
+// its arenas); everything is a current snapshot, not a high-water mark.
+struct memory_stats {
+  std::size_t store_bytes = 0;       // shadow pages + store-owned arenas
+  std::size_t store_pages = 0;       // materialized shadow pages
+  std::size_t store_shards = 1;      // 1 for unsharded stores
+  std::size_t report_retained = 0;   // full race records currently kept
+  std::size_t report_capacity = 0;   // session::options::max_retained_races
+  std::size_t query_cache_bytes = 0; // epoch strand-cache storage
+  std::size_t total_bytes() const { return store_bytes + query_cache_bytes; }
+};
+
 class detector final : public rt::execution_listener, public hooks::access_sink {
  public:
   detector(std::unique_ptr<reachability_backend> backend, detector_config cfg);
@@ -104,6 +119,21 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
     return backend_->structured_violations();
   }
   const query_plane_stats& query_stats() const { return qstats_; }
+  memory_stats memory() const;
+
+  // Returns the detector to its pristine post-construction state under the
+  // same configuration, adopting `fresh_backend` (the old backend, shadow
+  // pages, and store arenas are released; counters, report, and query-plane
+  // caches clear but keep their capacity). frd::session::reset() drives this
+  // so pooled sessions recycle across runs.
+  void reset(std::unique_ptr<reachability_backend> fresh_backend);
+
+  // Optional observer invoked once per recorded race, in encounter order,
+  // right after the report records it — the ingest daemon's incremental
+  // report emission. The callback must not re-enter the detector.
+  void set_race_sink(std::function<void(const race&)> sink) {
+    race_sink_ = std::move(sink);
+  }
 
   // Memory hooks (hooks::access_sink; out of line on purpose: the call is
   // the instrumentation cost the paper's "instr" configuration measures).
@@ -176,6 +206,7 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   std::vector<cache_entry> qcache_;
   bool_buffer qout_;
   query_plane_stats qstats_;
+  std::function<void(const race&)> race_sink_;
 };
 
 }  // namespace frd::detect

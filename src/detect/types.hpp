@@ -95,6 +95,14 @@ class race_report {
   std::size_t max_retained() const { return max_retained_; }
   const std::vector<race>& retained() const { return races_; }
 
+  // Back to the post-construction state, keeping the retained buffer's
+  // capacity (session::reset recycles the report across pooled runs).
+  void reset() {
+    total_ = 0;
+    races_.clear();
+    racy_granules_.clear();
+  }
+
   // Distinct racy granules. The paper's per-location guarantee (§3): a race
   // is reported on l iff two parallel conflicting accesses to l exist; the
   // property tests compare this set against the exact reference detector.

@@ -30,8 +30,10 @@ class work_deque {
       r = grow(r, b, tp);
     }
     r->put(b, t);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store (not fence + relaxed): thieves acquire-load bottom_, so
+    // this publishes the task payload to them — and unlike a standalone
+    // fence, ThreadSanitizer models it, keeping the TSan CI job meaningful.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   task* pop() {
@@ -115,7 +117,10 @@ thread_local worker* tls_worker = nullptr;
 }  // namespace
 
 struct scheduler::impl {
-  explicit impl(unsigned n) {
+  // `owner` must be wired up before the pool threads spawn: pool_loop
+  // dereferences it for every executed task, and a post-construction
+  // assignment would race with an early steal.
+  impl(unsigned n, scheduler* owner) : owner_backref(owner) {
     if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
     for (unsigned i = 0; i < n; ++i) workers.push_back(std::make_unique<worker>(i));
     for (unsigned i = 1; i < n; ++i)
@@ -171,12 +176,11 @@ struct scheduler::impl {
   std::vector<std::unique_ptr<worker>> workers;
   std::vector<std::thread> threads;
   std::atomic<bool> stop{false};
-  scheduler* owner_backref = nullptr;
+  scheduler* const owner_backref;
 };
 
-scheduler::scheduler(unsigned workers) : impl_(std::make_unique<impl>(workers)) {
-  impl_->owner_backref = this;
-}
+scheduler::scheduler(unsigned workers)
+    : impl_(std::make_unique<impl>(workers, this)) {}
 
 scheduler::~scheduler() = default;
 

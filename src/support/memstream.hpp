@@ -1,0 +1,60 @@
+// imemstream: a seekable std::istream over caller-owned bytes.
+//
+// The trace codecs read from std::istream, and the .frdtz container reader
+// additionally REQUIRES seekability (it jumps to the trailer, footer, and
+// chunk offsets). std::istringstream would satisfy both but only by copying
+// the buffer into the stream; the ingest daemon replays traces it has
+// already buffered against a per-stream memory budget, where paying for a
+// second copy of a million-event trace is exactly the accounting error the
+// budget exists to prevent. This wrapper serves the caller's bytes in place.
+//
+// The viewed memory must stay alive and unchanged for the stream's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <streambuf>
+
+namespace frd {
+
+class memory_streambuf : public std::streambuf {
+ public:
+  memory_streambuf(const char* data, std::size_t size) {
+    char* p = const_cast<char*>(data);  // get area only; never written
+    setg(p, p, p + size);
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+    off_type base = 0;
+    if (dir == std::ios_base::cur) {
+      base = gptr() - eback();
+    } else if (dir == std::ios_base::end) {
+      base = egptr() - eback();
+    }
+    const off_type target = base + off;
+    if (target < 0 || target > egptr() - eback()) {
+      return pos_type(off_type(-1));
+    }
+    setg(eback(), eback() + target, egptr());
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+class imemstream : private memory_streambuf, public std::istream {
+ public:
+  imemstream(const void* data, std::size_t size)
+      : memory_streambuf(static_cast<const char*>(data), size),
+        std::istream(static_cast<memory_streambuf*>(this)) {}
+  explicit imemstream(std::span<const std::uint8_t> bytes)
+      : imemstream(bytes.data(), bytes.size()) {}
+};
+
+}  // namespace frd

@@ -132,6 +132,12 @@ trace_reader::trace_reader(std::istream& in) : in_(in) {
   header_.granule = static_cast<std::uint32_t>(granule);
 }
 
+trace_reader::trace_reader(std::istream& in, const trace_header& h)
+    : in_(in), header_(h) {
+  check_version(h.version);
+  check_granule(h.granule);
+}
+
 bool trace_reader::next(trace_event& e) {
   if (done_) return false;
   const int kind_byte = in_.get();

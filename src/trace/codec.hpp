@@ -63,6 +63,12 @@ class trace_reader final : public trace_source {
  public:
   // Reads and validates the header; throws trace_error on bad input.
   explicit trace_reader(std::istream& in);
+  // Mid-stream resume: adopts `h` (validated by whoever decoded the real
+  // header) and decodes events from the stream's CURRENT position, which
+  // must be an event boundary. The container seek path uses this — the
+  // header bytes live at the front of chunk 0, but after a seek decoding
+  // resumes at an arbitrary chunk's first event.
+  trace_reader(std::istream& in, const trace_header& h);
 
   const trace_header& header() const override { return header_; }
   bool next(trace_event& e) override;

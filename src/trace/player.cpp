@@ -25,7 +25,16 @@ std::uintptr_t checked_address(std::uint64_t addr) {
 
 trace_player::stats trace_player::play(rt::execution_listener* listener,
                                        detect::hooks::access_sink* sink) {
+  return play(listener, sink, 0, {});
+}
+
+trace_player::stats trace_player::play(
+    rt::execution_listener* listener, detect::hooks::access_sink* sink,
+    std::uint64_t every_events,
+    const std::function<void(const stats&)>& checkpoint) {
   const std::size_t granule = src_.header().granule;
+  std::uint64_t next_checkpoint =
+      (every_events && checkpoint) ? every_events : 0;
   stats st;
   std::vector<rt::child_record> children;
   std::vector<rt::strand_id> joins;
@@ -42,6 +51,10 @@ trace_player::stats trace_player::play(rt::execution_listener* listener,
   trace_event e;
   while (src_.next(e)) {
     ++st.events;
+    if (next_checkpoint && st.events >= next_checkpoint) {
+      checkpoint(st);
+      next_checkpoint = st.events + every_events;
+    }
     if (e.kind == event_kind::read || e.kind == event_kind::write) {
       ++st.accesses;
       batch.push_back(detect::hooks::access{

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "detect/hooks.hpp"
 #include "runtime/events.hpp"
@@ -47,6 +48,16 @@ class trace_player {
   // trace_error on malformed input (e.g. a sync_child run cut short).
   stats play(rt::execution_listener* listener,
              detect::hooks::access_sink* sink);
+
+  // Like play(), with a periodic checkpoint: `checkpoint` fires with the
+  // running stats roughly every `every_events` consumed events (never inside
+  // a flattened sync run, so the stream the listener saw is always
+  // well-formed at the callback). An exception thrown by the checkpoint
+  // aborts the replay and propagates — the ingest daemon's budget
+  // enforcement cancels over-budget streams exactly this way.
+  stats play(rt::execution_listener* listener, detect::hooks::access_sink* sink,
+             std::uint64_t every_events,
+             const std::function<void(const stats&)>& checkpoint);
 
   // Default longest run handed to the sink in one on_accesses call; bounds
   // the batch buffer while keeping the per-call amortization (real runs are

@@ -5,12 +5,13 @@
 # guarantees, and `frd-corpus verify`'s non-zero divergence exit naming the
 # backend and granule.
 #
-# usage: cli_tools_test.sh <frd-trace> <frd-corpus> <corpus-dir>
+# usage: cli_tools_test.sh <frd-trace> <frd-corpus> <corpus-dir> [frd-serve]
 set -u
 
 FRD_TRACE=$1
 FRD_CORPUS=$2
 CORPUS_DIR=$3
+FRD_SERVE=${4:-}
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -143,6 +144,88 @@ grep -q 'corrupt trace container' "$TMP/err" ||
 head -c 40 "$TMP/demo.frdtz" >"$TMP/cut.frdtz"
 expect_rc 1 "frd-trace run rejects a truncated container" \
   "$FRD_TRACE" run "$TMP/cut.frdtz"
+
+# ----------------------------------------------------- windowed replay --
+
+expect_rc 2 "frd-trace run rejects --to <= --from" \
+  "$FRD_TRACE" run "$TMP/demo.frdt" --from 10 --to 10
+expect_rc 2 "frd-trace run rejects a negative --from" \
+  "$FRD_TRACE" run "$TMP/demo.frdt" --from -1
+
+# --to alone is an exact prefix replay; --to beyond the end is the full run.
+"$FRD_TRACE" run "$TMP/demo.frdt" --to 999999 >"$TMP/run_prefix.txt" 2>&1 ||
+  fail "prefix replay with --to past the end"
+if ! diff <(grep '^races:' "$TMP/run_bin.txt") \
+          <(grep '^races:' "$TMP/run_prefix.txt") >/dev/null; then
+  fail "--to past the end must equal the full replay"
+fi
+"$FRD_TRACE" run "$TMP/demo.frdt" --to 3 >"$TMP/out" 2>&1 ||
+  fail "short prefix replay (--to 3)"
+grep -q '^window:' "$TMP/out" || fail "prefix replay must print the window"
+
+# --from > 0 degrades (explicitly) to the reachability-free conflict scan;
+# on a v2 container it seeks through the footer index first.
+"$FRD_TRACE" run "$TMP/demo.frdtz" --from 2 --to 20 >"$TMP/out" 2>&1 ||
+  fail "window conflict scan on a container"
+grep -q '^window scan:' "$TMP/out" && grep -q 'reachability-free' "$TMP/out" ||
+  fail "a --from window must label itself a reachability-free scan"
+
+# stats on a freshly packed container reports the seekable v2 index.
+"$FRD_TRACE" stats "$TMP/demo.frdtz" >"$TMP/out" 2>&1
+grep -q 'seekable event index' "$TMP/out" ||
+  fail "stats must report the v2 seek index"
+
+# --------------------------------------------------------- serve daemon --
+
+if [ -n "$FRD_SERVE" ]; then
+  SOCK="$TMP/frd.sock"
+  expect_rc 2 "frd-serve without --socket prints usage" "$FRD_SERVE"
+  expect_rc 2 "frd-trace submit without --socket" \
+    "$FRD_TRACE" submit "$TMP/demo.frdt"
+  expect_rc 1 "frd-trace submit with no daemon listening" \
+    "$FRD_TRACE" submit "$TMP/demo.frdt" --socket "$SOCK"
+  expect_rc 1 "frd-trace shutdown with no daemon listening" \
+    "$FRD_TRACE" shutdown --socket "$SOCK"
+
+  "$FRD_SERVE" --socket "$SOCK" --workers 2 >"$TMP/serve.log" 2>&1 &
+  SERVE_PID=$!
+  # Readiness: the daemon prints its listening line once the socket is live.
+  for _ in $(seq 1 50); do
+    grep -q 'listening on' "$TMP/serve.log" && break
+    sleep 0.1
+  done
+  grep -q 'listening on' "$TMP/serve.log" || fail "frd-serve never came up"
+
+  # A served replay must agree with the offline replay of the same trace.
+  "$FRD_TRACE" submit "$TMP/demo.frdt" --socket "$SOCK" \
+    >"$TMP/submit.txt" 2>&1 || fail "submitting the demo trace"
+  if ! diff <(grep '^races:' "$TMP/run_bin.txt") \
+            <(grep '^races:' "$TMP/submit.txt") >/dev/null; then
+    fail "served and offline replays disagree on races"
+  fi
+  # Containers are auto-detected over the wire too, and a golden written by
+  # the client matches the checked-in corpus golden byte for byte.
+  "$FRD_TRACE" submit "$CORPUS_DIR/mm-structured-xl.frdtz" --socket "$SOCK" \
+    --golden-out "$TMP/xl.golden" >/dev/null 2>&1 ||
+    fail "submitting the million-event container"
+  cmp -s "$TMP/xl.golden" "$CORPUS_DIR/mm-structured-xl.golden" ||
+    fail "served golden of mm-structured-xl is not byte-identical"
+  # One bad stream must not take the daemon down.
+  expect_rc 1 "submit rejects a truncated trace via the daemon" \
+    "$FRD_TRACE" submit "$TMP/cut.frdt" --socket "$SOCK"
+  expect_rc 0 "daemon still serves after a failed stream" \
+    "$FRD_TRACE" submit "$TMP/demo.frdt" --socket "$SOCK"
+
+  expect_rc 0 "frd-trace shutdown stops the daemon" \
+    "$FRD_TRACE" shutdown --socket "$SOCK"
+  wait "$SERVE_PID"
+  [ $? -eq 0 ] || fail "frd-serve exited non-zero after shutdown"
+  grep -q 'stopped:' "$TMP/serve.log" ||
+    fail "frd-serve must print its final stats line"
+  [ -e "$SOCK" ] && fail "frd-serve left its socket file behind"
+else
+  note "frd-serve binary not provided; skipping serve checks"
+fi
 
 # ------------------------------------------------------------ frd-corpus --
 

@@ -273,6 +273,117 @@ TEST(ContainerWriter, FirstEventIsMonotone) {
   EXPECT_LE(last, ci.event_count);
 }
 
+// ------------------------------------------------------------- seek index --
+
+// The v2 footer's per-chunk first_offset must always point inside (or at
+// the end of) its chunk, and a fresh pack of anything is seekable.
+TEST(ContainerSeek, V2FootersAreSeekable) {
+  const std::string packed = pack_bytes(repetitive_flat_trace(20, 3000));
+  const container_info ci = info_of(packed);
+  EXPECT_EQ(ci.container_version, kContainerVersion);
+  EXPECT_TRUE(ci.seekable());
+  for (const chunk_entry& c : ci.chunks) {
+    EXPECT_NE(c.first_offset, kNoFirstOffset);
+    EXPECT_LE(c.first_offset, c.raw_size);
+  }
+}
+
+// seek_to_event(n) must land exactly where a linear decode of n events
+// lands, for every interesting n: chunk starts, mid-chunk, 0, the end.
+TEST(ContainerSeek, SeekMatchesLinearDecode) {
+  const std::string packed = pack_bytes(repetitive_flat_trace(20, 3000));
+  const container_info ci = info_of(packed);
+  ASSERT_GT(ci.chunks.size(), 3u);
+
+  // Reference: the full event sequence by linear decode.
+  std::vector<trace::trace_event> all;
+  {
+    std::istringstream in(packed, std::ios::binary);
+    container_source src(in);
+    trace::trace_event e;
+    while (src.next(e)) all.push_back(e);
+  }
+  ASSERT_EQ(all.size(), ci.event_count);
+
+  std::vector<std::uint64_t> targets = {0, 1, ci.event_count / 2,
+                                        ci.event_count - 1, ci.event_count};
+  for (std::size_t i = 1; i < ci.chunks.size() && i < 4; ++i) {
+    targets.push_back(ci.chunks[i].first_event);      // chunk boundary
+    targets.push_back(ci.chunks[i].first_event + 7);  // a bit past it
+  }
+  for (const std::uint64_t n : targets) {
+    std::istringstream in(packed, std::ios::binary);
+    container_source src(in);
+    src.seek_to_event(n);
+    trace::trace_event e;
+    std::uint64_t at = n;
+    while (src.next(e)) {
+      ASSERT_LT(at, all.size()) << "seek(" << n << ") overran the trace";
+      EXPECT_EQ(e.kind, all[at].kind)
+          << "seek(" << n << ") diverged at event " << at;
+      if (e.kind == trace::event_kind::read) {
+        EXPECT_EQ(e.access.addr, all[at].access.addr)
+            << "seek(" << n << ") diverged at event " << at;
+      }
+      ++at;
+    }
+    EXPECT_EQ(at, all.size()) << "seek(" << n << ") delivered a short tail";
+  }
+}
+
+// Seeking backwards — including after the source already hit end-of-stream
+// (the eofbit case) — must work on a v2 container, repeatedly.
+TEST(ContainerSeek, BackwardSeekAfterEofRewinds) {
+  const std::string packed = pack_bytes(repetitive_flat_trace(20, 3000));
+  std::istringstream in(packed, std::ios::binary);
+  container_source src(in);
+  trace::trace_event e;
+  std::uint64_t first_pass = 0;
+  while (src.next(e)) ++first_pass;
+  for (int round = 0; round < 3; ++round) {
+    src.seek_to_event(0);
+    std::uint64_t n = 0;
+    while (src.next(e)) ++n;
+    EXPECT_EQ(n, first_pass) << "rewind round " << round;
+  }
+  EXPECT_THROW(src.seek_to_event(first_pass + 1), trace::trace_error);
+}
+
+// A genuine version-1 container (no per-chunk offsets in the footer) still
+// decodes linearly and seeks forward — but a backward seek must refuse with
+// advice to repack, not silently rescan garbage.
+TEST(ContainerSeek, V1ContainersReadButSeekForwardOnly) {
+  const std::string packed = pack_bytes(repetitive_flat_trace(20, 3000));
+  container_info ci = info_of(packed);
+  ci.container_version = 1;  // encode_footer emits the v1 layout for this
+  std::string v1 = with_footer(packed, ci);
+  v1[sizeof(kMagic)] = 1;  // header version byte
+
+  const container_info parsed = info_of(v1);
+  EXPECT_EQ(parsed.container_version, 1u);
+  EXPECT_FALSE(parsed.seekable());
+  for (const chunk_entry& c : parsed.chunks) {
+    EXPECT_EQ(c.first_offset, kNoFirstOffset);
+  }
+
+  std::istringstream in(v1, std::ios::binary);
+  container_source src(in);
+  src.seek_to_event(100);  // forward: linear decode-and-discard
+  trace::trace_event e;
+  ASSERT_TRUE(src.next(e));
+  try {
+    src.seek_to_event(5);
+    FAIL() << "backward seek without an index must throw";
+  } catch (const trace::trace_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("repack"), std::string::npos)
+        << "error should tell the user the fix: " << ex.what();
+  }
+  // The whole v1 trace still replays: decode from where we are to the end.
+  std::uint64_t rest = 1;  // the event read above
+  while (src.next(e)) ++rest;
+  EXPECT_EQ(rest + 100, parsed.event_count);
+}
+
 TEST(ContainerWriter, EmptyTraceRoundTrips) {
   std::ostringstream out(std::ios::binary);
   {
@@ -298,8 +409,8 @@ TEST(ContainerErrors, BadMagic) {
 
 TEST(ContainerErrors, VersionSkew) {
   std::string packed = pack_bytes(repetitive_flat_trace(2, 50));
-  packed[4] = 2;  // version varint
-  expect_throws_naming(packed, "unsupported trace container version 2");
+  packed[4] = 3;  // version varint: one past anything this build reads
+  expect_throws_naming(packed, "unsupported trace container version 3");
 }
 
 TEST(ContainerErrors, TruncatedTrailer) {

@@ -1,0 +1,104 @@
+// frd-serve — the FutureRD detector as a long-running ingest daemon.
+//
+//   frd-serve --socket PATH [--workers N] [--budget-mb N] [--batch N]
+//
+// Listens on a Unix-domain socket for framed trace streams (serve/protocol),
+// replays each through a pooled, recycled frd::session, and streams races
+// back in encounter order. Clients: `frd-trace submit TRACE --socket PATH`
+// ships a trace and prints the report; `frd-trace shutdown --socket PATH`
+// stops the daemon (as do SIGINT/SIGTERM).
+//
+// Per-stream failures (malformed frames, unreadable traces, blown memory
+// budgets, disconnects) are answered with structured error frames and never
+// take the daemon down; the readiness line on stdout is the scripting
+// handshake ("listening on ..." means submissions will be accepted).
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "support/flags.hpp"
+
+int main(int argc, char** argv) {
+  frd::flag_parser flags(argc, argv);
+  auto& socket_path =
+      flags.string_flag("socket", "", "Unix socket path to listen on (required)");
+  auto& workers = flags.int_flag(
+      "workers", static_cast<std::int64_t>(
+                     std::max(2u, std::thread::hardware_concurrency() / 2)),
+      "replay worker threads");
+  auto& budget_mb = flags.int_flag(
+      "budget-mb", 0,
+      "per-stream memory budget in MiB, 0 = unlimited (clients may lower it)");
+  auto& batch = flags.int_flag("batch", 256, "replay batch size");
+  flags.parse();
+
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "frd-serve: --socket is required\n%s",
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (workers < 1 || workers > 256) {
+    std::fprintf(stderr, "frd-serve: --workers must be in [1, 256]\n");
+    return 2;
+  }
+  if (budget_mb < 0 || batch < 1) {
+    std::fprintf(stderr, "frd-serve: --budget-mb must be >= 0, --batch >= 1\n");
+    return 2;
+  }
+
+  // Signals: a dead client must surface as EPIPE (handled per stream), not
+  // SIGPIPE; INT/TERM are collected on a dedicated thread via sigwait so the
+  // stop path runs in a normal context, not a handler.
+  std::signal(SIGPIPE, SIG_IGN);
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGINT);
+  sigaddset(&stop_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+  frd::serve::server_options opt;
+  opt.socket_path = socket_path;
+  opt.workers = static_cast<unsigned>(workers);
+  opt.default_budget = static_cast<std::uint64_t>(budget_mb) << 20;
+  opt.replay_batch = static_cast<std::size_t>(batch);
+
+  frd::serve::server srv(opt);
+  try {
+    srv.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "frd-serve: %s\n", e.what());
+    return 1;
+  }
+
+  std::thread signal_thread([&] {
+    int sig = 0;
+    if (sigwait(&stop_signals, &sig) == 0) srv.request_stop();
+  });
+
+  if (opt.default_budget != 0) {
+    std::printf("frd-serve listening on %s (%u workers, %lld MiB/stream)\n",
+                socket_path.c_str(), opt.workers,
+                static_cast<long long>(budget_mb));
+  } else {
+    std::printf("frd-serve listening on %s (%u workers, unlimited budget)\n",
+                socket_path.c_str(), opt.workers);
+  }
+  std::fflush(stdout);
+
+  srv.wait();
+  srv.stop();
+  // The signal thread may still be parked in sigwait (shutdown came over the
+  // wire): poke it with the signal it is waiting for.
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+
+  const frd::serve::server_stats st = srv.stats();
+  std::printf("frd-serve stopped: %llu connections, %llu streams done, "
+              "%llu failed\n",
+              static_cast<unsigned long long>(st.connections),
+              static_cast<unsigned long long>(st.streams_completed),
+              static_cast<unsigned long long>(st.streams_failed));
+  return 0;
+}

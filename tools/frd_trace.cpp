@@ -3,12 +3,21 @@
 //   frd-trace record --program demo --out demo.frdt [--backend multibags+]
 //                    [--granule 4] [--seed 1] [--format binary|jsonl]
 //                    [--compress]
-//   frd-trace run    <trace> [--backend multibags+]
-//   frd-trace dump   <trace>             # JSONL to stdout
+//   frd-trace run    <trace> [--backend multibags+] [--from N] [--to M]
+//   frd-trace dump   <trace> [--from N] [--to M]    # JSONL to stdout
 //   frd-trace stats  <trace>             # event-kind histogram + totals;
 //                                        # chunk/dedup stats for containers
 //   frd-trace pack   <trace> --out FILE  # any format -> .frdtz container
 //   frd-trace unpack <frdtz> --out FILE  # container -> the original .frdt
+//
+// Windowed replay (--from/--to) is event-indexed. `--to M` alone replays the
+// exact prefix [0, M) with full detection — sound, identical to truncating
+// the trace. `--from N` with N > 0 cannot replay the dag prefix the
+// reachability structures need, so it degrades explicitly to a
+// reachability-free window conflict scan: granules with conflicting access
+// pairs inside the window (an overapproximation — logically ordered strands
+// are not excluded). On a v2 .frdtz container the seek uses the footer's
+// per-chunk event index instead of decoding the prefix.
 //
 // A trace is a shareable repro artifact: `record` captures one of the
 // built-in programs (demo — a deterministic racy mix of spawns, syncs, and
@@ -27,11 +36,14 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "api/session.hpp"
 #include "container/source.hpp"
 #include "container/writer.hpp"
+#include "corpus/golden.hpp"
 #include "detect/registry.hpp"
+#include "serve/client.hpp"
 #include "graph/fuzz.hpp"
 #include "shadow/store.hpp"
 #include "support/flags.hpp"
@@ -50,10 +62,14 @@ int usage(const char* prog) {
                "         [--backend NAME] [--granule N] [--seed N]\n"
                "         [--format binary|jsonl] [--compress]\n"
                "  run    FILE [--backend NAME] [--store NAME] [--shard-bits N]\n"
-               "  dump   FILE\n"
+               "         [--from N] [--to M]  (--from > 0: window conflict scan)\n"
+               "  dump   FILE [--from N] [--to M]\n"
                "  stats  FILE\n"
                "  pack   FILE --out FILE   (any trace -> .frdtz container)\n"
-               "  unpack FILE --out FILE   (.frdtz container -> .frdt)\n",
+               "  unpack FILE --out FILE   (.frdtz container -> .frdt)\n"
+               "  submit FILE --socket PATH [--backend NAME] [--store NAME]\n"
+               "         [--budget-mb N] [--golden-out FILE]  (frd-serve client)\n"
+               "  shutdown --socket PATH   (stop a running frd-serve)\n",
                prog);
   return 2;
 }
@@ -130,6 +146,147 @@ void print_report(const session& s, std::uint64_t events) {
               q.batches ? static_cast<double>(q.strands) /
                               static_cast<double>(q.batches)
                         : 0.0);
+  // Memory accounting (session::memory_stats) — the counters the serve
+  // daemon's per-stream budgets are enforced against.
+  const frd::detect::memory_stats m = s.memory_stats();
+  std::printf("memory:         %llu bytes (shadow %llu in %llu pages",
+              static_cast<unsigned long long>(m.total_bytes()),
+              static_cast<unsigned long long>(m.store_bytes),
+              static_cast<unsigned long long>(m.store_pages));
+  if (m.store_shards > 1) {
+    std::printf(" / %llu shards", static_cast<unsigned long long>(m.store_shards));
+  }
+  std::printf(", query cache %llu)\n",
+              static_cast<unsigned long long>(m.query_cache_bytes));
+  std::printf("report buffer:  %llu/%llu races retained\n",
+              static_cast<unsigned long long>(m.report_retained),
+              static_cast<unsigned long long>(m.report_capacity));
+}
+
+// Positions `src` so the next event delivered is event `from`: containers
+// seek through the footer's per-chunk index (v2) or decode-and-discard (v1);
+// flat traces always decode-and-discard. Returns how many events actually
+// exist in front of the target (== from unless the trace is shorter).
+std::uint64_t skip_to_event(trace::trace_source& src, std::uint64_t from) {
+  if (auto* cs = dynamic_cast<container::container_source*>(&src)) {
+    if (from > cs->info().event_count) return cs->info().event_count;
+    cs->seek_to_event(from);
+    return from;
+  }
+  trace::trace_event e;
+  std::uint64_t n = 0;
+  while (n < from && src.next(e)) ++n;
+  return n;
+}
+
+// Delivers at most `limit` events of the wrapped source — but never cuts a
+// sync_begin run mid-way, since the player (rightly) rejects orphaned
+// sync_child events; the run's children ride along past the limit.
+class prefix_source final : public trace::trace_source {
+ public:
+  prefix_source(trace::trace_source& src, std::uint64_t limit)
+      : src_(src), limit_(limit) {}
+  const trace::trace_header& header() const override { return src_.header(); }
+  bool next(trace::trace_event& e) override {
+    if (pending_children_ == 0 && total_ >= limit_) return false;
+    if (!src_.next(e)) return false;
+    ++total_;
+    if (pending_children_ > 0) {
+      --pending_children_;
+    } else if (e.kind == trace::event_kind::sync_begin) {
+      pending_children_ = e.sync_begin.count;
+    }
+    return true;
+  }
+
+ private:
+  trace::trace_source& src_;
+  std::uint64_t limit_;
+  std::uint64_t total_ = 0;
+  std::uint32_t pending_children_ = 0;
+};
+
+// The --from > 0 path: no dag prefix means no reachability, so this scans
+// the window's accesses through a per-granule last-writer/reader cell and
+// flags granules with conflicting access pairs (distinct strands, at least
+// one write). Deliberately an overapproximation; the output says so.
+int window_scan(trace::trace_source& src, const std::string& path,
+                std::uint64_t from, std::uint64_t to) {
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  struct wcell {
+    std::uint64_t writer = kNone;  // last writer strand
+    std::uint64_t reader = kNone;  // one recorded reader since that write
+    bool more_readers = false;     // a second distinct reader existed
+  };
+  if (skip_to_event(src, from) != from) {
+    std::fprintf(stderr, "run: --from %llu is past the end of '%s'\n",
+                 static_cast<unsigned long long>(from), path.c_str());
+    return 1;
+  }
+  std::unordered_map<std::uint64_t, wcell> cells;
+  std::set<std::uint64_t> conflicts;
+  std::uint64_t current = kNone;  // unknown until a strand boundary
+  std::uint64_t events = 0, accesses = 0, skipped = 0;
+  trace::trace_event e;
+  while ((to == 0 || from + events < to) && src.next(e)) {
+    ++events;
+    switch (e.kind) {
+      case trace::event_kind::program_begin:
+        current = e.program_begin.first;
+        break;
+      case trace::event_kind::strand_begin:
+        current = e.strand_begin.s;
+        break;
+      case trace::event_kind::read:
+      case trace::event_kind::write: {
+        if (current == kNone) {
+          ++skipped;  // owner strand began before the window
+          break;
+        }
+        ++accesses;
+        wcell& c = cells[e.access.addr];
+        const bool is_write = e.kind == trace::event_kind::write;
+        const bool clash =
+            (c.writer != kNone && c.writer != current) ||
+            (is_write &&
+             ((c.reader != kNone && c.reader != current) || c.more_readers));
+        if (clash) conflicts.insert(e.access.addr);
+        if (is_write) {
+          c.writer = current;
+          c.reader = kNone;
+          c.more_readers = false;
+        } else if (c.reader == kNone) {
+          c.reader = current;
+        } else if (c.reader != current) {
+          c.more_readers = true;
+        }
+        break;
+      }
+      default:
+        break;  // dag events carry no reachability here by design
+    }
+  }
+  std::printf("window scan:    events [%llu, %llu) of %s\n",
+              static_cast<unsigned long long>(from),
+              static_cast<unsigned long long>(from + events), path.c_str());
+  std::printf("  (reachability-free: flagged granules have conflicting access "
+              "pairs in the\n   window; logically ordered strands are NOT "
+              "excluded — replay from event 0\n   for sound detection)\n");
+  std::printf("window events:  %llu (%llu accesses scanned, %llu skipped "
+              "before a strand boundary)\n",
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(skipped));
+  std::printf("conflict granules: %zu\n", conflicts.size());
+  std::size_t shown = 0;
+  for (const std::uint64_t a : conflicts) {
+    if (shown++ == 16) {
+      std::printf("  ... (%zu more)\n", conflicts.size() - 16);
+      break;
+    }
+    std::printf("  0x%llx\n", static_cast<unsigned long long>(a));
+  }
+  return 0;
 }
 
 int cmd_record(int argc, char** argv) {
@@ -227,9 +384,16 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       "shadow store to replay on (hashed-page | sharded | compact)");
   auto& shard_bits = flags.int_flag(
       "shard-bits", 4, "sharded store: 2^bits shards (ignored elsewhere)");
+  auto& from = flags.int_flag(
+      "from", 0, "first event of the replay window (> 0: conflict scan)");
+  auto& to = flags.int_flag("to", 0, "stop before this event (0 = end)");
   flags.parse();
   if (shard_bits < 0 || shard_bits > 10) {
     std::fprintf(stderr, "run: --shard-bits must be in [0, 10]\n");
+    return 2;
+  }
+  if (from < 0 || to < 0 || (to > 0 && to <= from)) {
+    std::fprintf(stderr, "run: need 0 <= --from < --to\n");
     return 2;
   }
 
@@ -239,17 +403,39 @@ int cmd_run(const std::string& path, int argc, char** argv) {
     return 1;
   }
   auto src = trace::open_source(in);
+  if (from > 0) {
+    // No dag prefix, no reachability: the explicit degraded mode.
+    return window_scan(*src, path, static_cast<std::uint64_t>(from),
+                       static_cast<std::uint64_t>(to));
+  }
   session s(session::options{
       .backend = backend,
       .granule = static_cast<std::size_t>(src->header().granule),
       .shadow_store = store,
       .shadow_shard_bits = static_cast<unsigned>(shard_bits)});
-  const std::uint64_t events = s.replay(*src);
+  std::uint64_t events = 0;
+  if (to > 0) {
+    // Exact prefix detection: identical to replaying a truncated trace.
+    prefix_source prefix(*src, static_cast<std::uint64_t>(to));
+    events = s.replay(prefix);
+    std::printf("window:         events [0, %llu) of %s\n",
+                static_cast<unsigned long long>(events), path.c_str());
+  } else {
+    events = s.replay(*src);
+  }
   print_report(s, events);
   return 0;
 }
 
-int cmd_dump(const std::string& path) {
+int cmd_dump(const std::string& path, int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& from = flags.int_flag("from", 0, "first event to dump");
+  auto& to = flags.int_flag("to", 0, "stop before this event (0 = end)");
+  flags.parse();
+  if (from < 0 || to < 0 || (to > 0 && to <= from)) {
+    std::fprintf(stderr, "dump: need 0 <= --from < --to\n");
+    return 2;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "dump: cannot open '%s'\n", path.c_str());
@@ -257,8 +443,20 @@ int cmd_dump(const std::string& path) {
   }
   auto src = trace::open_source(in);
   trace::jsonl_writer out(std::cout, src->header());
+  if (skip_to_event(*src, static_cast<std::uint64_t>(from)) !=
+      static_cast<std::uint64_t>(from)) {
+    std::fprintf(stderr, "dump: --from %lld is past the end of '%s'\n",
+                 static_cast<long long>(from), path.c_str());
+    return 1;
+  }
+  std::uint64_t dumped = 0;
+  const std::uint64_t limit =
+      to > 0 ? static_cast<std::uint64_t>(to - from) : ~std::uint64_t{0};
   trace::trace_event e;
-  while (src->next(e)) out.put(e);
+  while (dumped < limit && src->next(e)) {
+    out.put(e);
+    ++dumped;
+  }
   out.finish();  // surfaces a failed stdout (redirected to a full disk, ...)
   return 0;
 }
@@ -334,6 +532,9 @@ void print_container_stats(const container::container_info& ci,
     ++(c.encoding == container::chunk_encoding::lz ? lz_unique : raw_unique);
   }
   const std::uint64_t hits = ci.dedup_hits();
+  std::printf("container: v%u (%s)\n", ci.container_version,
+              ci.seekable() ? "seekable event index"
+                            : "no seek index; repack to upgrade");
   std::printf("container: %llu chunks (%llu unique: %llu lz, %llu raw)\n",
               static_cast<unsigned long long>(ci.chunks.size()),
               static_cast<unsigned long long>(ci.chunks.size() - hits),
@@ -355,15 +556,23 @@ void print_container_stats(const container::container_info& ci,
                                       static_cast<double>(ci.chunks.size()),
               static_cast<unsigned long long>(ci.dedup_saved_raw_bytes()));
   if (!per_chunk) return;
-  std::printf("  %-5s %-10s %-9s %-9s %-11s %s\n", "chunk", "offset",
-              "stored", "raw", "first-ev", "enc");
+  std::printf("  %-5s %-10s %-9s %-9s %-11s %-9s %s\n", "chunk", "offset",
+              "stored", "raw", "first-ev", "first-off", "enc");
   for (std::size_t i = 0; i < ci.chunks.size(); ++i) {
     const auto& c = ci.chunks[i];
-    std::printf("  %-5zu %-10llu %-9llu %-9llu %-11llu %s\n", i,
+    char off[24];
+    if (c.first_offset == container::kNoFirstOffset) {
+      std::snprintf(off, sizeof(off), "-");  // v1: not recorded
+    } else {
+      std::snprintf(off, sizeof(off), "%llu",
+                    static_cast<unsigned long long>(c.first_offset));
+    }
+    std::printf("  %-5zu %-10llu %-9llu %-9llu %-11llu %-9s %s\n", i,
                 static_cast<unsigned long long>(c.offset),
                 static_cast<unsigned long long>(c.stored_size),
                 static_cast<unsigned long long>(c.raw_size),
                 static_cast<unsigned long long>(c.first_event),
+                off,
                 c.encoding == container::chunk_encoding::lz ? "lz" : "raw");
   }
 }
@@ -452,6 +661,100 @@ int cmd_unpack(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+// --- frd-serve client verbs -----------------------------------------------
+
+int cmd_submit(const std::string& path, int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& socket = flags.string_flag("socket", "", "frd-serve socket (required)");
+  auto& backend = flags.string_flag("backend", "multibags+", "detector backend");
+  auto& store = flags.string_flag("store", "hashed-page", "shadow store");
+  auto& budget_mb = flags.int_flag(
+      "budget-mb", 0, "request this per-stream budget in MiB (<= server's)");
+  auto& golden_out = flags.string_flag(
+      "golden-out", "", "also write the report in corpus golden format");
+  flags.parse();
+  if (socket.empty()) {
+    std::fprintf(stderr, "submit: --socket is required\n");
+    return 2;
+  }
+  if (budget_mb < 0) {
+    std::fprintf(stderr, "submit: --budget-mb must be >= 0\n");
+    return 2;
+  }
+
+  serve::client cli(socket);
+  serve::submit_options opt;
+  opt.backend = backend;
+  opt.store = store;
+  opt.budget = static_cast<std::uint64_t>(budget_mb) << 20;
+  const serve::submit_result r = cli.submit_file(path, opt);
+  if (!r.ok) {
+    std::fprintf(stderr, "submit: stream failed (%s): %s\n",
+                 std::string(serve::to_string(r.code)).c_str(),
+                 r.error.c_str());
+    return 1;
+  }
+
+  std::printf("backend:        %s\n", backend.c_str());
+  std::printf("shadow store:   %s\n", store.c_str());
+  std::printf("trace events:   %llu\n",
+              static_cast<unsigned long long>(r.golden.events));
+  std::printf("accesses:       %llu\n",
+              static_cast<unsigned long long>(r.golden.accesses));
+  std::printf("gets (k):       %llu\n",
+              static_cast<unsigned long long>(r.golden.gets));
+  std::printf("races:          %llu (%zu distinct granules)\n",
+              static_cast<unsigned long long>(r.races_total),
+              r.golden.racy_granules.size());
+  std::printf("memory:         %llu bytes (shadow %llu in %llu pages, "
+              "query cache %llu)\n",
+              static_cast<unsigned long long>(
+                  r.store_bytes + r.query_cache_bytes),
+              static_cast<unsigned long long>(r.store_bytes),
+              static_cast<unsigned long long>(r.store_pages),
+              static_cast<unsigned long long>(r.query_cache_bytes));
+  std::printf("report buffer:  %llu/%llu races retained\n",
+              static_cast<unsigned long long>(r.report_retained),
+              static_cast<unsigned long long>(r.report_capacity));
+  for (const serve::race_msg& m : r.races) {
+    std::printf("race: granule 0x%llx  %s strand %llu vs %s strand %llu\n",
+                static_cast<unsigned long long>(m.granule_addr),
+                m.prior_is_write ? "write" : "read",
+                static_cast<unsigned long long>(m.prior),
+                m.current_is_write ? "write" : "read",
+                static_cast<unsigned long long>(m.current));
+  }
+
+  if (!golden_out.empty()) {
+    std::ofstream gout(golden_out);
+    if (!gout) {
+      std::fprintf(stderr, "submit: cannot open '%s' for writing\n",
+                   golden_out.c_str());
+      return 1;
+    }
+    corpus::write_golden(gout, r.golden);
+    if (!gout.flush()) {
+      std::fprintf(stderr, "submit: writing '%s' failed\n", golden_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_shutdown(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& socket = flags.string_flag("socket", "", "frd-serve socket (required)");
+  flags.parse();
+  if (socket.empty()) {
+    std::fprintf(stderr, "shutdown: --socket is required\n");
+    return 2;
+  }
+  serve::client cli(socket);
+  cli.shutdown_server();
+  std::printf("frd-serve at %s is shutting down\n", socket.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -459,8 +762,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "record") return cmd_record(argc - 1, argv + 1);
+    if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
     if (cmd == "run" || cmd == "dump" || cmd == "stats" || cmd == "pack" ||
-        cmd == "unpack") {
+        cmd == "unpack" || cmd == "submit") {
       if (argc < 3 || argv[2][0] == '-') {
         std::fprintf(stderr, "%s: expected a trace file argument\n",
                      cmd.c_str());
@@ -468,9 +772,10 @@ int main(int argc, char** argv) {
       }
       const std::string path = argv[2];
       if (cmd == "run") return cmd_run(path, argc - 2, argv + 2);
-      if (cmd == "dump") return cmd_dump(path);
+      if (cmd == "dump") return cmd_dump(path, argc - 2, argv + 2);
       if (cmd == "pack") return cmd_pack(path, argc - 2, argv + 2);
       if (cmd == "unpack") return cmd_unpack(path, argc - 2, argv + 2);
+      if (cmd == "submit") return cmd_submit(path, argc - 2, argv + 2);
       return cmd_stats(path);
     }
   } catch (const std::exception& e) {
