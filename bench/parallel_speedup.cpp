@@ -1,18 +1,41 @@
-// Sanity bench for the parallel substrate: the same future-wavefront that
-// the detector checks serially must actually scale when run on the
-// work-stealing runtime with detection off (the paper's deployment story:
-// detect serially during testing, run parallel in production).
+// Parallel scaling benches, two modes:
+//
+//   (default)      sanity bench for the parallel substrate: the same
+//                  future-wavefront the detector checks serially must
+//                  actually scale when run on the work-stealing runtime with
+//                  detection off (the paper's deployment story: detect
+//                  serially during testing, run parallel in production).
+//   --corpus DIR   the PR 8 snapshot mode: replays the XL corpus entries
+//                  through the PARALLEL DETECTOR across a worker sweep and
+//                  reports detection speedup over workers=1. Every replay's
+//                  racy-granule count is checked against the entry's golden —
+//                  a speedup from a detector that drops races is not a
+//                  speedup. Rows go to --json (one snapshot per PR in perf/,
+//                  diffed by tools/perf_compare.py --fresh-parallel).
+//
+// Speedups are bounded by the machine: on a single-core container every
+// worker count times the same; the snapshot still proves the parallel path
+// replays the corpus byte-identically and records the sweep for hosts with
+// real parallelism.
 #include <cstdio>
 
+#include <algorithm>
 #include <atomic>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "bench_suite/lcs.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/runner.hpp"
 #include "runtime/parallel.hpp"
+#include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "trace/event.hpp"
 
 using namespace frd;
 using namespace frd::bench;
@@ -33,15 +56,7 @@ long heavy_tree(rt::parallel_runtime& rt, int depth, long leaf_work) {
   return left.load() + right;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  flag_parser flags(argc, argv);
-  auto& depth = flags.int_flag("depth", 12, "task tree depth");
-  auto& leaf = flags.int_flag("leaf", 8000, "work per leaf");
-  auto& reps = flags.int_flag("reps", 3, "repetitions");
-  flags.parse();
-
+int run_substrate_mode(int depth, long leaf, int reps) {
   text_table t({"workers", "seconds", "speedup"});
   double t1 = 0;
   long expect = -1;
@@ -51,8 +66,7 @@ int main(int argc, char** argv) {
     for (int r = 0; r < reps; ++r) {
       rt::parallel_runtime rt(workers);
       wall_timer w;
-      rt.run([&] { got = heavy_tree(rt, static_cast<int>(depth),
-                                    static_cast<long>(leaf)); });
+      rt.run([&] { got = heavy_tree(rt, depth, leaf); });
       ts.push_back(w.seconds());
     }
     if (expect == -1) expect = got;
@@ -66,4 +80,169 @@ int main(int argc, char** argv) {
   std::printf("\n== Parallel runtime speedup (detection off) ==\n%s",
               t.render().c_str());
   return 0;
+}
+
+// ---- corpus mode: parallel DETECTION speedup over the trace corpus ----
+
+struct row {
+  std::string trace;
+  std::string backend;
+  unsigned workers = 1;
+  std::uint64_t events = 0;
+  double mean_s = 0, rsd = 0, events_per_sec = 0;
+  double speedup_vs_1 = 0;
+  std::uint64_t racy_granules = 0;
+};
+
+// Comma-separated entry names ("mm-structured-xl,tracking-structured-xl").
+std::vector<std::string> split_names(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+row bench_workers(trace::memory_trace& tape, const std::string& name,
+                  const std::string& backend, unsigned workers, int reps) {
+  std::vector<double> times;
+  std::uint64_t racy = 0;
+  for (int r = 0; r < reps + 1; ++r) {
+    tape.rewind();
+    session s(session::options{.backend = backend,
+                               .granule = tape.header().granule,
+                               .shadow_store = "sharded",
+                               .shadow_shard_bits = 4,
+                               .replay_batch = 0,  // auto: 4096 when parallel
+                               .workers = workers});
+    wall_timer t;
+    s.replay(tape);
+    const double secs = t.seconds();
+    if (r > 0) times.push_back(secs);  // first replay is warmup
+    racy = s.report().racy_granules().size();
+  }
+  tape.rewind();
+  row out;
+  out.trace = name;
+  out.backend = backend;
+  out.workers = workers;
+  out.events = tape.size();
+  out.mean_s = mean(times);
+  out.rsd = rel_stddev(times);
+  out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
+  out.racy_granules = racy;
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<row>& rows) {
+  std::ofstream json(path);
+  json << "{\n  \"bench\": \"parallel_speedup\",\n"
+       << "  \"mode\": \"corpus\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const row& r = rows[i];
+    json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
+         << r.backend << "\", \"store\": \"sharded\", \"workers\": "
+         << r.workers << ", \"events\": " << r.events
+         << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
+         << ", \"events_per_sec\": " << r.events_per_sec
+         << ", \"speedup_vs_1\": " << r.speedup_vs_1
+         << ", \"racy_granules\": " << r.racy_granules << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();  // flush before checking, or buffered failures slip through
+  if (!json) {
+    std::fprintf(stderr, "parallel_speedup: writing %s failed\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run_corpus_mode(const std::string& dir, const std::string& entries_spec,
+                    const std::string& backend, int reps,
+                    const std::string& json_path) {
+  const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
+  const std::vector<std::string> wanted = split_names(entries_spec);
+  std::vector<row> rows;
+  std::size_t matched = 0;
+  for (const corpus::corpus_entry& e : m.entries) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), e.name) == wanted.end()) {
+      continue;
+    }
+    ++matched;
+    trace::memory_trace tape = corpus::load_trace(dir + "/" + e.trace_file);
+    const corpus::golden_report gold =
+        corpus::load_golden(dir + "/" + e.golden_file);
+    double t1 = 0;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      row r = bench_workers(tape, e.name, backend, workers, reps);
+      FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
+                    "parallel replay race count diverged from the corpus "
+                    "golden — run frd-corpus verify");
+      if (workers == 1) t1 = r.mean_s;
+      r.speedup_vs_1 = t1 / r.mean_s;
+      rows.push_back(std::move(r));
+    }
+  }
+  if (!wanted.empty() && matched != wanted.size()) {
+    std::fprintf(stderr, "parallel_speedup: --entries named %zu entries but "
+                         "only %zu exist in the manifest\n",
+                 wanted.size(), matched);
+    return 1;
+  }
+  text_table t({"trace", "backend", "workers", "events", "mean", "events/sec",
+                "speedup", "racy"});
+  for (const row& r : rows) {
+    char eps[64], sp[32];
+    std::snprintf(eps, sizeof eps, "%.3g", r.events_per_sec);
+    std::snprintf(sp, sizeof sp, "%.2fx", r.speedup_vs_1);
+    t.add_row({r.trace, r.backend, std::to_string(r.workers),
+               std::to_string(r.events), text_table::seconds(r.mean_s), eps, sp,
+               std::to_string(r.racy_granules)});
+  }
+  std::printf("\n== Parallel detection speedup (%zu entries, %d reps) ==\n%s",
+              matched, reps, t.render().c_str());
+  write_json(json_path, rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& depth = flags.int_flag("depth", 12, "substrate mode: task tree depth");
+  auto& leaf = flags.int_flag("leaf", 8000, "substrate mode: work per leaf");
+  auto& reps = flags.int_flag("reps", 3, "repetitions");
+  auto& corpus_dir = flags.string_flag(
+      "corpus", "", "bench parallel DETECTION over the trace corpus at this "
+                    "directory (workers sweep 1,2,4,8 on the sharded store)");
+  auto& entries = flags.string_flag(
+      "entries", "mm-structured-xl,tracking-structured-xl",
+      "corpus mode: comma-separated entry names (empty = every entry)");
+  auto& backend = flags.string_flag(
+      "backend", "multibags+", "corpus mode: detection backend to replay");
+  auto& json_path = flags.string_flag(
+      "json", "BENCH_parallel_speedup.json",
+      "corpus mode: machine-readable output file");
+  flags.parse();
+  if (reps < 1) {
+    std::fprintf(stderr, "parallel_speedup: --reps must be >= 1\n");
+    return 1;
+  }
+
+  if (!corpus_dir.empty()) {
+    try {
+      return run_corpus_mode(corpus_dir, entries, backend,
+                             static_cast<int>(reps), json_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "parallel_speedup: %s\n", e.what());
+      return 1;
+    }
+  }
+  return run_substrate_mode(static_cast<int>(depth), static_cast<long>(leaf),
+                            static_cast<int>(reps));
 }

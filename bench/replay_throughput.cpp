@@ -72,16 +72,19 @@ struct row {
   std::string backend;
   std::string store;
   std::size_t batch = 256;  // player run length (session replay_batch)
+  unsigned workers = 1;     // parallel detection workers (1 = serial)
   std::uint64_t events = 0;
   double mean_s = 0, rsd = 0, events_per_sec = 0;
   std::uint64_t racy_granules = 0;
 };
 
 // Replays `tape` through `backend` on `store` with the given player batch
-// size, `reps` times (after one warmup), and fills the timing columns.
+// size and detection worker count, `reps` times (after one warmup), and
+// fills the timing columns.
 row bench_backend(trace::memory_trace& tape, const std::string& name,
                   const std::string& backend, const std::string& store,
-                  unsigned shard_bits, std::size_t batch, int reps) {
+                  unsigned shard_bits, std::size_t batch, unsigned workers,
+                  int reps) {
   std::vector<double> times;
   std::uint64_t racy = 0;
   for (int r = 0; r < reps + 1; ++r) {
@@ -90,7 +93,8 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
                                .granule = tape.header().granule,
                                .shadow_store = store,
                                .shadow_shard_bits = shard_bits,
-                               .replay_batch = batch});
+                               .replay_batch = batch,
+                               .workers = workers});
     wall_timer t;
     s.replay(tape);
     const double secs = t.seconds();
@@ -103,6 +107,7 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
   out.backend = backend;
   out.store = store;
   out.batch = batch;
+  out.workers = workers;
   out.events = tape.size();
   out.mean_s = mean(times);
   out.rsd = rel_stddev(times);
@@ -141,7 +146,8 @@ void write_json(const std::string& path, const std::string& mode,
     json << "    {\"trace\": \"" << r.trace << "\", \"format\": \""
          << r.format << "\", \"backend\": \"" << r.backend << "\", \"store\": \""
          << r.store
-         << "\", \"batch\": " << r.batch << ", \"events\": " << r.events
+         << "\", \"batch\": " << r.batch << ", \"workers\": " << r.workers
+         << ", \"events\": " << r.events
          << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
          << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"racy_granules\": " << r.racy_granules << "}"
@@ -158,13 +164,14 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 void print_table(const std::vector<row>& rows, const char* title) {
-  text_table table({"trace", "backend", "store", "batch", "events", "mean",
-                    "events/sec", "racy"});
+  text_table table({"trace", "backend", "store", "batch", "workers", "events",
+                    "mean", "events/sec", "racy"});
   for (const row& r : rows) {
     char eps[64];
     std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
     table.add_row({r.trace, r.backend, r.store, std::to_string(r.batch),
-                   std::to_string(r.events), text_table::seconds(r.mean_s), eps,
+                   std::to_string(r.workers), std::to_string(r.events),
+                   text_table::seconds(r.mean_s), eps,
                    std::to_string(r.racy_granules)});
   }
   std::printf("\n== Replay throughput: %s ==\n%s", title,
@@ -173,8 +180,8 @@ void print_table(const std::vector<row>& rows, const char* title) {
 
 int run_corpus_mode(const std::string& dir, const std::string& store,
                     unsigned shard_bits,
-                    const std::vector<std::size_t>& batches, int reps,
-                    const std::string& json_path) {
+                    const std::vector<std::size_t>& batches, unsigned workers,
+                    int reps, const std::string& json_path) {
   const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
   std::vector<row> rows;
   for (const corpus::corpus_entry& e : m.entries) {
@@ -185,7 +192,7 @@ int run_corpus_mode(const std::string& dir, const std::string& store,
     for (const std::string& backend : corpus::eligible_backends(e.futures)) {
       for (const std::size_t batch : batches) {
         row r = bench_backend(tape, e.name, backend, store, shard_bits, batch,
-                              reps);
+                              workers, reps);
         r.format = compressed ? "frdtz" : "frdt";
         FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
                       "replay race count diverged from the corpus golden — "
@@ -228,6 +235,11 @@ int main(int argc, char** argv) {
       "player run length(s) per on_accesses batch; comma-separated to sweep "
       "(e.g. 64,256,1024 — rows carry the size in the \"batch\" field; the "
       "per-PR snapshot uses the default so the trajectory stays comparable)");
+  auto& workers = flags.int_flag(
+      "workers", 1,
+      "parallel detection workers (>1 requires --store sharded; rows carry "
+      "the count in the \"workers\" field — perf_compare only gates on "
+      "workers=1 rows)");
   flags.parse();
   if (reps < 1) {
     std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
@@ -243,6 +255,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "replay_throughput: --shard-bits must be in [0, 10]\n");
     return 1;
   }
+  if (workers < 1 || workers > 256) {
+    std::fprintf(stderr, "replay_throughput: --workers must be in [1, 256]\n");
+    return 1;
+  }
+  if (workers > 1 && (store != "sharded" || shard_bits < 1)) {
+    std::fprintf(stderr, "replay_throughput: --workers > 1 needs --store "
+                         "sharded with --shard-bits >= 1\n");
+    return 1;
+  }
   try {
     shadow::store_registry::instance().at(store);  // fail fast with the list
   } catch (const std::exception& e) {
@@ -254,6 +275,7 @@ int main(int argc, char** argv) {
     try {
       return run_corpus_mode(corpus_dir, store,
                              static_cast<unsigned>(shard_bits), batches,
+                             static_cast<unsigned>(workers),
                              static_cast<int>(reps), json_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "replay_throughput: %s\n", e.what());
@@ -282,6 +304,7 @@ int main(int argc, char** argv) {
     for (const std::size_t batch : batches) {
       row r = bench_backend(tape, "fuzz", name, store,
                             static_cast<unsigned>(shard_bits), batch,
+                            static_cast<unsigned>(workers),
                             static_cast<int>(reps));
       r.format = "memory";
       FRD_CHECK_MSG(r.racy_granules == baseline_racy,

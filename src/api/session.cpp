@@ -18,6 +18,7 @@ session::session(options opt) : opt_(std::move(opt)) {
                          .shadow_store = opt_.shadow_store,
                          .shadow_page_bits = opt_.shadow_page_bits,
                          .shadow_shard_bits = opt_.shadow_shard_bits,
+                         .workers = opt_.workers,
                          .futures = info_->futures,
                      });
   sink_ = det_.get();
@@ -63,7 +64,12 @@ std::uint64_t session::replay(trace::trace_source& src,
         "; construct the session with the trace's granule");
   }
   mode_ = session_mode::replay;
-  trace::trace_player player(src, opt_.replay_batch);
+  std::size_t batch = opt_.replay_batch;
+  if (batch == 0) {
+    batch = opt_.workers > 1 ? trace::trace_player::kParallelBatchCapacity
+                             : trace::trace_player::kDefaultBatchCapacity;
+  }
+  trace::trace_player player(src, batch);
   if (cp.every_events == 0 || !cp.fn) {
     return player.play(build_listener(), det_.get()).events;
   }

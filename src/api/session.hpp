@@ -98,8 +98,17 @@ class session {
     // Replay only: longest run of access events handed to the detector in
     // one batched on_accesses call (trace_player::kDefaultBatchCapacity).
     // Also bounds how many accesses share one batched reachability query;
-    // bench/replay_throughput --batch-size sweeps it.
+    // bench/replay_throughput --batch-size sweeps it. 0 = auto: the player
+    // default serially, trace_player::kParallelBatchCapacity when workers
+    // > 1 (longer runs amortize the per-run fan-out/merge cost). The race
+    // report is batch-size-independent either way.
     std::size_t replay_batch = 256;
+    // Parallel replay detection: workers the detector fans each batched
+    // access run out to (detector_config::workers). >1 requires the
+    // "sharded" shadow store with shadow_shard_bits >= 1; reports stay
+    // byte-identical to workers == 1. Live (non-replay) runs detect
+    // serially regardless.
+    unsigned workers = 1;
     // Abort on a second get() of the same future handle (paper §2's
     // structured single-touch restriction, enforced by the runtime).
     bool enforce_single_touch = false;

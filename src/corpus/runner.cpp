@@ -69,11 +69,12 @@ namespace {
 // Replay outcome in golden_report shape, so diffing is uniform.
 golden_report replay_report(trace::memory_trace& tape,
                             const std::string& backend,
-                            const std::string& store) {
+                            const std::string& store, unsigned workers = 1) {
   tape.rewind();
   session s(session::options{.backend = backend,
                              .granule = tape.header().granule,
-                             .shadow_store = store});
+                             .shadow_store = store,
+                             .workers = workers});
   const std::uint64_t events = s.replay(tape);
   tape.rewind();
   golden_report r;
@@ -109,12 +110,13 @@ golden_report gold_from_trace(trace::memory_trace& tape,
 std::vector<std::string> check_backend(trace::memory_trace& tape,
                                        const golden_report& golden,
                                        const std::string& backend,
-                                       const std::string& store) {
+                                       const std::string& store,
+                                       unsigned workers) {
   const bool counts =
       detect::backend_registry::instance().at(backend).counts_violations;
   golden_report actual;
   try {
-    actual = replay_report(tape, backend, store);
+    actual = replay_report(tape, backend, store, workers);
   } catch (const std::exception& ex) {
     return {std::string("replay threw: ") + ex.what()};
   }

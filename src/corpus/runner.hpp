@@ -56,10 +56,14 @@ golden_report gold_from_trace(trace::memory_trace& tape,
 // counts_violations. Goldens are store-independent by construction: every
 // registered store must reproduce them byte-identically, which is exactly
 // what verify_corpus holds the (entry × backend × store) cube to.
+// `workers` > 1 replays under parallel detection (sharded store required —
+// the parallel conformance cube passes store "sharded" with it); goldens
+// are worker-count-independent too.
 std::vector<std::string> check_backend(
     trace::memory_trace& tape, const golden_report& golden,
     const std::string& backend,
-    const std::string& store = std::string(shadow::kDefaultStore));
+    const std::string& store = std::string(shadow::kDefaultStore),
+    unsigned workers = 1);
 
 // One (backend, store) verdict on one entry, for callers that aggregate.
 struct divergence {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <string>
 
+#include "runtime/parallel.hpp"
+#include "shadow/sharded_store.hpp"
 #include "support/check.hpp"
 #include "support/granule.hpp"
 
@@ -38,9 +41,53 @@ detector::detector(std::unique_ptr<reachability_backend> backend,
                                .shard_bits = cfg_.shadow_shard_bits})),
       report_(cfg_.max_retained_races) {
   FRD_CHECK_MSG(backend_ != nullptr, "detector needs a reachability backend");
+  bind_parallel();
 }
 
 detector::~detector() = default;
+
+// Binds the parallel path to the freshly created store. Every shipped store
+// only grows its reservations within a run, so sampling at run boundaries
+// and memory() observations makes the peaks exact, not approximate — but
+// the peak_* contract deliberately does not depend on that monotonicity.
+void detector::bind_parallel() {
+  par_store_ = nullptr;
+  par_groups_ = 1;
+  if (cfg_.workers == 1) return;
+  if (cfg_.workers == 0 || cfg_.workers > 256) {
+    throw backend_error("detection workers must be in [1, 256], got " +
+                        std::to_string(cfg_.workers));
+  }
+  auto* sharded = dynamic_cast<shadow::sharded_store*>(shadow_.get());
+  if (sharded == nullptr) {
+    throw shadow::store_error(
+        "parallel detection (workers=" + std::to_string(cfg_.workers) +
+        ") partitions access runs on the sharded store's shard hash, but "
+        "store '" + cfg_.shadow_store +
+        "' is not sharded — use shadow_store \"sharded\"");
+  }
+  if (sharded->shard_count() < 2) {
+    throw shadow::store_error(
+        "parallel detection needs at least 2 shards (shard_bits >= 1); this "
+        "sharded store has 1");
+  }
+  par_store_ = sharded;
+  par_groups_ = std::min<std::size_t>(cfg_.workers, sharded->shard_count());
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<rt::par::scheduler>(
+        static_cast<unsigned>(par_groups_));
+  }
+  par_out_.resize(par_groups_);
+  par_cursor_.resize(par_groups_);
+}
+
+void detector::note_memory_peak() const {
+  const std::size_t store_bytes = shadow_->bytes_reserved();
+  const std::size_t total =
+      store_bytes + qcache_.capacity() * sizeof(cache_entry);
+  if (store_bytes > peak_store_bytes_) peak_store_bytes_ = store_bytes;
+  if (total > peak_total_bytes_) peak_total_bytes_ = total;
+}
 
 memory_stats detector::memory() const {
   memory_stats m;
@@ -50,6 +97,11 @@ memory_stats detector::memory() const {
   m.report_retained = report_.retained().size();
   m.report_capacity = report_.max_retained();
   m.query_cache_bytes = qcache_.capacity() * sizeof(cache_entry);
+  // An observation is itself a sample: a caller polling memory() sees peaks
+  // at least as fresh as the snapshot it was handed.
+  note_memory_peak();
+  m.peak_store_bytes = peak_store_bytes_;
+  m.peak_total_bytes = peak_total_bytes_;
   return m;
 }
 
@@ -77,6 +129,9 @@ void detector::reset(std::unique_ptr<reachability_backend> fresh_backend) {
   qcache_.clear();  // entries re-materialize zero-stamped (epoch-invalid)
   qstats_ = {};
   race_sink_ = nullptr;  // per-run observer; a stale capture must not leak
+  peak_store_bytes_ = 0;  // peaks are per-run: a pooled session's previous
+  peak_total_bytes_ = 0;  // tenant must not be charged to the next one
+  bind_parallel();  // re-point the shard pass at the fresh store (pool kept)
 }
 
 // ---------------------------------------------------------------------------
@@ -173,15 +228,106 @@ void detector::on_accesses(std::span<const hooks::access> batch,
                            std::size_t /*bytes*/) {
   accesses_ += batch.size();
   if (cfg_.lvl != level::full) return;
-  for (const hooks::access& a : batch) {
-    const std::uintptr_t g = a.addr & granule_mask_;
-    if (a.is_write) {
-      check_write(g);
-    } else {
-      check_read(g);
+  if (par_groups_ > 1 && batch.size() >= kMinParallelRun) {
+    parallel_accesses(batch);
+  } else {
+    for (const hooks::access& a : batch) {
+      const std::uintptr_t g = a.addr & granule_mask_;
+      if (a.is_write) {
+        check_write(g);
+      } else {
+        check_read(g);
+      }
     }
   }
   flush_pending();
+  // Run boundaries are the peak sampling points (the per-access loop is too
+  // hot); store reservations are monotone within a run, so this is exact.
+  note_memory_peak();
+}
+
+// One worker's slice of a run. Each worker scans the WHOLE batch and keeps
+// the accesses hashing into its shard group — a predicted-well branch per
+// access instead of a serial partitioning pass — so a granule's store steps
+// happen in batch order on exactly one worker, which is what makes the
+// per-shard mutation race-free AND the merged candidate stream identical to
+// the serial one.
+void detector::shard_pass(std::span<const hooks::access> batch,
+                          std::size_t group) {
+  std::vector<indexed_candidate>& out = par_out_[group];
+  shadow::sharded_store& store = *par_store_;
+  const std::size_t groups = par_groups_;
+  const rt::strand_id cur = current_;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const hooks::access& a = batch[i];
+    const std::uintptr_t g = a.addr & granule_mask_;
+    if (store.shard_of(g) % groups != group) continue;
+    const auto index = static_cast<std::uint32_t>(i);
+    if (a.is_write) {
+      store.write_step(g, cur, [&](rt::strand_id prior, bool is_write) {
+        if (prior != cur) {
+          out.push_back({index, candidate{g, prior, is_write, true}});
+        }
+      });
+    } else {
+      const rt::strand_id w = store.read_step(g, cur);
+      if (w != rt::kNoStrand && w != cur) {
+        out.push_back({index, candidate{g, w, true, false}});
+      }
+    }
+  }
+}
+
+// The workers > 1 run: fan out one shard pass per group on the pool (the
+// host takes group 0 and helps while waiting), then re-serialize the
+// candidates by run index and feed them through the unchanged note_prior /
+// flush_pending resolver. Worker->host visibility rides the frame's
+// release/acquire completion counter; host->worker (current_, the prior
+// runs' shard state) rides the deque's release publication — both orders
+// ThreadSanitizer models, which is what the TSan CI job checks.
+void detector::parallel_accesses(std::span<const hooks::access> batch) {
+  for (std::vector<indexed_candidate>& out : par_out_) out.clear();
+  par_store_->begin_parallel_mutation();
+  pool_->enter_host();
+  rt::par::frame fr;
+  for (std::size_t g = 1; g < par_groups_; ++g) {
+    auto body = [this, batch, g] { shard_pass(batch, g); };
+    fr.pending.fetch_add(1, std::memory_order_relaxed);
+    pool_->push_task(new rt::par::child_task<decltype(body)>(&fr, std::move(body)));
+  }
+  try {
+    shard_pass(batch, /*group=*/0);
+    if (fr.pending.load(std::memory_order_acquire) != 0) pool_->wait_frame(fr);
+  } catch (...) {
+    // The workers borrow this stack frame; they must finish before unwind.
+    if (fr.pending.load(std::memory_order_acquire) != 0) pool_->wait_frame(fr);
+    pool_->leave_host();
+    par_store_->end_parallel_mutation();
+    throw;
+  }
+  pool_->leave_host();
+  par_store_->end_parallel_mutation();
+
+  // Encounter-order merge: every access lands in exactly one group and each
+  // group's candidates are already in batch order, so a k-way min-index
+  // merge (k = par_groups_, single digits) reproduces the serial candidate
+  // stream exactly — same note_prior sequence, same report bytes, same
+  // query-plane counters.
+  std::fill(par_cursor_.begin(), par_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = par_groups_;
+    std::uint32_t best_index = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t g = 0; g < par_groups_; ++g) {
+      const std::vector<indexed_candidate>& out = par_out_[g];
+      if (par_cursor_[g] < out.size() && out[par_cursor_[g]].index < best_index) {
+        best = g;
+        best_index = out[par_cursor_[g]].index;
+      }
+    }
+    if (best == par_groups_) break;
+    const candidate& c = par_out_[best][par_cursor_[best]++].c;
+    note_prior(c.addr, c.prior, c.prior_is_write, c.current_is_write);
+  }
 }
 
 // Read of l: race candidate iff last-writer(l) might be logically parallel

@@ -39,6 +39,17 @@
 // into granules here), and the batched on_accesses entry (replay: the
 // trace player hands over whole runs of pre-granulated events in one
 // virtual call — see hooks::access_sink).
+//
+// With detector_config::workers > 1 the batched path runs PARALLEL
+// (DESIGN.md "Parallel detection"): each run fans out as one shard pass per
+// worker over the sharded store's partition (a granule's shard — and
+// therefore its worker — is a pure hash, so workers touch disjoint shadow
+// state), candidates merge back in encounter order, and the single-threaded
+// resolver above (note_prior / flush_pending, the qcache_, the one view
+// query per run) runs unchanged — reports and query-plane counters stay
+// byte-identical to the serial path. Dag events remain the epoch barrier:
+// every run flushes before the next dag event, so workers never observe a
+// view or cache from a stale epoch.
 #pragma once
 
 #include <functional>
@@ -52,6 +63,13 @@
 #include "detect/types.hpp"
 #include "shadow/store.hpp"
 
+namespace frd::shadow {
+class sharded_store;
+}
+namespace frd::rt::par {
+class scheduler;
+}
+
 namespace frd::detect {
 
 struct detector_config {
@@ -64,6 +82,15 @@ struct detector_config {
   std::string shadow_store = std::string(shadow::kDefaultStore);
   unsigned shadow_page_bits = 16;
   unsigned shadow_shard_bits = 4;  // sharded stores: 2^bits shards
+  // Parallel replay detection: how many workers the batched access path
+  // (on_accesses) fans each run out to. 1 = the serial §3 protocol; >1
+  // requires the "sharded" shadow store with >= 2 shards (store_error
+  // otherwise) — each worker owns a disjoint group of shards, runs the
+  // store steps shard-local, and the candidates merge back in encounter
+  // order before one batched view query resolves them, so reports and
+  // query-plane counters are byte-identical to workers == 1. The per-access
+  // on_read/on_write hooks always run serially. Range [1, 256].
+  unsigned workers = 1;
   // Capability envelope of the backend (from backend_info). Programs that
   // step outside it raise capability_error instead of silently producing
   // unsound reports.
@@ -85,7 +112,11 @@ struct query_plane_stats {
 // Memory accounting of one detection run — the counters the ingest daemon's
 // per-session budget enforcement reads (src/serve/) and `frd-trace run`
 // prints. store_bytes is the shadow store's reservation (page storage plus
-// its arenas); everything is a current snapshot, not a high-water mark.
+// its arenas). Most fields are a current snapshot; the peak_* fields are the
+// run's high-water marks, maintained by the detector at every batched access
+// run boundary and refreshed whenever memory() is taken — budget enforcement
+// must charge the peak, or transient spikes between observation points
+// escape it. Peaks clear with reset().
 struct memory_stats {
   std::size_t store_bytes = 0;       // shadow pages + store-owned arenas
   std::size_t store_pages = 0;       // materialized shadow pages
@@ -93,6 +124,8 @@ struct memory_stats {
   std::size_t report_retained = 0;   // full race records currently kept
   std::size_t report_capacity = 0;   // session::options::max_retained_races
   std::size_t query_cache_bytes = 0; // epoch strand-cache storage
+  std::size_t peak_store_bytes = 0;  // high-water store_bytes this run
+  std::size_t peak_total_bytes = 0;  // high-water total_bytes() this run
   std::size_t total_bytes() const { return store_bytes + query_cache_bytes; }
 };
 
@@ -182,12 +215,33 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
     std::uint8_t state = 0;  // kNotPreceding / kPreceding / kQueued
   };
   static constexpr std::uint8_t kNotPreceding = 0, kPreceding = 1, kQueued = 2;
+  // A candidate tagged with its position in the access run, so the merge
+  // after a parallel shard pass can re-serialize encounter order exactly.
+  struct indexed_candidate {
+    std::uint32_t index;
+    candidate c;
+  };
+  // Runs shorter than this stay on the serial loop: a shard pass costs one
+  // task push/steal per worker, which a handful of accesses cannot amortize.
+  static constexpr std::size_t kMinParallelRun = 64;
 
   void check_read(std::uintptr_t addr);
   void check_write(std::uintptr_t addr);
   void note_prior(std::uintptr_t addr, rt::strand_id prior, bool prior_is_write,
                   bool current_is_write);
   void flush_pending();
+  // Wires the parallel path onto the (sharded) store after (re)creation;
+  // validates cfg_.workers. No-op at workers == 1.
+  void bind_parallel();
+  // The workers > 1 batched path: fan the run out as one shard pass per
+  // group, then merge candidates back in encounter order into note_prior.
+  void parallel_accesses(std::span<const hooks::access> batch);
+  // One worker's share of a run: the accesses whose shard lands in `group`,
+  // scanned in batch order, store steps shard-local, candidates collected
+  // with their run index.
+  void shard_pass(std::span<const hooks::access> batch, std::size_t group);
+  // Folds the current footprint into the peak_* high-water marks.
+  void note_memory_peak() const;
 
   const detector_config cfg_;
   const std::uintptr_t granule_mask_;  // clears sub-granule address bits
@@ -207,6 +261,18 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   bool_buffer qout_;
   query_plane_stats qstats_;
   std::function<void(const race&)> race_sink_;
+  // Parallel-path state (bind_parallel; inert at workers == 1). The pool
+  // outlives reset() — a recycled session keeps its threads — while
+  // par_store_ is re-bound to each fresh store instance.
+  std::unique_ptr<rt::par::scheduler> pool_;
+  shadow::sharded_store* par_store_ = nullptr;
+  std::size_t par_groups_ = 1;
+  std::vector<std::vector<indexed_candidate>> par_out_;
+  std::vector<std::size_t> par_cursor_;
+  // High-water marks behind memory_stats::peak_*; mutable because memory()
+  // (const) refreshes them with the snapshot it just took.
+  mutable std::size_t peak_store_bytes_ = 0;
+  mutable std::size_t peak_total_bytes_ = 0;
 };
 
 }  // namespace frd::detect

@@ -414,6 +414,7 @@ void server::worker_loop() {
     std::string backend;
     std::string store;
     std::uint32_t granule = 0;
+    unsigned workers = 1;
     std::unique_ptr<session> s;
   } cache;
 
@@ -436,17 +437,28 @@ void server::worker_loop() {
       auto src = trace::open_source(in);
       const std::uint32_t granule = src->header().granule;
 
+      // Parallel detection only where the partition exists: a stream on an
+      // unsharded store replays serially no matter the daemon-wide setting.
+      const unsigned det_workers =
+          (opt_.detect_workers > 1 &&
+           shadow::store_registry::instance().at(j.store).sharded)
+              ? opt_.detect_workers
+              : 1;
+
       if (cache.s == nullptr || cache.backend != j.backend ||
-          cache.store != j.store || cache.granule != granule) {
+          cache.store != j.store || cache.granule != granule ||
+          cache.workers != det_workers) {
         cache.s = nullptr;  // release the old one before building anew
         cache.s = std::make_unique<session>(session::options{
             .backend = j.backend,
             .granule = granule,
             .shadow_store = j.store,
-            .replay_batch = opt_.replay_batch});
+            .replay_batch = opt_.replay_batch,
+            .workers = det_workers});
         cache.backend = j.backend;
         cache.store = j.store;
         cache.granule = granule;
+        cache.workers = det_workers;
       }
       session& s = *cache.s;
 
@@ -463,12 +475,15 @@ void server::worker_loop() {
 
       const auto check_budget = [&j, &s] {
         if (j.budget == 0) return;
+        // Charge the run's PEAK footprint, not the instantaneous snapshot:
+        // a spike between checkpoints must not escape the grant.
         const std::uint64_t used =
-            s.memory_stats().total_bytes() + j.bytes.size();
+            s.memory_stats().peak_total_bytes + j.bytes.size();
         if (used > j.budget) {
           throw budget_exceeded_error(
-              "detector state reached " + std::to_string(used) +
-              " bytes (buffered trace + shadow + report) against a " +
+              "detector state peaked at " + std::to_string(used) +
+              " bytes (buffered trace + shadow + query cache high-water "
+              "mark) against a " +
               std::to_string(j.budget) + "-byte budget");
         }
       };

@@ -25,8 +25,10 @@
 // the same session machinery.
 //
 // Memory budgets: each stream is charged for its buffered trace bytes as
-// they arrive, plus the session's memory_stats() during replay (checked at
-// replay checkpoints). Exceeding the grant fails that stream with
+// they arrive, plus the session's PEAK detector footprint
+// (memory_stats::peak_total_bytes, checked at replay checkpoints and once
+// after replay) — the high-water mark, so a spike between checkpoints
+// cannot duck under the grant. Exceeding it fails that stream with
 // budget_exceeded; the daemon keeps serving.
 #pragma once
 
@@ -54,10 +56,16 @@ struct server_options {
   // Per-stream memory grant in bytes (buffered trace + detector state);
   // 0 = unlimited. Clients may request less, never more.
   std::uint64_t default_budget = 0;
-  // Replay batching (session::options::replay_batch).
-  std::size_t replay_batch = 256;
+  // Replay batching (session::options::replay_batch; 0 = auto: 256 for
+  // serial streams, 4096 when detect_workers applies).
+  std::size_t replay_batch = 0;
   // Budget checkpoints fire every this many replayed events.
   std::uint64_t checkpoint_events = 65536;
+  // Parallel detection workers per replaying session (detector fan-out —
+  // distinct from `workers`, the stream-level pool above). Applied only to
+  // streams whose shadow store is sharded; unsharded stores replay
+  // serially, because the parallel path partitions on the shard hash.
+  unsigned detect_workers = 1;
 };
 
 struct server_stats {

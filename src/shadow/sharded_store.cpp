@@ -1,6 +1,9 @@
 #include "shadow/sharded_store.hpp"
 
 #include <new>
+#include <string>
+
+#include "support/check.hpp"
 
 namespace frd::shadow {
 
@@ -41,7 +44,28 @@ granule_record& sharded_store::record_for(std::uintptr_t addr) {
   return sh.cached_page[g & page_mask_];
 }
 
+void sharded_store::begin_parallel_mutation() {
+  FRD_CHECK_MSG(!mutating_.exchange(true, std::memory_order_acq_rel),
+                "nested parallel shard pass on one sharded store");
+}
+
+void sharded_store::end_parallel_mutation() {
+  FRD_CHECK_MSG(mutating_.exchange(false, std::memory_order_acq_rel),
+                "end_parallel_mutation without a matching begin");
+}
+
+void sharded_store::require_quiescent(const char* what) const {
+  if (mutating_.load(std::memory_order_acquire)) {
+    throw store_error(
+        std::string(what) +
+        " during a parallel shard pass: cross-shard walks race with "
+        "worker-local mutation and are epoch-barrier-only (the detector "
+        "closes the pass before every flush)");
+  }
+}
+
 store::granule_state sharded_store::peek(std::uintptr_t addr) const {
+  require_quiescent("sharded_store::peek");
   const std::uintptr_t g = granule_of(addr);
   const std::uintptr_t page_id = g >> page_bits_;
   const shard& sh = shards_[shard_of_page(page_id)];
@@ -51,18 +75,21 @@ store::granule_state sharded_store::peek(std::uintptr_t addr) const {
 }
 
 std::size_t sharded_store::page_count() const {
+  require_quiescent("sharded_store::page_count");
   std::size_t n = 0;
   for (const shard& sh : shards_) n += sh.pages.size();
   return n;
 }
 
 std::size_t sharded_store::bytes_reserved() const {
+  require_quiescent("sharded_store::bytes_reserved");
   std::size_t n = 0;
   for (const shard& sh : shards_) n += sh.storage.bytes_allocated();
   return n;
 }
 
 std::vector<std::size_t> sharded_store::shard_page_counts() const {
+  require_quiescent("sharded_store::shard_page_counts");
   std::vector<std::size_t> out;
   out.reserve(shards_.size());
   for (const shard& sh : shards_) out.push_back(sh.pages.size());

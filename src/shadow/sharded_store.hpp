@@ -15,6 +15,7 @@
 // arena deliberately does not.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -45,12 +46,24 @@ class sharded_store final : public store {
   std::size_t bytes_reserved() const override;
   std::size_t shard_count() const override { return shards_.size(); }
 
-  // Which shard the granule containing addr lands in (distribution tests).
+  // Which shard the granule containing addr lands in — the parallel
+  // detector's partition function (and the distribution tests').
   std::size_t shard_of(std::uintptr_t addr) const {
     return shard_of_page(granule_of(addr) >> page_bits_);
   }
   // Materialized pages per shard, for balance diagnostics.
   std::vector<std::size_t> shard_page_counts() const;
+
+  // Worker-phase bracket for the parallel detector (DESIGN.md "Parallel
+  // detection"): between begin and end, workers mutate disjoint shard
+  // groups concurrently, so every cross-shard walk — page_count(),
+  // bytes_reserved(), shard_page_counts(), peek() — would be a data race
+  // against worker-local mutation. Those entry points throw store_error
+  // while the phase is open; call them at epoch barriers only (the detector
+  // closes the phase before every flush, so memory_stats() and the serve
+  // budget checks always observe a quiescent store).
+  void begin_parallel_mutation();
+  void end_parallel_mutation();
 
  private:
   struct shard {
@@ -71,11 +84,13 @@ class sharded_store final : public store {
   }
 
   granule_record& record_for(std::uintptr_t addr);
+  void require_quiescent(const char* what) const;
 
   const unsigned page_bits_;
   const unsigned shard_bits_;
   const std::uintptr_t page_mask_;
   std::vector<shard> shards_;
+  std::atomic<bool> mutating_{false};
 };
 
 }  // namespace frd::shadow

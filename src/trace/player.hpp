@@ -63,6 +63,13 @@ class trace_player {
   // the batch buffer while keeping the per-call amortization (real runs are
   // usually shorter than this between dag events).
   static constexpr std::size_t kDefaultBatchCapacity = 256;
+  // The capacity session::options::replay_batch == 0 resolves to under
+  // parallel detection (workers > 1): each batched run pays a fixed
+  // fan-out/merge cost of roughly one task per worker, so parallel replay
+  // wants longer runs than the serial default. Dag events still flush
+  // whatever has accumulated — the epoch barrier is never deferred — and
+  // the report stays batch-size-independent.
+  static constexpr std::size_t kParallelBatchCapacity = 4096;
 
   std::size_t batch_capacity() const { return batch_capacity_; }
 

@@ -1,0 +1,297 @@
+// Parallel replay detection (detector_config::workers > 1).
+//
+// The contract under test is BYTE-IDENTITY: a parallel replay must produce
+// the same race report, the same retained-race encounter order, and the same
+// query-plane counters as the serial detector — the shard-hash partition and
+// the encounter-order merge are an implementation detail the report must not
+// leak. Three layers hold it honest:
+//
+//   the conformance cube   every corpus entry through every eligible backend
+//                          on the sharded store under workers 2 and 4,
+//                          against the same goldens the serial cube uses.
+//   the XL differential    a million-event entry replayed serially and with
+//                          workers=4 at the SAME batch size, comparing
+//                          retained races element-wise plus every query-
+//                          plane counter — stricter than the golden, which
+//                          only sees the racy-granule set.
+//   the store guard        sharded_store's parallel-mutation bracket turns
+//                          cross-shard walks during a worker phase into
+//                          store_error instead of a data race.
+//
+// The corpus directory is baked in at compile time (FRD_CORPUS_DIR, set by
+// CMake to <repo>/corpus) and overridable with the environment variable of
+// the same name.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "corpus/golden.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/runner.hpp"
+#include "detect/types.hpp"
+#include "shadow/sharded_store.hpp"
+#include "shadow/store.hpp"
+#include "trace/event.hpp"
+
+namespace frd {
+namespace {
+
+std::string corpus_dir() {
+  if (const char* env = std::getenv("FRD_CORPUS_DIR")) return env;
+  return FRD_CORPUS_DIR;
+}
+
+const corpus::manifest& corpus_manifest() {
+  static const corpus::manifest m =
+      corpus::load_manifest(corpus_dir() + "/MANIFEST");
+  return m;
+}
+
+// ------------------------------------------------------ conformance cube --
+
+struct parallel_case {
+  std::string entry;
+  std::string backend;
+  unsigned workers;
+};
+
+std::vector<parallel_case> all_cases() {
+  std::vector<parallel_case> out;
+  try {
+    for (const corpus::corpus_entry& e : corpus_manifest().entries) {
+      for (const std::string& b : corpus::eligible_backends(e.futures)) {
+        for (unsigned w : {2u, 4u}) {
+          out.push_back({e.name, b, w});
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Static-init time (ValuesIn below): degrade to zero cases and let
+    // the serial conformance suite report the corpus path problem.
+  }
+  return out;
+}
+
+class ParallelConformance : public ::testing::TestWithParam<parallel_case> {};
+
+TEST_P(ParallelConformance, ReplayMatchesTheSerialGolden) {
+  const parallel_case& c = GetParam();
+  const corpus::corpus_entry* e = corpus_manifest().find(c.entry);
+  ASSERT_NE(e, nullptr);
+  trace::memory_trace tape =
+      corpus::load_trace(corpus_dir() + "/" + e->trace_file);
+  const corpus::golden_report golden =
+      corpus::load_golden(corpus_dir() + "/" + e->golden_file);
+
+  const std::vector<std::string> details =
+      corpus::check_backend(tape, golden, c.backend, "sharded", c.workers);
+  for (const std::string& d : details) {
+    ADD_FAILURE() << "backend '" << c.backend << "' with workers=" << c.workers
+                  << " diverged on corpus entry '" << c.entry << "': " << d;
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<parallel_case>& info) {
+  std::string s = info.param.entry + "_" + info.param.backend + "_w" +
+                  std::to_string(info.param.workers);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Manifest, ParallelConformance,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// ------------------------------------------------------- XL differential --
+
+session::options xl_options(std::size_t granule, unsigned workers,
+                            std::size_t batch) {
+  return session::options{.backend = "multibags+",
+                          .granule = granule,
+                          .shadow_store = "sharded",
+                          .shadow_shard_bits = 4,
+                          .replay_batch = batch,
+                          .workers = workers};
+}
+
+// Serial vs workers=4 on a million-event entry at the SAME explicit batch
+// size, so the only varying input is the worker count. Element-wise retained
+// races catch an encounter-order perturbation the racy-granule golden would
+// absorb; identical query-plane counters prove the merged candidate stream
+// hit the epoch cache and issued batched view queries exactly like serial
+// detection did.
+TEST(ParallelDifferential, WorkerCountIsInvisibleInEveryObservable) {
+  const corpus::corpus_entry* e = corpus_manifest().find("tracking-structured-xl");
+  ASSERT_NE(e, nullptr) << "the XL differential needs the million-event entry";
+  trace::memory_trace tape =
+      corpus::load_trace(corpus_dir() + "/" + e->trace_file);
+
+  session serial(xl_options(tape.header().granule, 1, 1024));
+  serial.replay(tape);
+  tape.rewind();
+  session parallel(xl_options(tape.header().granule, 4, 1024));
+  parallel.replay(tape);
+  tape.rewind();
+
+  EXPECT_EQ(serial.report().total(), parallel.report().total());
+  EXPECT_EQ(serial.report().racy_granules(), parallel.report().racy_granules());
+  const std::vector<detect::race>& sr = serial.report().retained();
+  const std::vector<detect::race>& pr = parallel.report().retained();
+  ASSERT_EQ(sr.size(), pr.size());
+  for (std::size_t i = 0; i < sr.size(); ++i) {
+    EXPECT_EQ(sr[i].granule_addr, pr[i].granule_addr) << "race " << i;
+    EXPECT_EQ(sr[i].prior, pr[i].prior) << "race " << i;
+    EXPECT_EQ(sr[i].prior_kind, pr[i].prior_kind) << "race " << i;
+    EXPECT_EQ(sr[i].current, pr[i].current) << "race " << i;
+    EXPECT_EQ(sr[i].current_kind, pr[i].current_kind) << "race " << i;
+  }
+  EXPECT_EQ(serial.access_count(), parallel.access_count());
+  EXPECT_EQ(serial.get_count(), parallel.get_count());
+  EXPECT_EQ(serial.query_stats().lookups, parallel.query_stats().lookups);
+  EXPECT_EQ(serial.query_stats().cache_hits, parallel.query_stats().cache_hits);
+  EXPECT_EQ(serial.query_stats().batches, parallel.query_stats().batches);
+  EXPECT_EQ(serial.query_stats().strands, parallel.query_stats().strands);
+}
+
+// replay_batch = 0 resolves to the 4096-run parallel default; the golden
+// must hold there too (batch size is report-invisible by contract).
+TEST(ParallelDifferential, AutoBatchMatchesTheGolden) {
+  const corpus::corpus_entry* e = corpus_manifest().find("mm-structured-xl");
+  ASSERT_NE(e, nullptr);
+  trace::memory_trace tape =
+      corpus::load_trace(corpus_dir() + "/" + e->trace_file);
+  const corpus::golden_report golden =
+      corpus::load_golden(corpus_dir() + "/" + e->golden_file);
+
+  session s(xl_options(tape.header().granule, 4, /*batch=*/0));
+  s.replay(tape);
+  tape.rewind();
+  EXPECT_EQ(s.report().racy_granules().size(), golden.racy_granules.size());
+  EXPECT_EQ(s.access_count(), golden.accesses);
+  EXPECT_EQ(s.get_count(), golden.gets);
+}
+
+// ----------------------------------------------------------- store guard --
+
+// Cross-shard walks during a parallel worker phase would race worker-local
+// mutation; the bracket turns them into store_error AT the caller instead.
+TEST(ShardedStoreGuard, CrossShardWalksThrowDuringAParallelPhase) {
+  shadow::sharded_store store(
+      shadow::store_config{.page_bits = 8, .granule_shift = 2, .shard_bits = 2});
+  store.write_step(0x1000, rt::strand_id{1}, [](rt::strand_id, bool) {});
+
+  store.begin_parallel_mutation();
+  EXPECT_THROW((void)store.peek(0x1000), shadow::store_error);
+  EXPECT_THROW((void)store.page_count(), shadow::store_error);
+  EXPECT_THROW((void)store.bytes_reserved(), shadow::store_error);
+  EXPECT_THROW((void)store.shard_page_counts(), shadow::store_error);
+  // Per-granule steps ARE the worker phase — they must keep working.
+  EXPECT_NO_THROW((void)store.read_step(0x1000, rt::strand_id{2}));
+  store.end_parallel_mutation();
+
+  // Quiescent again: the walks come back, and they see the phase's writes.
+  EXPECT_NO_THROW((void)store.peek(0x1000));
+  EXPECT_GE(store.page_count(), 1u);
+  EXPECT_GT(store.bytes_reserved(), 0u);
+  EXPECT_EQ(store.shard_page_counts().size(), store.shard_count());
+}
+
+// ---------------------------------------------------------- config errors --
+
+TEST(ParallelConfig, RejectsUnshardedStores) {
+  // hashed-page has no shard partition to hand workers; failing at session
+  // construction beats detecting serially while claiming --workers 4.
+  EXPECT_THROW(session(session::options{.shadow_store = "hashed-page",
+                                        .workers = 4}),
+               shadow::store_error);
+  EXPECT_THROW(session(session::options{.shadow_store = "compact",
+                                        .workers = 2}),
+               shadow::store_error);
+}
+
+TEST(ParallelConfig, RejectsASingleShard) {
+  EXPECT_THROW(session(session::options{.shadow_store = "sharded",
+                                        .shadow_shard_bits = 0,
+                                        .workers = 2}),
+               shadow::store_error);
+}
+
+TEST(ParallelConfig, RejectsOutOfRangeWorkerCounts) {
+  EXPECT_THROW(session(session::options{.shadow_store = "sharded",
+                                        .workers = 0}),
+               detect::backend_error);
+  EXPECT_THROW(session(session::options{.shadow_store = "sharded",
+                                        .workers = 257}),
+               detect::backend_error);
+}
+
+TEST(ParallelConfig, OneWorkerNeedsNoShardedStore) {
+  EXPECT_NO_THROW(session(session::options{.workers = 1}));
+}
+
+// ------------------------------------------------------------ peak memory --
+
+// memory_stats::peak_* is a true high-water mark: never below any
+// checkpoint-time observation and never below the final snapshot. The
+// checkpoint itself doubles as the epoch-barrier proof — it reads
+// memory_stats() (a cross-shard walk) mid-replay under workers=4, which
+// only works because the detector closes the parallel phase before every
+// flush.
+TEST(PeakMemory, PeakIsAHighWaterMarkAcrossCheckpoints) {
+  const corpus::corpus_entry* e = corpus_manifest().find("mm-structured-xl");
+  ASSERT_NE(e, nullptr);
+  trace::memory_trace tape =
+      corpus::load_trace(corpus_dir() + "/" + e->trace_file);
+
+  session s(xl_options(tape.header().granule, 4, /*batch=*/0));
+  std::size_t max_seen_total = 0;
+  std::uint64_t checkpoints = 0;
+  session::replay_checkpoint cp;
+  cp.every_events = 4096;
+  cp.fn = [&](std::uint64_t, std::uint64_t) {
+    const detect::memory_stats m = s.memory_stats();
+    if (m.total_bytes() > max_seen_total) max_seen_total = m.total_bytes();
+    EXPECT_GE(m.peak_total_bytes, m.total_bytes());
+    EXPECT_GE(m.peak_store_bytes, m.store_bytes);
+    ++checkpoints;
+  };
+  s.replay(tape, cp);
+  tape.rewind();
+
+  ASSERT_GT(checkpoints, 0u) << "the XL entry must actually hit checkpoints";
+  const detect::memory_stats final_stats = s.memory_stats();
+  EXPECT_GT(max_seen_total, 0u);
+  EXPECT_GE(final_stats.peak_total_bytes, max_seen_total);
+  EXPECT_GE(final_stats.peak_total_bytes, final_stats.total_bytes());
+  EXPECT_GE(final_stats.peak_store_bytes, final_stats.store_bytes);
+}
+
+// reset() must clear the high-water marks: a pooled session serving a small
+// stream after a huge one must not charge the small stream for the huge
+// one's peak (the serve budget reads the peak).
+TEST(PeakMemory, ResetClearsThePeaks) {
+  const corpus::corpus_entry* e = corpus_manifest().find("mm-structured-xl");
+  ASSERT_NE(e, nullptr);
+  trace::memory_trace tape =
+      corpus::load_trace(corpus_dir() + "/" + e->trace_file);
+
+  session s(xl_options(tape.header().granule, 4, /*batch=*/0));
+  s.replay(tape);
+  tape.rewind();
+  const std::size_t peak_before = s.memory_stats().peak_total_bytes;
+  ASSERT_GT(peak_before, 0u);
+
+  s.reset();
+  const detect::memory_stats after = s.memory_stats();
+  EXPECT_EQ(after.peak_store_bytes, 0u)
+      << "a fresh store has no reservation; a surviving peak is stale";
+  EXPECT_LT(after.peak_total_bytes, peak_before);
+}
+
+}  // namespace
+}  // namespace frd

@@ -424,6 +424,52 @@ TEST_F(ServeDaemonTest, ServerBudgetCapsClientRequests) {
   EXPECT_EQ(r.code, error_code::budget_exceeded) << r.error;
 }
 
+// The peak-footprint budget check runs once after replay even when the
+// stream is too short to hit a checkpoint: a footprint spike cannot duck
+// under the grant by finishing between checkpoints, because the charge is
+// memory_stats::peak_total_bytes — the high-water mark — not the final
+// snapshot.
+TEST_F(ServeDaemonTest, PeakFootprintIsChargedWithoutCheckpoints) {
+  server_options opt;
+  opt.checkpoint_events = 1u << 30;  // no mid-replay checkpoint ever fires
+  start(opt);
+  client cli(socket_);
+  submit_options tiny;
+  tiny.budget = 1u << 20;  // above the ~18 KB buffered trace, below the
+                           // ~2 MiB shadow-page high-water mark
+  const submit_result r =
+      cli.submit(read_file(corpus_dir() + "/mm-structured.frdt"), tiny);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, error_code::budget_exceeded) << r.error;
+  EXPECT_NE(r.error.find("peaked"), std::string::npos)
+      << "the failure must name the high-water mark: " << r.error;
+  // The daemon keeps serving, and an unbudgeted retry completes.
+  const submit_result again =
+      cli.submit_file(corpus_dir() + "/mm-structured.frdt");
+  EXPECT_TRUE(again.ok) << again.error;
+}
+
+// detect_workers fans each replay batch across the sharded store's shard
+// groups; the served report must stay byte-identical to the golden, and
+// unsharded streams silently fall back to serial detection instead of
+// failing the way a session constructed with workers > 1 on them would.
+TEST_F(ServeDaemonTest, ParallelDetectionServesByteIdenticalReports) {
+  server_options opt;
+  opt.detect_workers = 4;
+  start(opt);
+  client cli(socket_);
+  submit_options sharded;
+  sharded.store = "sharded";
+  const submit_result par = cli.submit(
+      read_file(corpus_dir() + "/tracking-structured-xl.frdtz"), sharded);
+  ASSERT_TRUE(par.ok) << par.error;
+  EXPECT_EQ(par.golden, load_corpus_golden("tracking-structured-xl"));
+  const submit_result serial =
+      cli.submit_file(corpus_dir() + "/fuzz-general.frdt");
+  ASSERT_TRUE(serial.ok) << serial.error;
+  EXPECT_EQ(serial.golden, load_corpus_golden("fuzz-general"));
+}
+
 TEST_F(ServeDaemonTest, MidStreamDisconnectLeavesDaemonServing) {
   start();
   {

@@ -31,7 +31,12 @@ int main(int argc, char** argv) {
   auto& budget_mb = flags.int_flag(
       "budget-mb", 0,
       "per-stream memory budget in MiB, 0 = unlimited (clients may lower it)");
-  auto& batch = flags.int_flag("batch", 256, "replay batch size");
+  auto& batch = flags.int_flag(
+      "batch", 0, "replay batch size (0 = auto: 256 serial, 4096 parallel)");
+  auto& detect_workers = flags.int_flag(
+      "detect-workers", 1,
+      "parallel detection workers per stream; applies to sharded-store "
+      "streams only (reports stay byte-identical)");
   flags.parse();
 
   if (socket_path.empty()) {
@@ -43,8 +48,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "frd-serve: --workers must be in [1, 256]\n");
     return 2;
   }
-  if (budget_mb < 0 || batch < 1) {
-    std::fprintf(stderr, "frd-serve: --budget-mb must be >= 0, --batch >= 1\n");
+  if (budget_mb < 0 || batch < 0) {
+    std::fprintf(stderr, "frd-serve: --budget-mb must be >= 0, --batch >= 0\n");
+    return 2;
+  }
+  if (detect_workers < 1 || detect_workers > 256) {
+    std::fprintf(stderr, "frd-serve: --detect-workers must be in [1, 256]\n");
     return 2;
   }
 
@@ -63,6 +72,7 @@ int main(int argc, char** argv) {
   opt.workers = static_cast<unsigned>(workers);
   opt.default_budget = static_cast<std::uint64_t>(budget_mb) << 20;
   opt.replay_batch = static_cast<std::size_t>(batch);
+  opt.detect_workers = static_cast<unsigned>(detect_workers);
 
   frd::serve::server srv(opt);
   try {

@@ -121,6 +121,9 @@ void fuzz_program(session& s, std::uint64_t seed, bool structured) {
 void print_report(const session& s, std::uint64_t events) {
   std::printf("backend:        %s\n", std::string(s.backend_name()).c_str());
   std::printf("shadow store:   %s\n", s.opts().shadow_store.c_str());
+  if (s.opts().workers > 1) {
+    std::printf("workers:        %u\n", s.opts().workers);
+  }
   std::printf("mode:           %s\n", std::string(to_string(s.mode())).c_str());
   if (events) std::printf("trace events:   %llu\n",
                           static_cast<unsigned long long>(events));
@@ -158,6 +161,10 @@ void print_report(const session& s, std::uint64_t events) {
   }
   std::printf(", query cache %llu)\n",
               static_cast<unsigned long long>(m.query_cache_bytes));
+  // Peak = the run's high-water mark, the number serve budgets charge.
+  std::printf("peak memory:    %llu bytes (shadow %llu)\n",
+              static_cast<unsigned long long>(m.peak_total_bytes),
+              static_cast<unsigned long long>(m.peak_store_bytes));
   std::printf("report buffer:  %llu/%llu races retained\n",
               static_cast<unsigned long long>(m.report_retained),
               static_cast<unsigned long long>(m.report_capacity));
@@ -384,6 +391,13 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       "shadow store to replay on (hashed-page | sharded | compact)");
   auto& shard_bits = flags.int_flag(
       "shard-bits", 4, "sharded store: 2^bits shards (ignored elsewhere)");
+  auto& workers = flags.int_flag(
+      "workers", 1,
+      "parallel detection workers; > 1 runs each access run shard-parallel "
+      "on the sharded store (the default store upgrades automatically) with "
+      "a report byte-identical to --workers 1");
+  auto& batch = flags.int_flag(
+      "batch", 0, "replay batch size (0 = auto: 256 serial, 4096 parallel)");
   auto& from = flags.int_flag(
       "from", 0, "first event of the replay window (> 0: conflict scan)");
   auto& to = flags.int_flag("to", 0, "stop before this event (0 = end)");
@@ -392,8 +406,30 @@ int cmd_run(const std::string& path, int argc, char** argv) {
     std::fprintf(stderr, "run: --shard-bits must be in [0, 10]\n");
     return 2;
   }
+  if (workers < 1 || workers > 256) {
+    std::fprintf(stderr, "run: --workers must be in [1, 256]\n");
+    return 2;
+  }
+  if (batch < 0) {
+    std::fprintf(stderr, "run: --batch must be >= 0 (0 = auto)\n");
+    return 2;
+  }
   if (from < 0 || to < 0 || (to > 0 && to <= from)) {
     std::fprintf(stderr, "run: need 0 <= --from < --to\n");
+    return 2;
+  }
+  if (workers > 1 && store == std::string(shadow::kDefaultStore)) {
+    // Parallel detection partitions on the sharded store's shard hash; the
+    // report is store-independent, so upgrading the default is loss-free.
+    std::fprintf(stderr,
+                 "run: --workers %lld detects on the sharded store "
+                 "(--store %s is unsharded)\n",
+                 static_cast<long long>(workers),
+                 store.c_str());
+    store = "sharded";
+  }
+  if (workers > 1 && shard_bits == 0) {
+    std::fprintf(stderr, "run: --workers > 1 needs --shard-bits >= 1\n");
     return 2;
   }
 
@@ -412,7 +448,9 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       .backend = backend,
       .granule = static_cast<std::size_t>(src->header().granule),
       .shadow_store = store,
-      .shadow_shard_bits = static_cast<unsigned>(shard_bits)});
+      .shadow_shard_bits = static_cast<unsigned>(shard_bits),
+      .replay_batch = static_cast<std::size_t>(batch),
+      .workers = static_cast<unsigned>(workers)});
   std::uint64_t events = 0;
   if (to > 0) {
     // Exact prefix detection: identical to replaying a truncated trace.

@@ -12,10 +12,11 @@ baseline share — i.e. a backend got slower *relative to the others*, which
 no machine change explains.
 
 Only rows present in BOTH snapshots (same trace, same backend) measured on
-the default shadow store at the default replay batch size participate, so
-corpus growth, store sweeps, and --batch-size sweeps never skew the
-comparison. Rows without a "store"/"batch" field (older snapshots) count as
-default rows.
+the default shadow store at the default replay batch size with serial
+detection (workers == 1) participate, so corpus growth, store sweeps,
+--batch-size sweeps, and --workers sweeps never skew the comparison. Rows
+without a "store"/"batch"/"workers" field (older snapshots) count as
+default rows: pre-PR-8 history was all serial, so it stays comparable.
 
 With --fresh-micro the same relative-share guard also runs over the
 BENCH_micro_shadow.json Google-Benchmark snapshot, grouped by shadow store
@@ -23,11 +24,20 @@ BENCH_micro_shadow.json Google-Benchmark snapshot, grouped by shadow store
 "BM_WriteStepSequential/sharded"): a store whose per-op speed share fell
 below the threshold fails the run with the store named.
 
+With --fresh-parallel the guard runs over the BENCH_parallel_speedup.json
+snapshot, grouped by worker count: a worker count whose throughput share
+fell below the threshold (relative to the other counts in the same
+snapshot, so machine speed cancels) means the parallel detection path
+stopped scaling the way the baseline did.
+
 Usage:
   perf_compare.py --fresh build/BENCH_replay_throughput.json [--history perf]
                   [--baseline FILE] [--threshold 0.5] [--default-store NAME]
                   [--fresh-micro build/BENCH_micro_shadow.json]
                   [--baseline-micro FILE]
+                  [--fresh-parallel build/BENCH_parallel_speedup.json]
+                  [--baseline-parallel FILE]
+  perf_compare.py --self-test
 
 Exit codes: 0 ok / no usable baseline, 1 regression, 2 bad invocation.
 """
@@ -62,6 +72,11 @@ def load_rows(path, default_store):
             continue
         if row.get("batch", DEFAULT_BATCH) != DEFAULT_BATCH:
             continue
+        # Parallel-detection rows time a different code path; comparing them
+        # against serial history would report a phantom regression (or mask a
+        # real one). Absent field = pre-PR-8 snapshot = serial.
+        if row.get("workers", 1) != 1:
+            continue
         eps = float(row["events_per_sec"])
         if eps > 0:
             rows.setdefault((row["trace"], row["backend"]), eps)
@@ -87,6 +102,20 @@ def micro_store_of(name):
     """BM_WriteStepSequential/sharded/65536 -> sharded."""
     parts = name.split("/")
     return parts[1] if len(parts) > 1 else parts[0]
+
+
+def load_parallel_rows(path):
+    """(trace, backend, workers) -> events_per_sec for one parallel_speedup
+    snapshot. All worker counts participate — that sweep IS the signal."""
+    with open(path) as f:
+        snap = json.load(f)
+    rows = {}
+    for row in snap.get("rows", []):
+        eps = float(row["events_per_sec"])
+        if eps > 0:
+            rows.setdefault(
+                (row["trace"], row["backend"], int(row["workers"])), eps)
+    return rows
 
 
 def latest_baseline(history_dir, suffix):
@@ -128,9 +157,88 @@ def compare_shares(label, base_shares, fresh_shares, threshold):
     return regressions
 
 
+def self_test():
+    """Fixture-driven checks of the comparison logic itself (no build
+    artifacts needed). Exercises the workers==1 filter, the share math, the
+    regression trip-wire, and baseline discovery."""
+    import tempfile
+
+    failures = []
+
+    def check(name, cond):
+        print(f"  self-test: {name}: {'ok' if cond else 'FAIL'}")
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as td:
+        td = Path(td)
+        # 1. load_rows must keep only default-store/default-batch/serial rows
+        #    and treat missing fields (pre-PR-8 snapshots) as defaults.
+        mixed = td / "mixed.json"
+        mixed.write_text(json.dumps({"rows": [
+            {"trace": "t", "backend": "a", "events_per_sec": 10.0},
+            {"trace": "t", "backend": "b", "store": DEFAULT_STORE,
+             "batch": DEFAULT_BATCH, "workers": 1, "events_per_sec": 20.0},
+            {"trace": "t", "backend": "c", "workers": 4,
+             "events_per_sec": 99.0},
+            {"trace": "t", "backend": "d", "store": "sharded",
+             "events_per_sec": 99.0},
+            {"trace": "t", "backend": "e", "batch": 4096,
+             "events_per_sec": 99.0},
+        ]}))
+        rows = load_rows(mixed, DEFAULT_STORE)
+        check("load_rows keeps field-less rows as serial defaults",
+              ("t", "a") in rows and ("t", "b") in rows)
+        check("load_rows drops workers!=1 rows", ("t", "c") not in rows)
+        check("load_rows drops non-default store/batch rows",
+              ("t", "d") not in rows and ("t", "e") not in rows)
+
+        # 2. share math: identical snapshots never regress; a backend that
+        #    halved relative to its peers trips the default threshold.
+        base = {("t1", "a"): 100.0, ("t1", "b"): 100.0,
+                ("t2", "a"): 50.0, ("t2", "b"): 50.0}
+        same = compare_shares("backend", shares(base, lambda k: k[1]),
+                              shares(base, lambda k: k[1]), 0.5)
+        check("identical snapshots pass", same == [])
+        slow_b = {k: (v / 8 if k[1] == "b" else v) for k, v in base.items()}
+        regressed = compare_shares("backend", shares(base, lambda k: k[1]),
+                                   shares(slow_b, lambda k: k[1]), 0.5)
+        check("8x relative slowdown trips the threshold", regressed == ["b"])
+
+        # 3. parallel rows: grouped by worker count, a scaling collapse at
+        #    workers=4 is caught even when workers=1 is unchanged.
+        pbase = {("t", "a", 1): 100.0, ("t", "a", 4): 300.0}
+        pslow = {("t", "a", 1): 100.0, ("t", "a", 4): 60.0}
+        regressed = compare_shares(
+            "workers", shares(pbase, lambda k: str(k[2])),
+            shares(pslow, lambda k: str(k[2])), 0.5)
+        check("parallel scaling collapse trips the threshold",
+              regressed == ["4"])
+
+        # 4. baseline discovery picks the highest PR number per suffix.
+        for name in ("pr3_replay_throughput.json", "pr10_replay_throughput.json",
+                     "pr7_parallel_speedup.json"):
+            (td / name).write_text("{}")
+        check("latest_baseline picks the highest PR",
+              latest_baseline(td, "replay_throughput").name
+              == "pr10_replay_throughput.json")
+        check("latest_baseline matches the suffix",
+              latest_baseline(td, "parallel_speedup").name
+              == "pr7_parallel_speedup.json")
+        check("latest_baseline returns None when empty",
+              latest_baseline(td, "micro_shadow") is None)
+
+    if failures:
+        print(f"perf_compare --self-test: FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("perf_compare --self-test: all checks passed")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--fresh", required=True,
+    ap.add_argument("--fresh",
                     help="BENCH_replay_throughput.json from this build")
     ap.add_argument("--history", default="perf",
                     help="directory of prN_*.json snapshots")
@@ -149,7 +257,21 @@ def main():
     ap.add_argument("--baseline-micro", default=None,
                     help="explicit micro-shadow baseline (overrides "
                          "--history)")
+    ap.add_argument("--fresh-parallel", default=None,
+                    help="BENCH_parallel_speedup.json from this build; also "
+                         "guard the per-worker-count scaling trajectory")
+    ap.add_argument("--baseline-parallel", default=None,
+                    help="explicit parallel-speedup baseline (overrides "
+                         "--history)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run fixture-driven checks of the comparison logic "
+                         "and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.fresh is None:
+        ap.error("--fresh is required (unless --self-test)")
 
     failed = False
 
@@ -219,6 +341,44 @@ def main():
                       f"store(s): {', '.join(regressions)} (share ratio < "
                       f"{args.threshold}); if intentional, land the new "
                       f"perf/prN snapshot with the change and say why",
+                      file=sys.stderr)
+                failed = True
+
+    if args.fresh_parallel:
+        par_base_path = args.baseline_parallel or latest_baseline(
+            args.history, "parallel_speedup")
+        if par_base_path is None:
+            print(f"perf_compare: no pr*_parallel_speedup.json under "
+                  f"'{args.history}' — skipping the parallel trajectory")
+        else:
+            try:
+                fresh_p = load_parallel_rows(args.fresh_parallel)
+                base_p = load_parallel_rows(par_base_path)
+            except (OSError, ValueError, KeyError) as e:
+                print(f"perf_compare: unreadable parallel snapshot: {e}",
+                      file=sys.stderr)
+                return 2
+            common_p = sorted(set(fresh_p) & set(base_p))
+            if not common_p:
+                print("perf_compare: the parallel snapshots share no "
+                      "(trace, backend, workers) rows — sweep changed "
+                      "completely; not comparable", file=sys.stderr)
+                return 2
+            print(f"perf_compare: {args.fresh_parallel} vs {par_base_path} "
+                  f"({len(common_p)} common rows, threshold "
+                  f"{args.threshold})")
+            regressions = compare_shares(
+                "workers",
+                shares({k: base_p[k] for k in common_p},
+                       lambda k: str(k[2])),
+                shares({k: fresh_p[k] for k in common_p},
+                       lambda k: str(k[2])),
+                args.threshold)
+            if regressions:
+                print(f"perf_compare: parallel detection scaling regressed "
+                      f"at worker count(s): {', '.join(regressions)} (share "
+                      f"ratio < {args.threshold}); if intentional, land the "
+                      f"new perf/prN snapshot with the change and say why",
                       file=sys.stderr)
                 failed = True
 
