@@ -73,32 +73,50 @@ struct row {
   std::string store;
   std::size_t batch = 256;  // player run length (session replay_batch)
   unsigned workers = 1;     // parallel detection workers (1 = serial)
+  double sample_rate = 1.0; // sampling-mode rate (1.0 = full detection)
+  std::size_t history_depth = shadow::kUnboundedHistory;
   std::uint64_t events = 0;
-  double mean_s = 0, rsd = 0, events_per_sec = 0;
+  double mean_s = 0, min_s = 0, median_s = 0, stddev_s = 0, rsd = 0,
+         events_per_sec = 0;
   std::uint64_t racy_granules = 0;
 };
 
+// Benchmark settings beyond the per-row sweep axes: warmup replays are run
+// and discarded before the measured batch, so first-touch page faults,
+// allocator growth, and cold caches never land in a timed repetition
+// (SNIPPETS.md §1's warmup/measured separation).
+struct bench_settings {
+  int warmup = 1;
+  int reps = 5;
+  double sample_rate = 1.0;
+  std::size_t history_depth = shadow::kUnboundedHistory;
+};
+
 // Replays `tape` through `backend` on `store` with the given player batch
-// size and detection worker count, `reps` times (after one warmup), and
-// fills the timing columns.
+// size and detection worker count; `cfg.warmup` discarded replays, then
+// `cfg.reps` measured ones fill the timing columns (mean, min, median,
+// stddev — throughput is derived from the mean). All correctness checks
+// happen on the session state AFTER the timer stops.
 row bench_backend(trace::memory_trace& tape, const std::string& name,
                   const std::string& backend, const std::string& store,
                   unsigned shard_bits, std::size_t batch, unsigned workers,
-                  int reps) {
+                  const bench_settings& cfg) {
   std::vector<double> times;
   std::uint64_t racy = 0;
-  for (int r = 0; r < reps + 1; ++r) {
+  for (int r = 0; r < cfg.reps + cfg.warmup; ++r) {
     tape.rewind();
     session s(session::options{.backend = backend,
                                .granule = tape.header().granule,
                                .shadow_store = store,
                                .shadow_shard_bits = shard_bits,
                                .replay_batch = batch,
-                               .workers = workers});
+                               .workers = workers,
+                               .sample_rate = cfg.sample_rate,
+                               .shadow_history_depth = cfg.history_depth});
     wall_timer t;
     s.replay(tape);
     const double secs = t.seconds();
-    if (r > 0) times.push_back(secs);  // first replay is warmup
+    if (r >= cfg.warmup) times.push_back(secs);
     racy = s.report().racy_granules().size();
   }
   tape.rewind();
@@ -108,8 +126,13 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
   out.store = store;
   out.batch = batch;
   out.workers = workers;
+  out.sample_rate = cfg.sample_rate;
+  out.history_depth = cfg.history_depth;
   out.events = tape.size();
   out.mean_s = mean(times);
+  out.min_s = minimum(times);
+  out.median_s = median(times);
+  out.stddev_s = stddev(times);
   out.rsd = rel_stddev(times);
   out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
   out.racy_granules = racy;
@@ -136,6 +159,25 @@ std::vector<std::size_t> parse_batch_sizes(const std::string& spec) {
   return out;
 }
 
+// --sample-rate accepts one value or a comma-separated sweep ("1,0.5,0.1");
+// every token must be a complete number in (0, 1].
+std::vector<double> parse_sample_rates(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = tok.empty() ? 0 : std::strtod(tok.c_str(), &end);
+    if (!(v > 0.0 && v <= 1.0) || end == nullptr || *end != '\0') {
+      return {};  // caller reports the usage error
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 void write_json(const std::string& path, const std::string& mode,
                 const std::vector<row>& rows) {
   std::ofstream json(path);
@@ -147,8 +189,18 @@ void write_json(const std::string& path, const std::string& mode,
          << r.format << "\", \"backend\": \"" << r.backend << "\", \"store\": \""
          << r.store
          << "\", \"batch\": " << r.batch << ", \"workers\": " << r.workers
-         << ", \"events\": " << r.events
-         << ", \"mean_seconds\": " << r.mean_s << ", \"rel_stddev\": " << r.rsd
+         << ", \"sample_rate\": " << r.sample_rate << ", \"history_depth\": ";
+    if (r.history_depth == shadow::kUnboundedHistory) {
+      json << "\"unbounded\"";
+    } else {
+      json << r.history_depth;
+    }
+    json << ", \"events\": " << r.events
+         << ", \"mean_seconds\": " << r.mean_s
+         << ", \"min_seconds\": " << r.min_s
+         << ", \"median_seconds\": " << r.median_s
+         << ", \"stddev_seconds\": " << r.stddev_s
+         << ", \"rel_stddev\": " << r.rsd
          << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"racy_granules\": " << r.racy_granules << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -164,14 +216,20 @@ void write_json(const std::string& path, const std::string& mode,
 }
 
 void print_table(const std::vector<row>& rows, const char* title) {
-  text_table table({"trace", "backend", "store", "batch", "workers", "events",
-                    "mean", "events/sec", "racy"});
+  text_table table({"trace", "backend", "store", "batch", "workers", "rate",
+                    "depth", "events", "mean", "median", "events/sec",
+                    "racy"});
   for (const row& r : rows) {
-    char eps[64];
+    char eps[64], rate[32];
     std::snprintf(eps, sizeof(eps), "%.3g", r.events_per_sec);
+    std::snprintf(rate, sizeof(rate), "%g", r.sample_rate);
     table.add_row({r.trace, r.backend, r.store, std::to_string(r.batch),
-                   std::to_string(r.workers), std::to_string(r.events),
-                   text_table::seconds(r.mean_s), eps,
+                   std::to_string(r.workers), rate,
+                   r.history_depth == shadow::kUnboundedHistory
+                       ? std::string("inf")
+                       : std::to_string(r.history_depth),
+                   std::to_string(r.events), text_table::seconds(r.mean_s),
+                   text_table::seconds(r.median_s), eps,
                    std::to_string(r.racy_granules)});
   }
   std::printf("\n== Replay throughput: %s ==\n%s", title,
@@ -181,7 +239,8 @@ void print_table(const std::vector<row>& rows, const char* title) {
 int run_corpus_mode(const std::string& dir, const std::string& store,
                     unsigned shard_bits,
                     const std::vector<std::size_t>& batches, unsigned workers,
-                    int reps, const std::string& json_path) {
+                    const std::vector<double>& rates, bench_settings cfg,
+                    const std::string& json_path) {
   const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
   std::vector<row> rows;
   for (const corpus::corpus_entry& e : m.entries) {
@@ -191,18 +250,31 @@ int run_corpus_mode(const std::string& dir, const std::string& store,
     const bool compressed = e.trace_file.ends_with(".frdtz");
     for (const std::string& backend : corpus::eligible_backends(e.futures)) {
       for (const std::size_t batch : batches) {
-        row r = bench_backend(tape, e.name, backend, store, shard_bits, batch,
-                              workers, reps);
-        r.format = compressed ? "frdtz" : "frdt";
-        FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
-                      "replay race count diverged from the corpus golden — "
-                      "run frd-corpus verify");
-        rows.push_back(std::move(r));
+        for (const double rate : rates) {
+          cfg.sample_rate = rate;
+          row r = bench_backend(tape, e.name, backend, store, shard_bits,
+                                batch, workers, cfg);
+          r.format = compressed ? "frdtz" : "frdt";
+          // Correctness gate, outside the timed region: full detection must
+          // match the golden byte for byte; a (granule-policy) sampled or
+          // history-bounded run reports a subset of the golden races, so a
+          // count above the golden's is a bug in either mode.
+          if (rate == 1.0 && cfg.history_depth == shadow::kUnboundedHistory) {
+            FRD_CHECK_MSG(r.racy_granules == gold.racy_granules.size(),
+                          "replay race count diverged from the corpus golden "
+                          "— run frd-corpus verify");
+          } else {
+            FRD_CHECK_MSG(r.racy_granules <= gold.racy_granules.size(),
+                          "sampled replay reported MORE racy granules than "
+                          "the corpus golden");
+          }
+          rows.push_back(std::move(r));
+        }
       }
     }
   }
   print_table(rows, (std::to_string(m.entries.size()) + "-entry corpus, " +
-                     std::to_string(reps) + " reps, store " + store)
+                     std::to_string(cfg.reps) + " reps, store " + store)
                         .c_str());
   write_json(json_path, "corpus", rows);
   return 0;
@@ -240,6 +312,17 @@ int main(int argc, char** argv) {
       "parallel detection workers (>1 requires --store sharded; rows carry "
       "the count in the \"workers\" field — perf_compare only gates on "
       "workers=1 rows)");
+  auto& rate_spec = flags.string_flag(
+      "sample-rate", "1",
+      "sampling rate(s) in (0, 1]; comma-separated to sweep (e.g. 1,0.1 — "
+      "rows carry the rate in the \"sample_rate\" field; perf_compare only "
+      "gates the serial trajectory on rate-1 rows)");
+  auto& history_depth = flags.int_flag(
+      "history-depth", 0,
+      "retained readers per granule; 0 = unbounded, N >= 1 keeps the most "
+      "recent N (short-race-window mode)");
+  auto& warmup = flags.int_flag(
+      "warmup", 1, "discarded replays before the measured batch");
   flags.parse();
   if (reps < 1) {
     std::fprintf(stderr, "replay_throughput: --reps must be >= 1\n");
@@ -264,6 +347,27 @@ int main(int argc, char** argv) {
                          "sharded with --shard-bits >= 1\n");
     return 1;
   }
+  const std::vector<double> rates = parse_sample_rates(rate_spec);
+  if (rates.empty()) {
+    std::fprintf(stderr, "replay_throughput: --sample-rate needs "
+                         "comma-separated values in (0, 1] (e.g. 1,0.1)\n");
+    return 1;
+  }
+  if (history_depth < 0) {
+    std::fprintf(stderr, "replay_throughput: --history-depth must be >= 0 "
+                         "(0 = unbounded)\n");
+    return 1;
+  }
+  if (warmup < 0) {
+    std::fprintf(stderr, "replay_throughput: --warmup must be >= 0\n");
+    return 1;
+  }
+  bench_settings settings;
+  settings.warmup = static_cast<int>(warmup);
+  settings.reps = static_cast<int>(reps);
+  settings.history_depth = history_depth == 0
+                               ? shadow::kUnboundedHistory
+                               : static_cast<std::size_t>(history_depth);
   try {
     shadow::store_registry::instance().at(store);  // fail fast with the list
   } catch (const std::exception& e) {
@@ -275,8 +379,8 @@ int main(int argc, char** argv) {
     try {
       return run_corpus_mode(corpus_dir, store,
                              static_cast<unsigned>(shard_bits), batches,
-                             static_cast<unsigned>(workers),
-                             static_cast<int>(reps), json_path);
+                             static_cast<unsigned>(workers), rates, settings,
+                             json_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "replay_throughput: %s\n", e.what());
       return 1;
@@ -302,14 +406,24 @@ int main(int argc, char** argv) {
   for (const std::string& name : reg.names()) {
     if (reg.at(name).futures == detect::future_support::none) continue;
     for (const std::size_t batch : batches) {
-      row r = bench_backend(tape, "fuzz", name, store,
-                            static_cast<unsigned>(shard_bits), batch,
-                            static_cast<unsigned>(workers),
-                            static_cast<int>(reps));
-      r.format = "memory";
-      FRD_CHECK_MSG(r.racy_granules == baseline_racy,
-                    "replay race count diverged from the recording session");
-      rows.push_back(std::move(r));
+      for (const double rate : rates) {
+        settings.sample_rate = rate;
+        row r = bench_backend(tape, "fuzz", name, store,
+                              static_cast<unsigned>(shard_bits), batch,
+                              static_cast<unsigned>(workers), settings);
+        r.format = "memory";
+        if (rate == 1.0 &&
+            settings.history_depth == shadow::kUnboundedHistory) {
+          FRD_CHECK_MSG(r.racy_granules == baseline_racy,
+                        "replay race count diverged from the recording "
+                        "session");
+        } else {
+          FRD_CHECK_MSG(r.racy_granules <= baseline_racy,
+                        "sampled replay reported MORE racy granules than the "
+                        "recording session");
+        }
+        rows.push_back(std::move(r));
+      }
     }
   }
 

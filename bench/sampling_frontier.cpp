@@ -1,0 +1,304 @@
+// Detection-vs-throughput frontier for the sampling and bounded-history
+// modes (PR 9).
+//
+//   sampling_frontier --corpus DIR [--entries a,b] [--rates 1,0.5,...]
+//                     [--depths unbounded,8,2] [--backend multibags+]
+//                     [--reps N] [--warmup N] [--json FILE]
+//
+// Replays each corpus entry through the detector at every point of the
+// (sample_rate x history_depth) grid and scores each point two ways:
+//
+//   events_per_sec      — replay throughput (what sampling buys),
+//   detection_fraction  — |reported racy granules ∩ golden| / |golden|
+//                         (what sampling costs; 1.0 when the golden has no
+//                         races to miss).
+//
+// The sampled set is a pure seeded function of the versioned trace bytes,
+// so detection fractions are machine-independent and the checked-in
+// perf/prN_sampling_frontier.json snapshot can gate drift exactly
+// (tools/perf_compare.py --fresh-frontier), while throughput is compared
+// only in relative shares as usual.
+//
+// Correctness gates run outside the timed region: the rate-1.0/unbounded
+// point must reproduce the golden exactly, and every granule-policy sampled
+// point must report a subset of it (the per-granule decision leaves each
+// granule's shadow state either fully tracked or fully absent).
+#include <cstdio>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/runner.hpp"
+#include "shadow/store.hpp"
+#include "support/check.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "trace/event.hpp"
+
+using namespace frd;
+
+namespace {
+
+struct row {
+  std::string trace;
+  std::string backend;
+  double sample_rate = 1.0;
+  std::size_t history_depth = shadow::kUnboundedHistory;
+  std::uint64_t events = 0;
+  double mean_s = 0, rsd = 0, events_per_sec = 0;
+  std::uint64_t golden_races = 0;
+  std::uint64_t detected_races = 0;
+  double detection_fraction = 1.0;
+};
+
+std::vector<std::string> split_names(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// "1,0.5,0.2" -> {1.0, 0.5, 0.2}; empty vector on any malformed element.
+std::vector<double> parse_rates(const std::string& spec) {
+  std::vector<double> out;
+  for (const std::string& tok : split_names(spec)) {
+    try {
+      std::size_t used = 0;
+      const double r = std::stod(tok, &used);
+      if (used != tok.size() || !(r > 0.0 && r <= 1.0)) return {};
+      out.push_back(r);
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
+// "unbounded,8,2" -> {kUnboundedHistory, 8, 2}; empty vector on error.
+std::vector<std::size_t> parse_depths(const std::string& spec) {
+  std::vector<std::size_t> out;
+  for (const std::string& tok : split_names(spec)) {
+    if (tok == "unbounded" || tok == "inf" || tok == "0") {
+      out.push_back(shadow::kUnboundedHistory);
+      continue;
+    }
+    try {
+      std::size_t used = 0;
+      const long long d = std::stoll(tok, &used);
+      if (used != tok.size() || d < 1) return {};
+      out.push_back(static_cast<std::size_t>(d));
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
+std::string depth_label(std::size_t depth) {
+  return depth == shadow::kUnboundedHistory ? "inf" : std::to_string(depth);
+}
+
+row bench_point(trace::memory_trace& tape, const corpus::corpus_entry& e,
+                const corpus::golden_report& gold, const std::string& backend,
+                double rate, std::size_t depth, int reps, int warmup) {
+  std::vector<double> times;
+  std::set<std::uintptr_t> racy;
+  for (int r = 0; r < reps + warmup; ++r) {
+    tape.rewind();
+    session s(session::options{.backend = backend,
+                               .granule = tape.header().granule,
+                               .sample_rate = rate,
+                               .shadow_history_depth = depth});
+    wall_timer t;
+    s.replay(tape);
+    const double secs = t.seconds();
+    if (r >= warmup) times.push_back(secs);
+    racy = s.report().racy_granules();
+  }
+  tape.rewind();
+
+  // Scoring and correctness gates, outside the timed region.
+  std::uint64_t detected = 0;
+  for (std::uintptr_t g : racy) {
+    if (gold.racy_granules.count(static_cast<std::uint64_t>(g))) ++detected;
+  }
+  if (rate == 1.0 && depth == shadow::kUnboundedHistory) {
+    FRD_CHECK_MSG(racy.size() == gold.racy_granules.size() &&
+                      detected == gold.racy_granules.size(),
+                  "full-detection frontier point diverged from the corpus "
+                  "golden — run frd-corpus verify");
+  } else {
+    FRD_CHECK_MSG(detected == racy.size(),
+                  "sampled/bounded replay reported a granule the full "
+                  "detector does not — the per-granule carve-out leaked");
+  }
+
+  row out;
+  out.trace = e.name;
+  out.backend = backend;
+  out.sample_rate = rate;
+  out.history_depth = depth;
+  out.events = tape.size();
+  out.mean_s = mean(times);
+  out.rsd = rel_stddev(times);
+  out.events_per_sec = static_cast<double>(tape.size()) / out.mean_s;
+  out.golden_races = gold.racy_granules.size();
+  out.detected_races = detected;
+  out.detection_fraction =
+      gold.racy_granules.empty()
+          ? 1.0
+          : static_cast<double>(detected) /
+                static_cast<double>(gold.racy_granules.size());
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<row>& rows) {
+  std::ofstream json(path);
+  json << "{\n  \"bench\": \"sampling_frontier\",\n"
+       << "  \"mode\": \"corpus\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const row& r = rows[i];
+    json << "    {\"trace\": \"" << r.trace << "\", \"backend\": \""
+         << r.backend << "\", \"sample_rate\": " << r.sample_rate
+         << ", \"history_depth\": ";
+    if (r.history_depth == shadow::kUnboundedHistory) {
+      json << "\"unbounded\"";
+    } else {
+      json << r.history_depth;
+    }
+    json << ", \"events\": " << r.events << ", \"mean_seconds\": " << r.mean_s
+         << ", \"rel_stddev\": " << r.rsd
+         << ", \"events_per_sec\": " << r.events_per_sec
+         << ", \"golden_races\": " << r.golden_races
+         << ", \"detected_races\": " << r.detected_races
+         << ", \"detection_fraction\": " << r.detection_fraction << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();  // flush before checking, or buffered failures slip through
+  if (!json) {
+    std::fprintf(stderr, "sampling_frontier: writing %s failed\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run(const std::string& dir, const std::string& entries_spec,
+        const std::string& backend, const std::vector<double>& rates,
+        const std::vector<std::size_t>& depths, int reps, int warmup,
+        const std::string& json_path) {
+  const corpus::manifest m = corpus::load_manifest(dir + "/MANIFEST");
+  const std::vector<std::string> wanted = split_names(entries_spec);
+  std::vector<row> rows;
+  std::size_t matched = 0;
+  for (const corpus::corpus_entry& e : m.entries) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), e.name) == wanted.end()) {
+      continue;
+    }
+    ++matched;
+    trace::memory_trace tape = corpus::load_trace(dir + "/" + e.trace_file);
+    const corpus::golden_report gold =
+        corpus::load_golden(dir + "/" + e.golden_file);
+    for (std::size_t depth : depths) {
+      for (double rate : rates) {
+        rows.push_back(bench_point(tape, e, gold, backend, rate, depth, reps,
+                                   warmup));
+      }
+    }
+  }
+  if (!wanted.empty() && matched != wanted.size()) {
+    std::fprintf(stderr, "sampling_frontier: --entries named %zu entries but "
+                         "only %zu exist in the manifest\n",
+                 wanted.size(), matched);
+    return 1;
+  }
+  text_table t({"trace", "rate", "depth", "events", "mean", "events/sec",
+                "detected", "golden", "fraction"});
+  for (const row& r : rows) {
+    char rate[32], eps[64], frac[32];
+    std::snprintf(rate, sizeof rate, "%g", r.sample_rate);
+    std::snprintf(eps, sizeof eps, "%.3g", r.events_per_sec);
+    std::snprintf(frac, sizeof frac, "%.3f", r.detection_fraction);
+    t.add_row({r.trace, rate, depth_label(r.history_depth),
+               std::to_string(r.events), text_table::seconds(r.mean_s), eps,
+               std::to_string(r.detected_races),
+               std::to_string(r.golden_races), frac});
+  }
+  std::printf(
+      "\n== Sampling frontier (%zu entries, %d reps + %d warmup) ==\n%s",
+      matched, reps, warmup, t.render().c_str());
+  write_json(json_path, rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& corpus_dir = flags.string_flag(
+      "corpus", "", "trace corpus directory (required)");
+  auto& entries = flags.string_flag(
+      "entries",
+      "mm-structured-xl,tracking-structured-xl,wavefront-structured-large",
+      "comma-separated entry names (empty = every entry)");
+  auto& backend = flags.string_flag(
+      "backend", "multibags+", "detection backend to replay");
+  auto& rates = flags.string_flag(
+      "rates", "1,0.5,0.2,0.1,0.05", "comma-separated sample rates in (0, 1]");
+  auto& depths = flags.string_flag(
+      "depths", "unbounded,8,2",
+      "comma-separated history depths (\"unbounded\"/\"inf\"/\"0\" or N >= 1)");
+  auto& reps = flags.int_flag("reps", 3, "measured repetitions per point");
+  auto& warmup = flags.int_flag(
+      "warmup", 1, "discarded warmup repetitions before the measured ones");
+  auto& json_path = flags.string_flag(
+      "json", "BENCH_sampling_frontier.json", "machine-readable output file");
+  flags.parse();
+
+  if (corpus_dir.empty()) {
+    std::fprintf(stderr, "sampling_frontier: --corpus is required\n%s",
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (reps < 1 || warmup < 0) {
+    std::fprintf(stderr,
+                 "sampling_frontier: --reps must be >= 1, --warmup >= 0\n");
+    return 2;
+  }
+  const std::vector<double> rate_list = parse_rates(rates);
+  if (rate_list.empty()) {
+    std::fprintf(stderr,
+                 "sampling_frontier: --rates must be comma-separated values "
+                 "in (0, 1]\n");
+    return 2;
+  }
+  const std::vector<std::size_t> depth_list = parse_depths(depths);
+  if (depth_list.empty()) {
+    std::fprintf(stderr,
+                 "sampling_frontier: --depths must be comma-separated "
+                 "\"unbounded\" or integers >= 1\n");
+    return 2;
+  }
+
+  try {
+    return run(corpus_dir, entries, backend, rate_list, depth_list,
+               static_cast<int>(reps), static_cast<int>(warmup), json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sampling_frontier: %s\n", e.what());
+    return 1;
+  }
+}

@@ -19,6 +19,10 @@ session::session(options opt) : opt_(std::move(opt)) {
                          .shadow_page_bits = opt_.shadow_page_bits,
                          .shadow_shard_bits = opt_.shadow_shard_bits,
                          .workers = opt_.workers,
+                         .sample_rate = opt_.sample_rate,
+                         .sample_seed = opt_.sample_seed,
+                         .sampling = opt_.sampling,
+                         .shadow_history_depth = opt_.shadow_history_depth,
                          .futures = info_->futures,
                      });
   sink_ = det_.get();
@@ -70,15 +74,30 @@ std::uint64_t session::replay(trace::trace_source& src,
                              : trace::trace_player::kDefaultBatchCapacity;
   }
   trace::trace_player player(src, batch);
-  if (cp.every_events == 0 || !cp.fn) {
-    return player.play(build_listener(), det_.get()).events;
+  // Granule-sampling replay fast path: sampled-out accesses drop inside the
+  // player, and the tally is handed back so the detector's access count and
+  // skipped counter equal the in-protocol carve-out's (DESIGN.md §9). The
+  // filter is disarmed at rate 1.0 and under the epoch policy.
+  player.set_prefilter(det_->replay_prefilter());
+  trace::trace_player::stats st;
+  try {
+    if (cp.every_events == 0 || !cp.fn) {
+      st = player.play(build_listener(), det_.get());
+    } else {
+      st = player.play(build_listener(), det_.get(), cp.every_events,
+                       [&](const trace::trace_player::stats& running) {
+                         cp.fn(running.events, running.accesses);
+                       });
+    }
+  } catch (...) {
+    // An aborted replay (e.g. the ingest daemon's budget cancel throwing
+    // from the checkpoint) still settles the drop tally, so the counter
+    // invariant sampled + skipped == access_count holds at every exit.
+    det_->note_prefiltered(player.prefiltered_so_far());
+    throw;
   }
-  return player
-      .play(build_listener(), det_.get(), cp.every_events,
-            [&](const trace::trace_player::stats& st) {
-              cp.fn(st.events, st.accesses);
-            })
-      .events;
+  det_->note_prefiltered(st.prefiltered);
+  return st.events;
 }
 
 // Pristine state, same options: the detector resets in place (fresh backend

@@ -109,6 +109,22 @@ class session {
     // byte-identical to workers == 1. Live (non-replay) runs detect
     // serially regardless.
     unsigned workers = 1;
+    // Sampling mode (DESIGN.md §9): run the full §3 protocol on a seeded,
+    // reproducible fraction of accesses; sampled-out accesses skip the
+    // shadow store and the reachability query entirely. Must be in (0, 1];
+    // 1.0 disarms sampling and keeps reports byte-identical to a detector
+    // without the knob. The policy keys the decision on the granule
+    // address (default: a granule is always or never watched, the sampled
+    // report is a strict subset of the full one) or on the dag-event epoch
+    // (whole windows admitted or skipped together).
+    double sample_rate = 1.0;
+    std::uint64_t sample_seed = 1;
+    detect::sample_policy sampling = detect::sample_policy::granule;
+    // Bounded-history mode: retained readers per granule
+    // (kUnboundedHistory = the full §3 list; finite depth >= 1 keeps the
+    // most recent readers, bounding memory and purge cost — short-race-
+    // window detection). Depth 0 is a configuration error.
+    std::size_t shadow_history_depth = shadow::kUnboundedHistory;
     // Abort on a second get() of the same future handle (paper §2's
     // structured single-touch restriction, enforced by the runtime).
     bool enforce_single_touch = false;

@@ -208,6 +208,51 @@ void run_tracking_xl(session& s, std::uint64_t seed) {
   });
 }
 
+// The LCS wavefront at sampling-frontier scale (PR 9): n=288 with 16-wide
+// tiles is an 18x18 structured create-down/get-left grid over ~370k hooked
+// DP accesses — big enough that the sampling fast path has real work to
+// skip, small enough to replay in test time. Unlike lcs-structured, a
+// monitor spawn reads the DP diagonal at stride 9 while the wavefront is
+// still sweeping, so the entry carries 32 deterministic racy granules for
+// the frontier's detection-fraction scoring (an all-race-free entry would
+// score every sample rate at fraction 1.0 and say nothing).
+void run_wavefront_large(session& s, std::uint64_t seed) {
+  constexpr std::size_t kN = 288, kBase = 16, kStride = 9;
+  const auto in = bench::make_lcs_input(kN, seed);
+  const int want = bench::lcs_reference(in);
+  const bench::tile_grid g(kN, kBase);
+  std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
+  const std::size_t row = g.n + 1;
+  int got = -1;
+  s.run([&] {
+    auto& rt = s.runtime();
+    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+    std::function<void(std::size_t, std::size_t)> make_tile =
+        [&](std::size_t ti, std::size_t tj) {
+          fut[g.index(ti, tj)] = rt.create_future([&, ti, tj]() -> int {
+            if (tj > 0) fut[g.index(ti, tj - 1)].get();
+            bench::detail::lcs_tile<active>(in, d, g, ti, tj);
+            if (ti + 1 < g.tiles) make_tile(ti + 1, tj);
+            return 1;
+          });
+        };
+    for (std::size_t tj = 0; tj < g.tiles; ++tj) make_tile(0, tj);
+    // The monitor stays parallel to every tile until the closing sync, so
+    // each diagonal read races exactly the one write of its DP cell.
+    rt.spawn([&] {
+      for (std::size_t i = kStride; i <= g.n; i += kStride) {
+        s.read(&d[i * row + i]);
+      }
+    });
+    for (std::size_t ti = 0; ti < g.tiles; ++ti)
+      fut[g.index(ti, g.tiles - 1)].get();
+    rt.sync();  // joins the monitor
+    got = d[g.n * row + g.n];
+  });
+  FRD_CHECK_MSG(got == want,
+                "wavefront-large kernel miscomputed while recording");
+}
+
 // --------------------------------------------------- adversarial shapes ----
 
 // Deep get-chain (§5 stress): future i joins future i-1 inside its own body,
@@ -403,6 +448,10 @@ const std::vector<corpus_program>& corpus_programs() {
        "§6 heartwall tracking, structured chains on the raw phantom "
        "substrate (40 points x 25 frame steps): ~1.25M events, .frdtz",
        run_tracking_xl},
+      {"wavefront-structured-large", fs::structured,
+       "§6 LCS wavefront at frontier scale (n=288, B=16, 18x18 tiles) with "
+       "a monitor spawn racing the DP diagonal: ~370k events, .frdtz",
+       run_wavefront_large},
       {"deep-get-chain", fs::general,
        "48-deep chain of in-body gets with strided multi-touch re-joins",
        run_deep_get_chain},

@@ -185,6 +185,7 @@ manifest builtin_manifest() {
       {"mm-structured-large", entry_kind::paper_kernel, 9},
       {"mm-structured-xl", entry_kind::paper_kernel, 10, true},
       {"tracking-structured-xl", entry_kind::paper_kernel, 11, true},
+      {"wavefront-structured-large", entry_kind::paper_kernel, 12, true},
       {"deep-get-chain", entry_kind::adversarial, 0},
       {"wide-fanin", entry_kind::adversarial, 0},
       {"purge-stress", entry_kind::adversarial, 0},

@@ -25,20 +25,35 @@ unsigned granule_shift_of(std::size_t granule) {
   return static_cast<unsigned>(std::countr_zero(granule));
 }
 
+// Validates sample_rate and folds it into the 53-bit threshold the admit
+// compare uses (sampling::threshold53 explains the 2^53 choice). NaN fails
+// both comparisons and lands in the error path.
+std::uint64_t sample_threshold_of(double rate) {
+  if (!(rate > 0.0 && rate <= 1.0)) {
+    throw backend_error("sample_rate must be in (0, 1], got " +
+                        std::to_string(rate));
+  }
+  return sampling::threshold53(rate);
+}
+
 }  // namespace
 
 detector::detector(std::unique_ptr<reachability_backend> backend,
                    detector_config cfg)
     : cfg_(std::move(cfg)),
       granule_mask_(frd::granule_mask(cfg_.granule)),
+      sample_thresh53_(sample_threshold_of(cfg_.sample_rate)),
+      sampling_active_(cfg_.sample_rate < 1.0),
       backend_(std::move(backend)),
-      // The store registry validates page/shard bits (store_error, which the
-      // session surfaces like an unknown backend name).
+      // The store registry validates page/shard bits and the history depth
+      // (store_error, which the session surfaces like an unknown backend
+      // name).
       shadow_(shadow::store_registry::instance().create(
           cfg_.shadow_store,
           shadow::store_config{.page_bits = cfg_.shadow_page_bits,
                                .granule_shift = granule_shift_of(cfg_.granule),
-                               .shard_bits = cfg_.shadow_shard_bits})),
+                               .shard_bits = cfg_.shadow_shard_bits,
+                               .history_depth = cfg_.shadow_history_depth})),
       report_(cfg_.max_retained_races) {
   FRD_CHECK_MSG(backend_ != nullptr, "detector needs a reachability backend");
   bind_parallel();
@@ -79,6 +94,8 @@ void detector::bind_parallel() {
   }
   par_out_.resize(par_groups_);
   par_cursor_.resize(par_groups_);
+  par_sampled_.resize(par_groups_);
+  par_skipped_.resize(par_groups_);
 }
 
 void detector::note_memory_peak() const {
@@ -118,7 +135,8 @@ void detector::reset(std::unique_ptr<reachability_backend> fresh_backend) {
       cfg_.shadow_store,
       shadow::store_config{.page_bits = cfg_.shadow_page_bits,
                            .granule_shift = granule_shift_of(cfg_.granule),
-                           .shard_bits = cfg_.shadow_shard_bits});
+                           .shard_bits = cfg_.shadow_shard_bits,
+                           .history_depth = cfg_.shadow_history_depth});
   report_.reset();
   fut_touched_.clear();
   current_ = rt::kNoStrand;
@@ -228,6 +246,17 @@ void detector::on_accesses(std::span<const hooks::access> batch,
                            std::size_t /*bytes*/) {
   accesses_ += batch.size();
   if (cfg_.lvl != level::full) return;
+  // Per-epoch sampling decides whole runs at once: dag events are the epoch
+  // barrier, so the backend version is constant across this batch and a
+  // skipped epoch's accesses bypass the loop, the store, and the query
+  // plane entirely. (Admitted runs fall through; the per-access counting in
+  // check_read/check_write/shard_pass then sees the same admit answer.)
+  if (sampling_active_ && cfg_.sampling == sample_policy::epoch &&
+      !sample_admits(backend_->version())) {
+    qstats_.skipped += batch.size();
+    note_memory_peak();
+    return;
+  }
   if (par_groups_ > 1 && batch.size() >= kMinParallelRun) {
     parallel_accesses(batch);
   } else {
@@ -258,10 +287,27 @@ void detector::shard_pass(std::span<const hooks::access> batch,
   shadow::sharded_store& store = *par_store_;
   const std::size_t groups = par_groups_;
   const rt::strand_id cur = current_;
+  // Sampling inside the pass: a skipped access is counted by the one group
+  // whose shard owns it, and the decision is a pure function of the
+  // granule, so the summed tallies — and the surviving candidate stream —
+  // match the serial path exactly. (An epoch-policy run reaching this point
+  // was admitted wholesale in on_accesses.)
+  const bool filter =
+      sampling_active_ && cfg_.sampling == sample_policy::granule;
+  std::uint64_t sampled = 0, skipped = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const hooks::access& a = batch[i];
     const std::uintptr_t g = a.addr & granule_mask_;
     if (store.shard_of(g) % groups != group) continue;
+    if (filter) {
+      if (!sample_admits(g)) {
+        ++skipped;
+        continue;
+      }
+      ++sampled;
+    } else if (sampling_active_) {
+      ++sampled;  // epoch policy: the whole admitted run counts
+    }
     const auto index = static_cast<std::uint32_t>(i);
     if (a.is_write) {
       store.write_step(g, cur, [&](rt::strand_id prior, bool is_write) {
@@ -276,6 +322,8 @@ void detector::shard_pass(std::span<const hooks::access> batch,
       }
     }
   }
+  par_sampled_[group] = sampled;
+  par_skipped_[group] = skipped;
 }
 
 // The workers > 1 run: fan out one shard pass per group on the pool (the
@@ -307,6 +355,12 @@ void detector::parallel_accesses(std::span<const hooks::access> batch) {
   }
   pool_->leave_host();
   par_store_->end_parallel_mutation();
+  if (sampling_active_) {
+    for (std::size_t g = 0; g < par_groups_; ++g) {
+      qstats_.sampled += par_sampled_[g];
+      qstats_.skipped += par_skipped_[g];
+    }
+  }
 
   // Encounter-order merge: every access lands in exactly one group and each
   // group's candidates are already in batch order, so a k-way min-index
@@ -335,6 +389,13 @@ void detector::parallel_accesses(std::span<const hooks::access> batch) {
 // read_step appends the reader (with the serial-order dedupe) and hands back
 // the prior writer for the race check.
 void detector::check_read(std::uintptr_t addr) {
+  if (sampling_active_) {
+    if (!admit_access(addr)) {
+      ++qstats_.skipped;
+      return;
+    }
+    ++qstats_.sampled;
+  }
   const rt::strand_id w = shadow_->read_step(addr, current_);
   if (w != rt::kNoStrand && w != current_) {
     note_prior(addr, w, /*prior_is_write=*/true, /*current_is_write=*/false);
@@ -348,6 +409,13 @@ void detector::check_read(std::uintptr_t addr) {
 // previous writer first, then readers in append order, preserving report
 // order through the in-order flush.
 void detector::check_write(std::uintptr_t addr) {
+  if (sampling_active_) {
+    if (!admit_access(addr)) {
+      ++qstats_.skipped;
+      return;
+    }
+    ++qstats_.sampled;
+  }
   shadow_->write_step(addr, current_, [&](rt::strand_id prior, bool is_write) {
     if (prior != current_) {
       note_prior(addr, prior, is_write, /*current_is_write=*/true);

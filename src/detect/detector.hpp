@@ -60,6 +60,7 @@
 
 #include "detect/backend.hpp"
 #include "detect/hooks.hpp"
+#include "detect/sampling.hpp"
 #include "detect/types.hpp"
 #include "shadow/store.hpp"
 
@@ -71,6 +72,19 @@ class scheduler;
 }
 
 namespace frd::detect {
+
+// What the sampling hash keys on when sample_rate < 1 (DESIGN.md §9).
+//   granule  the decision is a pure function of the granule address: a
+//            granule is either always detected or never, so the sampled
+//            report is a strict subset of the full one (the default).
+//   epoch    the decision keys on the backend's dag-event epoch: whole
+//            epochs of accesses are admitted or skipped together, catching
+//            every race inside an admitted window.
+enum class sample_policy : std::uint8_t { granule, epoch };
+
+constexpr std::string_view to_string(sample_policy p) {
+  return p == sample_policy::granule ? "granule" : "epoch";
+}
 
 struct detector_config {
   level lvl = level::full;
@@ -91,6 +105,20 @@ struct detector_config {
   // query-plane counters are byte-identical to workers == 1. The per-access
   // on_read/on_write hooks always run serially. Range [1, 256].
   unsigned workers = 1;
+  // Sampling mode (DESIGN.md §9): run the full §3 protocol on a seeded,
+  // reproducible fraction of accesses. A sampled-out access skips the
+  // shadow-store step AND the reachability query entirely — the carve-out
+  // the production throughput knob turns. Must be in (0, 1]; 1.0 (the
+  // default) disarms sampling and is byte-identical to the pre-sampling
+  // detector. The decision is a pure function of (key, seed) — same seed,
+  // same trace, same sampled set, serial or parallel.
+  double sample_rate = 1.0;
+  std::uint64_t sample_seed = 1;
+  sample_policy sampling = sample_policy::granule;
+  // Bounded-history mode: retained readers per granule
+  // (store_config::history_depth). kUnboundedHistory keeps the full §3
+  // list; a finite depth >= 1 keeps the most recent `depth` readers.
+  std::size_t shadow_history_depth = shadow::kUnboundedHistory;
   // Capability envelope of the backend (from backend_info). Programs that
   // step outside it raise capability_error instead of silently producing
   // unsound reports.
@@ -107,6 +135,11 @@ struct query_plane_stats {
   std::uint64_t cache_hits = 0;
   std::uint64_t batches = 0;   // view.query() calls issued
   std::uint64_t strands = 0;   // unique strands across all issued batches
+  // Sampling-mode counters (both 0 when sample_rate == 1.0): accesses the
+  // active policy admitted into the protocol vs carved out before the
+  // store step. sampled + skipped == the full-detection access count.
+  std::uint64_t sampled = 0;
+  std::uint64_t skipped = 0;
 };
 
 // Memory accounting of one detection run — the counters the ingest daemon's
@@ -183,6 +216,26 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
     return backend_->view().precedes_current(u);
   }
 
+  // Replay fast path for the granule sampling policy (DESIGN.md §9): the
+  // returned filter is armed iff granule sampling is active at level::full,
+  // and session::replay installs it on the trace player so sampled-out
+  // accesses never enter a batch. The player's drop tally must come back
+  // through note_prefiltered — it restores access_count() and the skipped
+  // counter to exactly what the in-protocol carve-out would have tallied,
+  // so every counter invariant (sampled + skipped == full access count)
+  // holds identically with or without the prefilter.
+  sampling::granule_prefilter replay_prefilter() const {
+    return sampling::granule_prefilter{
+        cfg_.sample_seed, sample_thresh53_, granule_mask_,
+        /*armed=*/sampling_active_ &&
+            cfg_.sampling == sample_policy::granule &&
+            cfg_.lvl == level::full};
+  }
+  void note_prefiltered(std::uint64_t skipped) {
+    accesses_ += skipped;
+    qstats_.skipped += skipped;
+  }
+
   // execution_listener: forwards to the backend when level >= reachability.
   void on_program_begin(rt::func_id f, rt::strand_id s) override;
   void on_program_end(rt::strand_id s) override;
@@ -227,6 +280,21 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
 
   void check_read(std::uintptr_t addr);
   void check_write(std::uintptr_t addr);
+  // The sampling decision for one key (granule address or backend epoch):
+  // the shared sampling::admits primitive (detect/sampling.hpp), which the
+  // replay prefilter computes bit-identically on the player side.
+  bool sample_admits(std::uint64_t key) const {
+    return sampling::admits(key, cfg_.sample_seed, sample_thresh53_);
+  }
+  // The per-access admit at the scalar hooks (granule policy keys on the
+  // granule; epoch policy on the backend version, which only dag events
+  // advance).
+  bool admit_access(std::uintptr_t granule) const {
+    const std::uint64_t key = cfg_.sampling == sample_policy::granule
+                                  ? static_cast<std::uint64_t>(granule)
+                                  : backend_->version();
+    return sample_admits(key);
+  }
   void note_prior(std::uintptr_t addr, rt::strand_id prior, bool prior_is_write,
                   bool current_is_write);
   void flush_pending();
@@ -245,6 +313,10 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
 
   const detector_config cfg_;
   const std::uintptr_t granule_mask_;  // clears sub-granule address bits
+  // sample_rate as a 53-bit threshold (rate * 2^53): a double->uint64 cast
+  // that is exact for every representable rate and never overflows.
+  const std::uint64_t sample_thresh53_;
+  const bool sampling_active_;  // rate < 1.0: the carve-out is armed
   std::unique_ptr<reachability_backend> backend_;
   std::unique_ptr<shadow::store> shadow_;
   race_report report_;
@@ -269,6 +341,12 @@ class detector final : public rt::execution_listener, public hooks::access_sink 
   std::size_t par_groups_ = 1;
   std::vector<std::vector<indexed_candidate>> par_out_;
   std::vector<std::size_t> par_cursor_;
+  // Per-group sampled/skipped tallies of one parallel run, summed into
+  // qstats_ by the host after the merge — each access is counted by exactly
+  // one group and the decision is a pure function, so the totals match the
+  // serial path's.
+  std::vector<std::uint64_t> par_sampled_;
+  std::vector<std::uint64_t> par_skipped_;
   // High-water marks behind memory_stats::peak_*; mutable because memory()
   // (const) refreshes them with the snapshot it just took.
   mutable std::size_t peak_store_bytes_ = 0;

@@ -5,57 +5,63 @@
 namespace frd::detect {
 
 rgraph::node rgraph::add_node() {
-  const node n = static_cast<node>(from_.size());
-  from_.emplace_back();
+  const node n = static_cast<node>(to_.size());
   to_.emplace_back();
+  has_succ_.push_back(0);
   ++stats_.nodes;
   return n;
 }
 
 void rgraph::add_arc(node a, node b) {
-  FRD_DCHECK(a < from_.size() && b < from_.size());
+  FRD_DCHECK(a < to_.size() && b < to_.size());
   if (a == b) return;  // arcs within one attached set carry no information
-  if (from_[a].size() > b && from_[a].test(b)) {
+  if (to_[b].size() > a && to_[b].test(a)) {
     ++stats_.redundant_arcs;
     return;
   }
-  FRD_CHECK_MSG(!(from_[b].size() > a && from_[b].test(a)),
+  FRD_CHECK_MSG(!(to_[a].size() > b && to_[a].test(b)),
                 "arc would create a cycle in R");
   ++stats_.arcs;
 
-  // succ := {b} ∪ from[b], pred := {a} ∪ to[a]. Rows of b/a themselves are
-  // untouched by the loops below (acyclicity), so snapshots are not needed.
-  auto update_from = [&](node p) {
-    from_[p].or_with(from_[b]);
-    if (from_[p].size() <= b) from_[p].resize(b + 1);
-    from_[p].set(b);
-    ++stats_.row_merges;
-  };
+  // pred := {a} ∪ to[a]. to_[a] itself is untouched below: a is not b, and
+  // no descendant of b can be a (acyclicity), so no snapshot is needed.
+  // A node that already carries the new reachability is skipped outright —
+  // if s reached a before this arc, the closure invariant already gives
+  // to[s] ⊇ {a} ∪ to[a], so its merge would be a no-op.
   auto update_to = [&](node s) {
+    if (to_[s].size() > a && to_[s].test(a)) return;
     to_[s].or_with(to_[a]);
     if (to_[s].size() <= a) to_[s].resize(a + 1);
     to_[s].set(a);
     ++stats_.row_merges;
   };
 
-  update_from(a);
-  to_[a].for_each_set([&](std::size_t p) { update_from(static_cast<node>(p)); });
   update_to(b);
-  from_[b].for_each_set([&](std::size_t s) {
-    if (static_cast<node>(s) != b) update_to(static_cast<node>(s));
-  });
+  // Descendants of b gain the same predecessors. Almost every arc the §5
+  // handlers add targets a just-created sink node (create/get/attachify),
+  // where has_succ_ skips this outright and the whole arc was the one merge
+  // above. When b does have successors (the both-attached sync diamond),
+  // its strict descendants are exactly the rows carrying b's bit — the bit
+  // cannot appear in a row during this loop (that would need b to reach a,
+  // a cycle), so the scan is stable.
+  if (has_succ_[b]) {
+    const node n = static_cast<node>(to_.size());
+    for (node s = 0; s < n; ++s) {
+      if (s != b && to_[s].size() > b && to_[s].test(b)) update_to(s);
+    }
+  }
+  has_succ_[a] = 1;
 }
 
 bool rgraph::reaches(node a, node b) const {
-  FRD_DCHECK(a < from_.size() && b < from_.size());
+  FRD_DCHECK(a < to_.size() && b < to_.size());
   if (a == b) return false;
-  const bitvec& row = from_[a];
-  return row.size() > b && row.test(b);
+  const bitvec& row = to_[b];
+  return row.size() > a && row.test(a);
 }
 
 std::size_t rgraph::closure_bytes() const {
-  std::size_t bytes = 0;
-  for (const bitvec& v : from_) bytes += (v.size() + 7) / 8;
+  std::size_t bytes = has_succ_.size();
   for (const bitvec& v : to_) bytes += (v.size() + 7) / 8;
   return bytes;
 }

@@ -5,11 +5,19 @@
 // whenever an edge is added to R, reachability is transitively propagated
 // via parallel bit operations."
 //
-// We keep both directions (successor rows and predecessor rows) so that
-// adding an arc between two *existing* nodes — which happens at sync when
-// both subdags carry non-SP edges, Figure 4 lines 35-40 — updates the
-// closure exactly: every predecessor of a gains all successors of b and
-// vice versa.
+// The matrix is stored as PREDECESSOR rows only (to_[i]: every node with a
+// path to i) — the one direction every consumer reads: the query plane
+// resolves whole strand batches against preds_of, and reaches(a, b) is a
+// bit test in to_[b]. Successor rows used to be maintained symmetrically,
+// but almost every arc the §5 handlers add lands on a freshly created sink
+// node (create/get/attachify make the target node just before the arc), and
+// keeping successor rows closed charges every such arc O(|ancestors(a)|)
+// row updates whose merged content is empty — that was the dominant
+// dag-event cost on future-heavy traces. With predecessor rows only, a
+// sink-target arc is ONE row merge; the rare arc onto a node that already
+// has successors (the both-attached sync diamond, Figure 4 lines 35-40)
+// finds the descendants to update by scanning the rows for the target's
+// bit, gated by a per-node has-successor flag.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +58,7 @@ class rgraph {
     return to_[b];
   }
 
-  std::size_t size() const { return from_.size(); }
+  std::size_t size() const { return to_.size(); }
   const counters& stats() const { return stats_; }
 
   // Closure memory footprint (the paper notes R's memory becomes
@@ -58,8 +66,10 @@ class rgraph {
   std::size_t closure_bytes() const;
 
  private:
-  std::vector<bitvec> from_;  // from_[i]: nodes reachable from i
-  std::vector<bitvec> to_;    // to_[i]: nodes that reach i
+  std::vector<bitvec> to_;  // to_[i]: nodes that reach i
+  // has_succ_[i]: node i has at least one outgoing arc — the gate that lets
+  // sink-target arcs skip the descendant scan entirely.
+  std::vector<std::uint8_t> has_succ_;
   counters stats_;
 };
 

@@ -1,0 +1,63 @@
+// Seeded access-sampling primitives (DESIGN.md §9), shared between the
+// detector's in-protocol carve-out and the trace player's replay prefilter.
+//
+// The sampling decision must be a pure function of (key, seed) that both
+// sides compute bit-identically: the detector uses it per access inside
+// check_read/check_write (live hooks, and the recheck on batched runs), and
+// the player uses it to drop sampled-out accesses BEFORE they enter a
+// batch — a skipped replay event then costs one decode plus one hash
+// instead of a batch slot, an on_accesses scan step, and the same hash
+// again. Keeping one definition here is what makes the two paths provably
+// agree (test_sampling's determinism and subset suites pin this).
+#pragma once
+
+#include <cstdint>
+
+namespace frd::detect::sampling {
+
+// splitmix64 finalizer: cheap, stateless, and uniform enough that the
+// admitted fraction tracks the rate per workload.
+constexpr std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// sample_rate as a 53-bit threshold: rate * 2^53 is exact for every
+// representable rate in (0, 1] and never overflows the conversion; rate 1.0
+// maps to 2^53 itself, which every mixed key (shifted down to 53 bits) is
+// below. Range validation stays with the caller (detector_config).
+constexpr std::uint64_t threshold53(double rate) {
+  return static_cast<std::uint64_t>(rate * 9007199254740992.0);  // 2^53
+}
+
+constexpr bool admits(std::uint64_t key, std::uint64_t seed,
+                      std::uint64_t thresh53) {
+  return (mix(key ^ seed) >> 11) < thresh53;
+}
+
+// The granule policy's admit decision packaged for the trace player
+// (detector::replay_prefilter constructs it from the same config fields the
+// in-protocol checks read). Disarmed (the default) it is a dead branch;
+// armed, the player drops non-admitted accesses pre-batch and reports the
+// tally back through detector::note_prefiltered so access_count() and the
+// sampled/skipped counters stay those of the unfiltered path. Only the
+// granule policy can prefilter: its key is the granule address, which the
+// player knows — the epoch policy keys on the backend's dag-event version,
+// which only the detector sees.
+struct granule_prefilter {
+  std::uint64_t seed = 0;
+  std::uint64_t thresh53 = 0;
+  std::uintptr_t granule_mask = 0;
+  bool armed = false;
+
+  bool admits_granule(std::uintptr_t addr) const {
+    return admits(static_cast<std::uint64_t>(addr & granule_mask), seed,
+                  thresh53);
+  }
+};
+
+}  // namespace frd::detect::sampling

@@ -454,7 +454,12 @@ void server::worker_loop() {
             .granule = granule,
             .shadow_store = j.store,
             .replay_batch = opt_.replay_batch,
-            .workers = det_workers});
+            .workers = det_workers,
+            // Daemon-wide constants, so they need no cache-key entry: every
+            // pooled session is built with the same sampling configuration.
+            .sample_rate = opt_.sample_rate,
+            .sample_seed = opt_.sample_seed,
+            .shadow_history_depth = opt_.history_depth});
         cache.backend = j.backend;
         cache.store = j.store;
         cache.granule = granule;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "shadow/store.hpp"
 
 namespace frd {
 class session;
@@ -66,6 +67,14 @@ struct server_options {
   // streams whose shadow store is sharded; unsharded stores replay
   // serially, because the parallel path partitions on the shard hash.
   unsigned detect_workers = 1;
+  // Daemon-wide sampling / bounded-history knobs (session::options;
+  // DESIGN.md §9). Defaults run the full §3 protocol; a deployment trading
+  // detection for throughput turns these for every served stream. Reports
+  // streamed back under sample_rate < 1 or a finite depth are the
+  // corresponding degraded mode's, not the full protocol's.
+  double sample_rate = 1.0;
+  std::uint64_t sample_seed = 1;
+  std::size_t history_depth = shadow::kUnboundedHistory;
 };
 
 struct server_stats {

@@ -61,6 +61,42 @@ void compact_store::append_reader(page& pg, std::size_t i, strand_id s) {
   pg.tail[i]->vals[at] = s;
 }
 
+// Bounded history's drop-oldest over the SoA planes: r0 <- r1, r1 <- the
+// chain's first value, then every chained value shifts one slot toward the
+// head (nodes stay full-except-last, the invariant append_reader relies
+// on). An emptied tail node unlinks to the free list; the predecessor walk
+// is O(chain length), which bounded mode keeps at the configured depth.
+void compact_store::drop_oldest_reader(page& pg, std::size_t i) {
+  const std::uint32_t n = pg.n_readers[i];
+  if (n == 0) return;
+  if (n >= 2) pg.r0[i] = pg.r1[i];
+  if (n > kInline) {
+    pg.r1[i] = pg.head[i]->vals[0];
+    const std::size_t chained = n - kInline;
+    std::size_t left = chained;
+    for (overflow_node* node = pg.head[i]; left > 0; node = node->next) {
+      const std::size_t m = left < kNodeCap ? left : kNodeCap;
+      for (std::size_t j = 1; j < m; ++j) node->vals[j - 1] = node->vals[j];
+      if (left > kNodeCap) node->vals[kNodeCap - 1] = node->next->vals[0];
+      left -= m;
+    }
+    if (chained == 1) {  // the only node emptied
+      pg.head[i]->next = free_;
+      free_ = pg.head[i];
+      pg.head[i] = nullptr;
+      pg.tail[i] = nullptr;
+    } else if ((chained - 1) % kNodeCap == 0) {  // the tail node emptied
+      overflow_node* prev = pg.head[i];
+      while (prev->next != pg.tail[i]) prev = prev->next;
+      pg.tail[i]->next = free_;
+      free_ = pg.tail[i];
+      prev->next = nullptr;
+      pg.tail[i] = prev;
+    }
+  }
+  --pg.n_readers[i];
+}
+
 void compact_store::purge_readers(page& pg, std::size_t i) {
   pg.n_readers[i] = 0;
   if (pg.head[i] != nullptr) {
@@ -91,8 +127,10 @@ void compact_store::for_each_reader(const page& pg, std::size_t i,
 strand_id compact_store::read_step(std::uintptr_t addr, strand_id reader) {
   const slot s = slot_for(addr);
   const strand_id prior = s.pg->writer[s.i];
-  if (prior != reader && last_reader(*s.pg, s.i) != reader)
+  if (prior != reader && last_reader(*s.pg, s.i) != reader) {
+    if (s.pg->n_readers[s.i] >= history_depth()) drop_oldest_reader(*s.pg, s.i);
     append_reader(*s.pg, s.i, reader);
+  }
   return prior;
 }
 

@@ -72,6 +72,7 @@ class compact_store final : public store {
 
   strand_id last_reader(const page& pg, std::size_t i) const;
   void append_reader(page& pg, std::size_t i, strand_id s);
+  void drop_oldest_reader(page& pg, std::size_t i);
   void purge_readers(page& pg, std::size_t i);
   template <typename Fn>
   void for_each_reader(const page& pg, std::size_t i, Fn&& fn) const;

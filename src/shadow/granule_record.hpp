@@ -85,6 +85,22 @@ class granule_record {
     if (overflow_ != nullptr) overflow_->clear();
   }
 
+  // Drops the OLDEST reader, keeping append order — the bounded-history
+  // stores call this right before an append that would exceed the depth
+  // cap, so the list always holds the most recent `depth` readers. The
+  // front-shift is O(list length), which bounded mode keeps at the (small)
+  // configured depth.
+  void drop_oldest_reader() {
+    if (n_readers_ == 0) return;
+    const std::size_t inl = n_readers_ < kInline ? n_readers_ : kInline;
+    for (std::size_t i = 1; i < inl; ++i) inline_[i - 1] = inline_[i];
+    if (n_readers_ > kInline) {
+      inline_[kInline - 1] = overflow_->front();
+      overflow_->erase(overflow_->begin());
+    }
+    --n_readers_;
+  }
+
   template <typename Fn>
   void for_each_reader(Fn&& fn) const {
     const std::size_t inl = n_readers_ < kInline ? n_readers_ : kInline;

@@ -23,6 +23,11 @@ void validate(const store_config& cfg) {
                       std::to_string(cfg.shard_bits) +
                       " (that would be > 1024 shards)");
   }
+  if (cfg.history_depth == 0) {
+    throw store_error(
+        "shadow_history_depth must be >= 1 (a depth-0 store could never "
+        "record a reader); leave it unset for the full unbounded history");
+  }
 }
 
 store_registry& store_registry::instance() {

@@ -46,6 +46,9 @@ class store_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// history_depth sentinel: keep the full §3 reader list (the default).
+inline constexpr std::size_t kUnboundedHistory = static_cast<std::size_t>(-1);
+
 struct store_config {
   // Second-level page size: 2^page_bits granules per page; [4, 24].
   unsigned page_bits = 16;
@@ -53,6 +56,12 @@ struct store_config {
   unsigned granule_shift = 2;
   // Sharded stores only: 2^shard_bits address-hashed shards; [0, 10].
   unsigned shard_bits = 4;
+  // Retained readers per granule. kUnboundedHistory keeps the full §3
+  // reader list; a finite depth >= 1 keeps only the `depth` most recent
+  // readers (drop-oldest on append), bounding memory and purge cost at the
+  // cost of missing read-write races whose read fell out of the window
+  // (short-race-window detection, DESIGN.md §9). Depth 0 is a store_error.
+  std::size_t history_depth = kUnboundedHistory;
 };
 
 // Throws store_error when cfg is outside the ranges above.
@@ -60,7 +69,9 @@ void validate(const store_config& cfg);
 
 class store {
  public:
-  explicit store(const store_config& cfg) : granule_shift_(cfg.granule_shift) {}
+  explicit store(const store_config& cfg)
+      : granule_shift_(cfg.granule_shift),
+        history_depth_(cfg.history_depth) {}
   virtual ~store() = default;
   store(const store&) = delete;
   store& operator=(const store&) = delete;
@@ -69,6 +80,8 @@ class store {
     return addr >> granule_shift_;
   }
   unsigned granule_shift() const { return granule_shift_; }
+  // Retained readers per granule (kUnboundedHistory = the full §3 list).
+  std::size_t history_depth() const { return history_depth_; }
 
   virtual std::string_view name() const = 0;
 
@@ -106,11 +119,15 @@ class store {
  protected:
   // The one definition of the §3 protocol steps over an AoS granule_record,
   // shared by the hashed-page and sharded stores (the compact store
-  // implements the same steps over its SoA planes).
-  static strand_id read_step_on(granule_record& rec, strand_id reader) {
+  // implements the same steps over its SoA planes). Bounded history caps
+  // the reader list at history_depth_ by dropping the oldest reader before
+  // the append — the unbounded sentinel never trips the compare.
+  strand_id read_step_on(granule_record& rec, strand_id reader) const {
     const strand_id prior = rec.writer;
-    if (rec.writer != reader && rec.last_reader() != reader)
+    if (rec.writer != reader && rec.last_reader() != reader) {
+      if (rec.reader_count() >= history_depth_) rec.drop_oldest_reader();
       rec.append_reader(reader);
+    }
     return prior;
   }
   static void write_step_on(
@@ -133,6 +150,7 @@ class store {
 
  private:
   const unsigned granule_shift_;
+  const std::size_t history_depth_;
 };
 
 // The baseline store every consumer defaults to.

@@ -3,6 +3,7 @@
 // across benchmarks (§6).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -22,6 +23,24 @@ inline double stddev(const std::vector<double>& xs) {
   double s = 0;
   for (double x : xs) s += (x - m) * (x - m);
   return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+// Fastest observation — for timing samples, the run least disturbed by the
+// host (scheduler noise only ever adds time).
+inline double minimum(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+// Middle observation (mean of the central pair for even sizes) — the
+// noise-robust center the benchmark tables report alongside the mean.
+inline double median(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
 
 inline double geomean(const std::vector<double>& xs) {

@@ -35,31 +35,94 @@ trace_player::stats trace_player::play(
   const std::size_t granule = src_.header().granule;
   std::uint64_t next_checkpoint =
       (every_events && checkpoint) ? every_events : 0;
+  prefiltered_ = 0;
   stats st;
   std::vector<rt::child_record> children;
   std::vector<rt::strand_id> joins;
   // Access runs accumulate here and flush as one on_accesses call before
   // any dag event fires, so the sink observes accesses and dag events in
   // true program order — the batching is invisible except in dispatch cost.
-  std::vector<detect::hooks::access> batch;
-  batch.reserve(batch_capacity_);
+  // The buffer is pre-sized and filled through a manual cursor so the armed
+  // prefilter loop below can append branchlessly.
+  std::vector<detect::hooks::access> batch(batch_capacity_);
+  std::size_t filled = 0;
   const auto flush = [&] {
-    if (batch.empty()) return;
-    if (sink) sink->on_accesses(batch, granule);
-    batch.clear();
+    if (filled == 0) return;
+    if (sink) {
+      sink->on_accesses(
+          std::span<const detect::hooks::access>(batch.data(), filled),
+          granule);
+    }
+    filled = 0;
+  };
+  // One batch element from one decoded access event (the scalar fallback
+  // for streaming sources). The armed granule-sampling prefilter drops a
+  // sampled-out access here, before it costs a batch slot and the sink's
+  // per-access scan; the tally goes back to the detector (note_prefiltered)
+  // so its counters match the in-protocol carve-out exactly.
+  const auto push_access = [&](const trace_event& ev) {
+    const std::uintptr_t addr = checked_address(ev.access.addr);
+    if (prefilter_.armed && !prefilter_.admits_granule(addr)) {
+      ++prefiltered_;
+      return;
+    }
+    batch[filled++] = detect::hooks::access{addr, ev.kind == event_kind::write};
+    if (filled == batch_capacity_) flush();
   };
   trace_event e;
-  while (src_.next(e)) {
+  for (;;) {
+    // Bulk fast path: whole access runs come back as storage views
+    // (trace_source::access_run), iterated in place — no per-event virtual
+    // dispatch, no event copy. Streaming sources return empty spans and
+    // every event takes the next() path below instead; checkpoints land at
+    // run boundaries (runs are at most batch_capacity_ long, well inside
+    // any useful cadence) and still never inside a flattened sync run.
+    for (;;) {
+      const std::span<const trace_event> run = src_.access_run(batch_capacity_);
+      if (run.empty()) break;
+      st.events += run.size();
+      st.accesses += run.size();
+      if (!prefilter_.armed) {
+        for (const trace_event& ev : run) {
+          batch[filled++] = detect::hooks::access{
+              checked_address(ev.access.addr), ev.kind == event_kind::write};
+          if (filled == batch_capacity_) flush();
+        }
+      } else {
+        // Branchless filtering: the slot is written unconditionally and the
+        // cursor advances only for admitted accesses, so the data-random
+        // admit decision (the whole point of sampling is that it is ~rate
+        // biased) never becomes a mispredicted branch. filled < capacity
+        // holds on entry to every iteration: the flush fires the moment the
+        // cursor reaches capacity, and run length never exceeds it.
+        std::uint64_t dropped = 0;
+        for (const trace_event& ev : run) {
+          const std::uintptr_t addr = checked_address(ev.access.addr);
+          const bool admit = prefilter_.admits_granule(addr);
+          batch[filled] =
+              detect::hooks::access{addr, ev.kind == event_kind::write};
+          filled += admit;
+          dropped += !admit;
+          if (filled == batch_capacity_) flush();
+        }
+        prefiltered_ += dropped;
+      }
+      if (next_checkpoint && st.events >= next_checkpoint) {
+        st.prefiltered = prefiltered_;
+        checkpoint(st);
+        next_checkpoint = st.events + every_events;
+      }
+    }
+    if (!src_.next(e)) break;
     ++st.events;
     if (next_checkpoint && st.events >= next_checkpoint) {
+      st.prefiltered = prefiltered_;
       checkpoint(st);
       next_checkpoint = st.events + every_events;
     }
     if (e.kind == event_kind::read || e.kind == event_kind::write) {
       ++st.accesses;
-      batch.push_back(detect::hooks::access{
-          checked_address(e.access.addr), e.kind == event_kind::write});
-      if (batch.size() == batch_capacity_) flush();
+      push_access(e);
       continue;
     }
     flush();
@@ -134,6 +197,7 @@ trace_player::stats trace_player::play(
     }
   }
   flush();
+  st.prefiltered = prefiltered_;
   return st;
 }
 

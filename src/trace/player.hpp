@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "detect/hooks.hpp"
+#include "detect/sampling.hpp"
 #include "runtime/events.hpp"
 #include "trace/event.hpp"
 
@@ -40,8 +41,29 @@ class trace_player {
 
   struct stats {
     std::uint64_t events = 0;    // trace events consumed
-    std::uint64_t accesses = 0;  // read/write events re-emitted
+    std::uint64_t accesses = 0;  // read/write events decoded (incl. dropped)
+    // Accesses the armed prefilter dropped before batching; the caller owes
+    // these to detector::note_prefiltered so its counters match the
+    // unfiltered path. Always 0 with the filter disarmed.
+    std::uint64_t prefiltered = 0;
   };
+
+  // Granule-sampling carve-out applied BEFORE an access enters a batch
+  // (DESIGN.md §9): with an armed filter, a sampled-out event costs one
+  // decode and one hash instead of a batch slot plus the sink's on_accesses
+  // scan — the proportional-throughput half of sampling mode.
+  // session::replay installs the detector's replay_prefilter() here; the
+  // decision function is shared (detect/sampling.hpp), so the dropped set
+  // is exactly the set the detector would have skipped in-protocol.
+  void set_prefilter(const detect::sampling::granule_prefilter& f) {
+    prefilter_ = f;
+  }
+
+  // Running drop tally of the current/last play() — what stats.prefiltered
+  // reports at the end, readable even when a checkpoint callback aborted
+  // the replay mid-stream (session::replay settles the detector's counters
+  // from here on the exception path too).
+  std::uint64_t prefiltered_so_far() const { return prefiltered_; }
 
   // Drains the source, emitting into `listener` (dag events) and `sink`
   // (accesses); either may be null to replay one half of the stream. Throws
@@ -76,6 +98,8 @@ class trace_player {
  private:
   trace_source& src_;
   std::size_t batch_capacity_;
+  detect::sampling::granule_prefilter prefilter_{};  // disarmed by default
+  std::uint64_t prefiltered_ = 0;  // survives a mid-replay abort
 };
 
 }  // namespace frd::trace

@@ -37,6 +37,16 @@ int main(int argc, char** argv) {
       "detect-workers", 1,
       "parallel detection workers per stream; applies to sharded-store "
       "streams only (reports stay byte-identical)");
+  auto& sample_rate = flags.double_flag(
+      "sample-rate", 1.0,
+      "detect on this fraction of each stream's accesses, seeded and "
+      "reproducible; (0, 1], 1.0 = full detection (daemon-wide)");
+  auto& sample_seed =
+      flags.int_flag("sample-seed", 1, "sampling decision seed");
+  auto& history_depth = flags.int_flag(
+      "history-depth", 0,
+      "retained readers per granule; 0 = unbounded, N >= 1 keeps the most "
+      "recent N (short-race windows, daemon-wide)");
   flags.parse();
 
   if (socket_path.empty()) {
@@ -56,6 +66,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "frd-serve: --detect-workers must be in [1, 256]\n");
     return 2;
   }
+  if (!(sample_rate > 0.0 && sample_rate <= 1.0)) {
+    std::fprintf(stderr, "frd-serve: --sample-rate must be in (0, 1]\n");
+    return 2;
+  }
+  if (history_depth < 0) {
+    std::fprintf(stderr,
+                 "frd-serve: --history-depth must be >= 0 (0 = unbounded)\n");
+    return 2;
+  }
 
   // Signals: a dead client must surface as EPIPE (handled per stream), not
   // SIGPIPE; INT/TERM are collected on a dedicated thread via sigwait so the
@@ -73,6 +92,11 @@ int main(int argc, char** argv) {
   opt.default_budget = static_cast<std::uint64_t>(budget_mb) << 20;
   opt.replay_batch = static_cast<std::size_t>(batch);
   opt.detect_workers = static_cast<unsigned>(detect_workers);
+  opt.sample_rate = sample_rate;
+  opt.sample_seed = static_cast<std::uint64_t>(sample_seed);
+  opt.history_depth = history_depth == 0
+                          ? frd::shadow::kUnboundedHistory
+                          : static_cast<std::size_t>(history_depth);
 
   frd::serve::server srv(opt);
   try {

@@ -124,6 +124,18 @@ void print_report(const session& s, std::uint64_t events) {
   if (s.opts().workers > 1) {
     std::printf("workers:        %u\n", s.opts().workers);
   }
+  // The degraded-detection modes announce themselves: a sampled or
+  // history-bounded report must never be mistaken for a full-protocol one.
+  if (s.opts().sample_rate < 1.0) {
+    std::printf("sampling:       rate %.4g, policy %s, seed %llu\n",
+                s.opts().sample_rate,
+                std::string(to_string(s.opts().sampling)).c_str(),
+                static_cast<unsigned long long>(s.opts().sample_seed));
+  }
+  if (s.opts().shadow_history_depth != shadow::kUnboundedHistory) {
+    std::printf("history depth:  %zu readers/granule (short-race window)\n",
+                s.opts().shadow_history_depth);
+  }
   std::printf("mode:           %s\n", std::string(to_string(s.mode())).c_str());
   if (events) std::printf("trace events:   %llu\n",
                           static_cast<unsigned long long>(events));
@@ -149,6 +161,14 @@ void print_report(const session& s, std::uint64_t events) {
               q.batches ? static_cast<double>(q.strands) /
                               static_cast<double>(q.batches)
                         : 0.0);
+  if (q.sampled + q.skipped > 0) {
+    std::printf("sampling plane: %llu accesses detected, %llu skipped "
+                "(%.1f%% admitted)\n",
+                static_cast<unsigned long long>(q.sampled),
+                static_cast<unsigned long long>(q.skipped),
+                100.0 * static_cast<double>(q.sampled) /
+                    static_cast<double>(q.sampled + q.skipped));
+  }
   // Memory accounting (session::memory_stats) — the counters the serve
   // daemon's per-stream budgets are enforced against.
   const frd::detect::memory_stats m = s.memory_stats();
@@ -401,6 +421,20 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   auto& from = flags.int_flag(
       "from", 0, "first event of the replay window (> 0: conflict scan)");
   auto& to = flags.int_flag("to", 0, "stop before this event (0 = end)");
+  auto& sample_rate = flags.double_flag(
+      "sample-rate", 1.0,
+      "detect on this fraction of accesses, seeded and reproducible; "
+      "(0, 1], 1.0 = full detection");
+  auto& sample_seed =
+      flags.int_flag("sample-seed", 1, "sampling decision seed");
+  auto& sample_policy = flags.string_flag(
+      "sample-policy", "granule",
+      "granule (per-granule decision; sampled report is a subset of the "
+      "full one) | epoch (whole dag-event windows admitted or skipped)");
+  auto& history_depth = flags.int_flag(
+      "history-depth", 0,
+      "retained readers per granule; 0 = unbounded (the full paper "
+      "protocol), N >= 1 keeps the most recent N (short-race windows)");
   flags.parse();
   if (shard_bits < 0 || shard_bits > 10) {
     std::fprintf(stderr, "run: --shard-bits must be in [0, 10]\n");
@@ -416,6 +450,19 @@ int cmd_run(const std::string& path, int argc, char** argv) {
   }
   if (from < 0 || to < 0 || (to > 0 && to <= from)) {
     std::fprintf(stderr, "run: need 0 <= --from < --to\n");
+    return 2;
+  }
+  if (!(sample_rate > 0.0 && sample_rate <= 1.0)) {
+    std::fprintf(stderr, "run: --sample-rate must be in (0, 1]\n");
+    return 2;
+  }
+  if (sample_policy != "granule" && sample_policy != "epoch") {
+    std::fprintf(stderr, "run: --sample-policy must be granule or epoch\n");
+    return 2;
+  }
+  if (history_depth < 0) {
+    std::fprintf(stderr,
+                 "run: --history-depth must be >= 0 (0 = unbounded)\n");
     return 2;
   }
   if (workers > 1 && store == std::string(shadow::kDefaultStore)) {
@@ -450,7 +497,16 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       .shadow_store = store,
       .shadow_shard_bits = static_cast<unsigned>(shard_bits),
       .replay_batch = static_cast<std::size_t>(batch),
-      .workers = static_cast<unsigned>(workers)});
+      .workers = static_cast<unsigned>(workers),
+      .sample_rate = sample_rate,
+      .sample_seed = static_cast<std::uint64_t>(sample_seed),
+      .sampling = sample_policy == "epoch"
+                      ? frd::detect::sample_policy::epoch
+                      : frd::detect::sample_policy::granule,
+      // CLI 0 = unbounded, like --to 0 = end-of-trace.
+      .shadow_history_depth =
+          history_depth == 0 ? shadow::kUnboundedHistory
+                             : static_cast<std::size_t>(history_depth)});
   std::uint64_t events = 0;
   if (to > 0) {
     // Exact prefix detection: identical to replaying a truncated trace.

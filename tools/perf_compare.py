@@ -30,6 +30,14 @@ fell below the threshold (relative to the other counts in the same
 snapshot, so machine speed cancels) means the parallel detection path
 stopped scaling the way the baseline did.
 
+With --fresh-frontier the guard runs over the BENCH_sampling_frontier.json
+snapshot, grouped by (sample_rate, history_depth) frontier point. Two extra
+gates ride along: full-detection rows (rate 1.0, unbounded depth) must
+report detection_fraction 1.0 exactly, and every row's detection fraction
+must match the baseline bit-for-bit (the sampled set is a pure seeded
+function of the versioned corpus traces, so fractions never legitimately
+vary across machines).
+
 Usage:
   perf_compare.py --fresh build/BENCH_replay_throughput.json [--history perf]
                   [--baseline FILE] [--threshold 0.5] [--default-store NAME]
@@ -37,6 +45,8 @@ Usage:
                   [--baseline-micro FILE]
                   [--fresh-parallel build/BENCH_parallel_speedup.json]
                   [--baseline-parallel FILE]
+                  [--fresh-frontier build/BENCH_sampling_frontier.json]
+                  [--baseline-frontier FILE]
   perf_compare.py --self-test
 
 Exit codes: 0 ok / no usable baseline, 1 regression, 2 bad invocation.
@@ -77,6 +87,13 @@ def load_rows(path, default_store):
         # real one). Absent field = pre-PR-8 snapshot = serial.
         if row.get("workers", 1) != 1:
             continue
+        # Sampling-mode and bounded-history rows skip most of the measured
+        # work on purpose; only full-detection rows belong to the serial
+        # trajectory. Absent field = pre-PR-9 snapshot = full detection.
+        if float(row.get("sample_rate", 1.0)) != 1.0:
+            continue
+        if str(row.get("history_depth", "unbounded")) != "unbounded":
+            continue
         eps = float(row["events_per_sec"])
         if eps > 0:
             rows.setdefault((row["trace"], row["backend"]), eps)
@@ -116,6 +133,48 @@ def load_parallel_rows(path):
             rows.setdefault(
                 (row["trace"], row["backend"], int(row["workers"])), eps)
     return rows
+
+
+def load_frontier_rows(path):
+    """(trace, rate, depth-str) -> {"eps", "fraction"} for one
+    sampling_frontier snapshot. history_depth is kept as a string so the
+    "unbounded" sentinel and numeric depths share one key space."""
+    with open(path) as f:
+        snap = json.load(f)
+    rows = {}
+    for row in snap.get("rows", []):
+        eps = float(row["events_per_sec"])
+        if eps > 0:
+            rows.setdefault(
+                (row["trace"], float(row["sample_rate"]),
+                 str(row["history_depth"])),
+                {"eps": eps,
+                 "fraction": float(row["detection_fraction"])})
+    return rows
+
+
+def frontier_group(key):
+    """(trace, 0.1, '8') -> 'r0.1/d8' — one group per frontier point."""
+    return f"r{key[1]:g}/d{key[2]}"
+
+
+def frontier_exact_violations(rows):
+    """Keys of full-detection rows (rate 1.0, unbounded depth) whose
+    detection fraction is not 1.0 — sampling must be a strict fast-path
+    carve-out, so the exact configuration catching less than the golden is
+    a correctness bug, not a perf regression."""
+    return sorted(k for k, v in rows.items()
+                  if k[1] == 1.0 and k[2] == "unbounded"
+                  and abs(v["fraction"] - 1.0) > 1e-9)
+
+
+def frontier_fraction_drift(base, fresh):
+    """Common keys whose detection fraction changed between snapshots.
+    The sampled set is a pure seeded function of the versioned corpus
+    traces, so fractions are machine-independent: any drift means the
+    sampling decision or the detector semantics changed."""
+    return sorted(k for k in set(base) & set(fresh)
+                  if abs(base[k]["fraction"] - fresh[k]["fraction"]) > 1e-6)
 
 
 def latest_baseline(history_dir, suffix):
@@ -185,6 +244,12 @@ def self_test():
              "events_per_sec": 99.0},
             {"trace": "t", "backend": "e", "batch": 4096,
              "events_per_sec": 99.0},
+            {"trace": "t", "backend": "f", "sample_rate": 0.1,
+             "events_per_sec": 99.0},
+            {"trace": "t", "backend": "g", "history_depth": 8,
+             "events_per_sec": 99.0},
+            {"trace": "t", "backend": "h", "sample_rate": 1.0,
+             "history_depth": "unbounded", "events_per_sec": 30.0},
         ]}))
         rows = load_rows(mixed, DEFAULT_STORE)
         check("load_rows keeps field-less rows as serial defaults",
@@ -192,6 +257,10 @@ def self_test():
         check("load_rows drops workers!=1 rows", ("t", "c") not in rows)
         check("load_rows drops non-default store/batch rows",
               ("t", "d") not in rows and ("t", "e") not in rows)
+        check("load_rows drops sampled and bounded-history rows",
+              ("t", "f") not in rows and ("t", "g") not in rows)
+        check("load_rows keeps explicit full-detection rows",
+              ("t", "h") in rows)
 
         # 2. share math: identical snapshots never regress; a backend that
         #    halved relative to its peers trips the default threshold.
@@ -215,7 +284,35 @@ def self_test():
         check("parallel scaling collapse trips the threshold",
               regressed == ["4"])
 
-        # 4. baseline discovery picks the highest PR number per suffix.
+        # 4. frontier rows: exactness gate and fraction-drift detection.
+        frontier = td / "frontier.json"
+        frontier.write_text(json.dumps({"rows": [
+            {"trace": "t", "sample_rate": 1.0, "history_depth": "unbounded",
+             "events_per_sec": 100.0, "detection_fraction": 1.0},
+            {"trace": "t", "sample_rate": 0.1, "history_depth": "unbounded",
+             "events_per_sec": 400.0, "detection_fraction": 0.25},
+            {"trace": "t", "sample_rate": 0.1, "history_depth": 8,
+             "events_per_sec": 450.0, "detection_fraction": 0.25},
+        ]}))
+        frows = load_frontier_rows(frontier)
+        check("load_frontier_rows keys on (trace, rate, depth-str)",
+              ("t", 1.0, "unbounded") in frows and ("t", 0.1, "8") in frows)
+        check("frontier groups label rate and depth",
+              frontier_group(("t", 0.1, "8")) == "r0.1/d8")
+        check("exact full-detection rows pass the exactness gate",
+              frontier_exact_violations(frows) == [])
+        leaky = dict(frows)
+        leaky[("t", 1.0, "unbounded")] = {"eps": 100.0, "fraction": 0.9}
+        check("a leaky full-detection row trips the exactness gate",
+              frontier_exact_violations(leaky) == [("t", 1.0, "unbounded")])
+        drifted = {k: dict(v) for k, v in frows.items()}
+        drifted[("t", 0.1, "8")]["fraction"] = 0.5
+        check("a changed sampled fraction trips the drift gate",
+              frontier_fraction_drift(frows, drifted) == [("t", 0.1, "8")])
+        check("identical fractions produce no drift",
+              frontier_fraction_drift(frows, frows) == [])
+
+        # 5. baseline discovery picks the highest PR number per suffix.
         for name in ("pr3_replay_throughput.json", "pr10_replay_throughput.json",
                      "pr7_parallel_speedup.json"):
             (td / name).write_text("{}")
@@ -262,6 +359,14 @@ def main():
                          "guard the per-worker-count scaling trajectory")
     ap.add_argument("--baseline-parallel", default=None,
                     help="explicit parallel-speedup baseline (overrides "
+                         "--history)")
+    ap.add_argument("--fresh-frontier", default=None,
+                    help="BENCH_sampling_frontier.json from this build; "
+                         "guard the detection-vs-throughput frontier (per "
+                         "(rate, depth) throughput shares + exact detection "
+                         "fractions)")
+    ap.add_argument("--baseline-frontier", default=None,
+                    help="explicit sampling-frontier baseline (overrides "
                          "--history)")
     ap.add_argument("--self-test", action="store_true",
                     help="run fixture-driven checks of the comparison logic "
@@ -380,6 +485,69 @@ def main():
                       f"ratio < {args.threshold}); if intentional, land the "
                       f"new perf/prN snapshot with the change and say why",
                       file=sys.stderr)
+                failed = True
+
+    if args.fresh_frontier:
+        try:
+            fresh_f = load_frontier_rows(args.fresh_frontier)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"perf_compare: unreadable frontier snapshot: {e}",
+                  file=sys.stderr)
+            return 2
+        # Exactness gate first: it needs no baseline and guards correctness,
+        # not speed. The rate-1.0/unbounded rows ARE the full detector.
+        exact_bad = frontier_exact_violations(fresh_f)
+        if exact_bad:
+            print(f"perf_compare: full-detection frontier rows missed golden "
+                  f"races: {', '.join(str(k) for k in exact_bad)} — the "
+                  f"sampling fast path leaked into the exact configuration",
+                  file=sys.stderr)
+            failed = True
+        frontier_base_path = args.baseline_frontier or latest_baseline(
+            args.history, "sampling_frontier")
+        if frontier_base_path is None:
+            print(f"perf_compare: no pr*_sampling_frontier.json under "
+                  f"'{args.history}' — skipping the frontier trajectory")
+        else:
+            try:
+                base_f = load_frontier_rows(frontier_base_path)
+            except (OSError, ValueError, KeyError) as e:
+                print(f"perf_compare: unreadable frontier snapshot: {e}",
+                      file=sys.stderr)
+                return 2
+            common_f = sorted(set(fresh_f) & set(base_f))
+            if not common_f:
+                print("perf_compare: the frontier snapshots share no "
+                      "(trace, rate, depth) rows — sweep changed completely; "
+                      "not comparable", file=sys.stderr)
+                return 2
+            print(f"perf_compare: {args.fresh_frontier} vs "
+                  f"{frontier_base_path} ({len(common_f)} common rows, "
+                  f"threshold {args.threshold})")
+            regressions = compare_shares(
+                "rate/depth",
+                shares({k: base_f[k]["eps"] for k in common_f},
+                       frontier_group),
+                shares({k: fresh_f[k]["eps"] for k in common_f},
+                       frontier_group),
+                args.threshold)
+            if regressions:
+                print(f"perf_compare: frontier throughput regressed at "
+                      f"point(s): {', '.join(regressions)} (share ratio < "
+                      f"{args.threshold}); if intentional, land the new "
+                      f"perf/prN snapshot with the change and say why",
+                      file=sys.stderr)
+                failed = True
+            drift = frontier_fraction_drift(
+                {k: base_f[k] for k in common_f},
+                {k: fresh_f[k] for k in common_f})
+            if drift:
+                print(f"perf_compare: detection fraction drifted at "
+                      f"frontier point(s): "
+                      f"{', '.join(str(k) for k in drift)} — the seeded "
+                      f"sampling decision is deterministic on versioned "
+                      f"traces, so this means the sampler or the detector "
+                      f"semantics changed", file=sys.stderr)
                 failed = True
 
     if failed:
