@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "runtime/events.hpp"
 #include "shadow/store.hpp"
 #include "support/prng.hpp"
 
@@ -71,9 +72,48 @@ void BM_ReaderAppendPurgeCycle(benchmark::State& state,
   state.SetItemsProcessed(state.iterations() * (readers + 1));
 }
 
+// Every dag event on the live and online paths funnels through
+// listener_mux; the empty/single fast path (one branch + direct forward
+// instead of vector iteration) is what keeps the common one-listener wiring
+// from paying fan-out overhead per event. Swept over listener counts so the
+// fast path's edge over the loop stays visible in the snapshot.
+struct counting_listener final : frd::rt::execution_listener {
+  std::uint64_t strands = 0;
+  void on_strand_begin(frd::rt::strand_id, frd::rt::func_id) override {
+    ++strands;
+  }
+};
+
+void BM_ListenerMuxDispatch(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  frd::rt::listener_mux mux;
+  std::vector<counting_listener> sinks(static_cast<std::size_t>(count));
+  for (auto& s : sinks) mux.add(&s);
+  // Dispatch through the mux itself, not target(): callers that cannot
+  // collapse the mux away (a recorder attached mid-wiring) pay this cost.
+  frd::rt::execution_listener& l = mux;
+  frd::rt::strand_id s = 0;
+  for (auto _ : state) {
+    l.on_strand_begin(s, 0);
+    ++s;
+  }
+  std::uint64_t total = 0;
+  for (const auto& sink : sinks) total += sink.strands;
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ArgName makes the row "BM_ListenerMuxDispatch/listeners:N", which also
+  // reads as the group label in perf_compare's micro trajectory.
+  benchmark::RegisterBenchmark("BM_ListenerMuxDispatch", BM_ListenerMuxDispatch)
+      ->ArgName("listeners")
+      ->Arg(0)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4);
   for (const std::string& name : store_registry::instance().names()) {
     benchmark::RegisterBenchmark(
         ("BM_WriteStepSequential/" + name).c_str(),

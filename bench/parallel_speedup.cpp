@@ -117,7 +117,7 @@ row bench_workers(trace::memory_trace& tape, const std::string& name,
                                .shadow_store = "sharded",
                                .shadow_shard_bits = 4,
                                .replay_batch = 0,  // auto: 4096 when parallel
-                               .workers = workers});
+                               .detect_workers = workers});
     wall_timer t;
     s.replay(tape);
     const double secs = t.seconds();

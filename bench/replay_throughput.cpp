@@ -110,7 +110,7 @@ row bench_backend(trace::memory_trace& tape, const std::string& name,
                                .shadow_store = store,
                                .shadow_shard_bits = shard_bits,
                                .replay_batch = batch,
-                               .workers = workers,
+                               .detect_workers = workers,
                                .sample_rate = cfg.sample_rate,
                                .shadow_history_depth = cfg.history_depth});
     wall_timer t;

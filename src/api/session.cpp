@@ -8,6 +8,15 @@
 namespace frd {
 
 session::session(options opt) : opt_(std::move(opt)) {
+  if (opt_.runtime == runtime_kind::serial && opt_.runtime_workers != 0) {
+    throw detect::backend_error(
+        "runtime_workers parallelizes the program and needs runtime = "
+        "parallel; the serial runtime has exactly one worker (did you mean "
+        "detect_workers?)");
+  }
+  if (opt_.runtime_workers > 256) {
+    throw detect::backend_error("runtime_workers must be in [0, 256]");
+  }
   const detect::backend_registry& reg = detect::backend_registry::instance();
   info_ = &reg.at(opt_.backend);  // throws backend_error listing names
   det_ = std::make_unique<detect::detector>(
@@ -18,7 +27,7 @@ session::session(options opt) : opt_(std::move(opt)) {
                          .shadow_store = opt_.shadow_store,
                          .shadow_page_bits = opt_.shadow_page_bits,
                          .shadow_shard_bits = opt_.shadow_shard_bits,
-                         .workers = opt_.workers,
+                         .workers = opt_.detect_workers,
                          .sample_rate = opt_.sample_rate,
                          .sample_seed = opt_.sample_seed,
                          .sampling = opt_.sampling,
@@ -70,8 +79,9 @@ std::uint64_t session::replay(trace::trace_source& src,
   mode_ = session_mode::replay;
   std::size_t batch = opt_.replay_batch;
   if (batch == 0) {
-    batch = opt_.workers > 1 ? trace::trace_player::kParallelBatchCapacity
-                             : trace::trace_player::kDefaultBatchCapacity;
+    batch = opt_.detect_workers > 1
+                ? trace::trace_player::kParallelBatchCapacity
+                : trace::trace_player::kDefaultBatchCapacity;
   }
   trace::trace_player player(src, batch);
   // Granule-sampling replay fast path: sampled-out accesses drop inside the
@@ -137,6 +147,11 @@ rt::serial_runtime& session::runtime() {
   FRD_CHECK_MSG(mode_ != session_mode::replay,
                 "a replay session has no runtime: the trace stands in for "
                 "the program");
+  FRD_CHECK_MSG(opt_.runtime == runtime_kind::serial,
+                "this session is configured with runtime = parallel; the "
+                "parallel runtime is per-run wiring — pass run() a program "
+                "body or a runtime-generic driver instead of calling "
+                "runtime()");
   if (rt_ == nullptr) {
     rt_ = std::make_unique<rt::serial_runtime>(build_listener());
     rt_->enforce_single_touch(opt_.enforce_single_touch);

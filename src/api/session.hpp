@@ -19,8 +19,12 @@
 //   if (s.report().any()) ...
 //
 // run() accepts either a program body (no arguments; executed under
-// runtime().run) or a driver taking rt::serial_runtime& (for harnesses whose
-// kernels call rt.run themselves); both run with the hook sink installed.
+// runtime().run) or a driver taking the runtime by reference (for harnesses
+// whose kernels call rt.run themselves); both run with the hook sink
+// installed. With options::runtime = parallel the program instead executes
+// on the work-stealing scheduler with detection attached live through the
+// online pump (src/online/, DESIGN.md §10); drivers must then be
+// runtime-generic (a generic lambda or runtime-templated kernel).
 //
 // A session runs in one of three explicit modes (session_mode):
 //
@@ -51,8 +55,12 @@
 #include <vector>
 
 #include "detect/detector.hpp"
+#include "detect/hooks.hpp"
 #include "detect/registry.hpp"
+#include "online/engine.hpp"
+#include "online/runtime.hpp"
 #include "runtime/serial.hpp"
+#include "support/check.hpp"
 
 namespace frd {
 
@@ -64,6 +72,20 @@ class trace_player;
 }  // namespace trace
 
 using detect::level;
+
+// Which runtime executes the session's program in run(): the serial
+// depth-first runtime (the paper's detection substrate, §2) or the
+// work-stealing parallel runtime with the online detection pump attached
+// (src/online/; DESIGN.md §10). Replay has no runtime and ignores this.
+enum class runtime_kind : std::uint8_t { serial, parallel };
+
+constexpr std::string_view to_string(runtime_kind k) {
+  switch (k) {
+    case runtime_kind::serial: return "serial";
+    case runtime_kind::parallel: return "parallel";
+  }
+  return "?";
+}
 
 // How a session consumes its event stream (see the header comment).
 enum class session_mode : std::uint8_t { live, record, replay };
@@ -107,8 +129,21 @@ class session {
     // access run out to (detector_config::workers). >1 requires the
     // "sharded" shadow store with shadow_shard_bits >= 1; reports stay
     // byte-identical to workers == 1. Live (non-replay) runs detect
-    // serially regardless.
-    unsigned workers = 1;
+    // serially regardless. Renamed from `workers` (deprecated) so the
+    // detect-phase knob cannot be confused with runtime_workers — see the
+    // README/DESIGN deprecation note (`frd-trace run --workers` vs
+    // `frd-trace exec --runtime-workers`).
+    unsigned detect_workers = 1;
+    // Which runtime run() executes the program on. serial is the paper's
+    // substrate; parallel runs the program on the work-stealing scheduler
+    // with detection live via the online pump (DESIGN.md §10). run() then
+    // requires a program body or a runtime-generic driver (one invocable
+    // with online::runtime&).
+    runtime_kind runtime = runtime_kind::serial;
+    // Scheduler width for runtime == parallel (0 = hardware concurrency).
+    // Distinct from detect_workers: this parallelizes the *program*, that
+    // parallelizes replay *detection*.
+    unsigned runtime_workers = 0;
     // Sampling mode (DESIGN.md §9): run the full §3 protocol on a seeded,
     // reproducible fraction of accesses; sampled-out accesses skip the
     // shadow store and the reachability query entirely. Must be in (0, 1];
@@ -198,21 +233,59 @@ class session {
 
   session_mode mode() const { return mode_; }
 
-  // The runtime this session's program executes on. At level::baseline the
-  // runtime carries no listener (the paper's zero-work configuration).
+  // The serial runtime this session's program executes on. At
+  // level::baseline the runtime carries no listener (the paper's zero-work
+  // configuration). Only for runtime_kind::serial sessions: the parallel
+  // runtime is per-run wiring owned by run() itself.
   rt::serial_runtime& runtime();
 
   // Returns whatever a runtime-driver callable returns (void for program
   // bodies), so kernels can hand their answer straight out:
   //   int got = s.run([&](rt::serial_runtime& rt) { return kernel(rt); });
+  //
+  // Dispatch by options::runtime and the callable's shape:
+  //   - a program body (no arguments) runs under the configured runtime;
+  //   - a driver invocable with BOTH rt::serial_runtime& and
+  //     online::runtime& (a generic lambda / runtime-templated kernel) runs
+  //     under the configured runtime — the portable form every corpus
+  //     program uses;
+  //   - a serial-only driver requires runtime_kind::serial, an online-only
+  //     driver requires runtime_kind::parallel (hard error otherwise).
+  // Under runtime_kind::parallel the run executes on the work-stealing
+  // scheduler with the online pump feeding this session's detector /
+  // recorder (DESIGN.md §10); online::online_error propagates from here.
   template <typename F>
   decltype(auto) run(F&& f) {
-    rt::serial_runtime& rt = runtime();
-    detect::hooks::scoped_sink sink(sink_);
-    if constexpr (std::is_invocable_v<F&, rt::serial_runtime&>) {
+    constexpr bool serial_driver = std::is_invocable_v<F&, rt::serial_runtime&>;
+    constexpr bool online_driver = std::is_invocable_v<F&, online::runtime&>;
+    if constexpr (serial_driver && online_driver) {
+      if (opt_.runtime == runtime_kind::parallel) {
+        return run_online_driver(std::forward<F>(f));
+      }
+      rt::serial_runtime& rt = runtime();
+      detect::hooks::scoped_sink sink(sink_);
       return f(rt);
+    } else if constexpr (serial_driver) {
+      FRD_CHECK_MSG(opt_.runtime == runtime_kind::serial,
+                    "this driver requires the serial runtime but the session "
+                    "is configured with runtime = parallel; make the driver "
+                    "runtime-generic (take auto& rt) to run it online");
+      rt::serial_runtime& rt = runtime();
+      detect::hooks::scoped_sink sink(sink_);
+      return f(rt);
+    } else if constexpr (online_driver) {
+      FRD_CHECK_MSG(opt_.runtime == runtime_kind::parallel,
+                    "this driver requires the parallel runtime; construct "
+                    "the session with runtime = parallel");
+      return run_online_driver(std::forward<F>(f));
     } else {
-      rt.run(std::forward<F>(f));
+      if (opt_.runtime == runtime_kind::parallel) {
+        run_online_body(std::forward<F>(f));
+      } else {
+        rt::serial_runtime& rt = runtime();
+        detect::hooks::scoped_sink sink(sink_);
+        rt.run(std::forward<F>(f));
+      }
     }
   }
 
@@ -254,8 +327,68 @@ class session {
 
  private:
   // Builds the listener stack (detector unless baseline, recorder, extras);
-  // shared by live runs and replay so both observe identically.
+  // shared by live runs, replay, and online-parallel runs so all observe
+  // identically.
   rt::execution_listener* build_listener();
+
+  // Per-run wiring of an online-parallel run: the engine (scheduler + pump
+  // wired to this session's listener stack and access sink), the program-
+  // facing runtime, and the sink swap that routes s.read/s.write and the
+  // hook sink through the engine's ring router for the duration. The
+  // destructor restores the sink and tears the pump down even on unwind;
+  // finish() surfaces pump-side errors (online_error) on the host thread.
+  struct online_run {
+    explicit online_run(session& s)
+        : s_(s),
+          eng_(online::engine::config{.workers = s.opt_.runtime_workers,
+                                      .granule = s.opt_.granule,
+                                      .listener = s.build_listener(),
+                                      .sink = s.sink_}),
+          ort_(eng_),
+          saved_sink_(s.sink_),
+          hook_guard_(&eng_.router()) {
+      ort_.enforce_single_touch(s.opt_.enforce_single_touch);
+      s.sink_ = &eng_.router();
+    }
+    ~online_run() {
+      s_.sink_ = saved_sink_;
+      eng_.abort();  // no-op when finish() already joined the pump
+    }
+    online::runtime& rt() { return ort_; }
+    void finish() { eng_.finish(); }
+
+    session& s_;
+    online::engine eng_;
+    online::runtime ort_;
+    detect::hooks::access_sink* saved_sink_;
+    detect::hooks::scoped_sink hook_guard_;
+  };
+
+  template <typename F>
+  decltype(auto) run_online_driver(F&& f) {
+    FRD_CHECK_MSG(mode_ != session_mode::replay,
+                  "a replay session has no runtime: the trace stands in for "
+                  "the program");
+    online_run orun(*this);
+    if constexpr (std::is_void_v<decltype(f(orun.rt()))>) {
+      f(orun.rt());
+      orun.finish();
+    } else {
+      decltype(auto) r = f(orun.rt());
+      orun.finish();
+      return r;
+    }
+  }
+
+  template <typename F>
+  void run_online_body(F&& f) {
+    FRD_CHECK_MSG(mode_ != session_mode::replay,
+                  "a replay session has no runtime: the trace stands in for "
+                  "the program");
+    online_run orun(*this);
+    orun.rt().run(std::forward<F>(f));
+    orun.finish();
+  }
 
   options opt_;
   const detect::backend_info* info_;

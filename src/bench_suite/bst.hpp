@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bench_suite/common.hpp"
@@ -87,22 +87,33 @@ bst_node* bst_merge_serial(bst_node* a, bst_node* b) {
 }  // namespace detail
 
 // Shared future-merge machinery; `structured` selects the resolver order.
-template <typename H>
-bst_node* bst_merge_futures(rt::serial_runtime& rt, bst_node* t1, bst_node* t2,
+// Each fix-up owns its two child handles outright (an index into a shared
+// handle container would only be meaningful under eager serial execution,
+// where create returns after the body ran); the fix-up list is the one
+// piece of state bodies mutate concurrently under a parallel runtime, so a
+// mutex guards the push and `rt.quiesce()` fences the resolve pass behind
+// every outstanding body. Under the serial runtime the lock is uncontended
+// and the create/get sequence — hence the event stream — is unchanged.
+// Under a parallel runtime the fix-up order (and so the report) is
+// run-dependent; the online↔replay oracle holds per run regardless.
+template <typename H, typename RT>
+bst_node* bst_merge_futures(RT& rt, bst_node* t1, bst_node* t2,
                             int depth_cutoff, bool structured) {
+  using future_t = typename RT::template future_of<bst_node*>;
   struct fixup {
     bst_node* parent;
-    std::size_t left_idx;
-    std::size_t right_idx;
+    future_t left;
+    future_t right;
   };
   bst_node* result = nullptr;
 
   rt.run([&] {
-    std::deque<rt::future<bst_node*>> futs;
+    std::mutex mu;
     std::vector<fixup> fixups;
 
-    // Recursive merge; future indices are assigned after the (eager) create
-    // returns, i.e. in DFS post-order: children before their parent.
+    // Recursive merge; fix-ups are recorded after the creates return, so
+    // under serial eager execution the order is DFS post-order: children
+    // before their parent.
     std::function<bst_node*(bst_node*, bst_node*, int)> merge =
         [&](bst_node* a, bst_node* b, int depth) -> bst_node* {
       if (a == nullptr) return b;
@@ -111,21 +122,25 @@ bst_node* bst_merge_futures(rt::serial_runtime& rt, bst_node* t1, bst_node* t2,
       auto [lo, hi] = detail::bst_split<H>(b, detect::hooks::ld<H>(a->key));
       bst_node* al = detect::hooks::ld<H>(a->left);
       bst_node* ar = detect::hooks::ld<H>(a->right);
-      futs.push_back(rt.create_future(
-          [&, al, lo, depth] { return merge(al, lo, depth + 1); }));
-      const std::size_t li = futs.size() - 1;
-      futs.push_back(rt.create_future(
-          [&, ar, hi, depth] { return merge(ar, hi, depth + 1); }));
-      const std::size_t ri = futs.size() - 1;
-      fixups.push_back(fixup{a, li, ri});
+      future_t fl = rt.create_future(
+          [&, al, lo, depth] { return merge(al, lo, depth + 1); });
+      future_t fr = rt.create_future(
+          [&, ar, hi, depth] { return merge(ar, hi, depth + 1); });
+      {
+        std::lock_guard<std::mutex> g(mu);
+        fixups.push_back(fixup{a, std::move(fl), std::move(fr)});
+      }
       return a;
     };
 
     result = merge(t1, t2, 0);
+    // All bodies (and so all fix-up pushes) are complete past this point;
+    // no-op under serial where create was eager anyway.
+    rt.quiesce();
 
-    auto resolve = [&](const fixup& f) {
-      detect::hooks::st<H>(f.parent->left, futs[f.left_idx].get());
-      detect::hooks::st<H>(f.parent->right, futs[f.right_idx].get());
+    auto resolve = [&](fixup& f) {
+      detect::hooks::st<H>(f.parent->left, f.left.get());
+      detect::hooks::st<H>(f.parent->right, f.right.get());
     };
     if (structured) {
       // Top-down: a fix-up's handles were created by a body that an earlier
@@ -133,20 +148,19 @@ bst_node* bst_merge_futures(rt::serial_runtime& rt, bst_node* t1, bst_node* t2,
       for (auto it = fixups.rbegin(); it != fixups.rend(); ++it) resolve(*it);
     } else {
       // Bottom-up: joins handles whose creators are still parallel to main.
-      for (const fixup& f : fixups) resolve(f);
+      for (fixup& f : fixups) resolve(f);
     }
   });
   return result;
 }
 
-template <typename H>
-bst_node* bst_structured(rt::serial_runtime& rt, bst_input& in,
-                         int depth_cutoff) {
+template <typename H, typename RT>
+bst_node* bst_structured(RT& rt, bst_input& in, int depth_cutoff) {
   return bst_merge_futures<H>(rt, in.t1, in.t2, depth_cutoff, true);
 }
 
-template <typename H>
-bst_node* bst_general(rt::serial_runtime& rt, bst_input& in, int depth_cutoff) {
+template <typename H, typename RT>
+bst_node* bst_general(RT& rt, bst_input& in, int depth_cutoff) {
   return bst_merge_futures<H>(rt, in.t1, in.t2, depth_cutoff, false);
 }
 

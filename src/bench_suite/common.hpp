@@ -1,10 +1,14 @@
 // Shared helpers for the six paper benchmarks (§6).
 //
 // All kernels are templated on the instrumentation hook policy H
-// (detect::hooks::none or detect::hooks::active) and run on the *serial*
-// runtime — the paper's race detection always executes sequentially, and
-// the baseline configuration is the same serial execution without a
-// listener, so overhead ratios compare like with like.
+// (detect::hooks::none or detect::hooks::active) and on the runtime RT —
+// any type exposing the shared runtime surface (run / create_future /
+// future_of / quiesce): rt::serial_runtime for the paper's sequential
+// detection runs, rt::parallel_runtime for bare work-stealing execution,
+// and online::runtime for live detection on the parallel scheduler. Under
+// the serial runtime every kernel emits the exact event stream it always
+// did; the parallel-safety notes at each kernel explain why the handle
+// access patterns are data-race-free under the other two.
 #pragma once
 
 #include <cstdint>

@@ -109,9 +109,14 @@ class dedup_table {
 
 }  // namespace detail
 
-// H instruments the pipeline proper; CH instruments the compressor.
-template <typename H, typename CH>
-dedup_result dedup_pipeline(rt::serial_runtime& rt, const dedup_input& in,
+// H instruments the pipeline proper; CH instruments the compressor. RT is
+// any runtime exposing the shared surface (serial, parallel, online): every
+// handle slot is written by main before the future that reads it is created
+// (stage A completes before stage B starts; pipe[f-1] before pipe[f]), so
+// creation edges order all handle accesses under a parallel runtime, and the
+// shared table/cells are serialized by the stage-B future-done chain.
+template <typename H, typename CH, typename RT>
+dedup_result dedup_pipeline(RT& rt, const dedup_input& in,
                             std::size_t fragment_size) {
   const std::size_t n_frags =
       (in.corpus.size() + fragment_size - 1) / fragment_size;
@@ -120,7 +125,8 @@ dedup_result dedup_pipeline(rt::serial_runtime& rt, const dedup_input& in,
 
   rt.run([&] {
     // Stage A: chunk + fingerprint each fragment, all logically parallel.
-    std::vector<rt::future<detail::frag_chunks>> stage_a(n_frags);
+    std::vector<typename RT::template future_of<detail::frag_chunks>> stage_a(
+        n_frags);
     for (std::size_t f = 0; f < n_frags; ++f) {
       stage_a[f] = rt.create_future([&, f]() {
         const std::size_t off = f * fragment_size;
@@ -150,7 +156,7 @@ dedup_result dedup_pipeline(rt::serial_runtime& rt, const dedup_input& in,
     std::size_t compressed_cell = 0;
     std::size_t total_cell = 0, unique_cell = 0;
 
-    std::vector<rt::future<int>> pipe(n_frags);
+    std::vector<typename RT::template future_of<int>> pipe(n_frags);
     for (std::size_t f = 0; f < n_frags; ++f) {
       pipe[f] = rt.create_future([&, f]() -> int {
         if (f > 0) pipe[f - 1].get();          // single touch of f-1

@@ -37,51 +37,63 @@ heartwall_input make_heartwall_input(int width, int height, int n_points,
 // Uninstrumented serial reference: final positions of all points.
 std::vector<image::point> heartwall_reference(const heartwall_input& in);
 
-template <typename H>
-std::vector<image::point> heartwall_structured(rt::serial_runtime& rt,
+// Both kernels hold the full (frame, point) future table rather than a
+// prev/cur ping-pong: a swap on the main strand would race with frame-t
+// bodies still reading prev under a parallel runtime, whereas table slot
+// (t-1, p) is written by main before any frame-t future exists, so creation
+// edges order every handle access. The serial event stream is identical
+// either way (same create/get sequence).
+template <typename H, typename RT>
+std::vector<image::point> heartwall_structured(RT& rt,
                                                const heartwall_input& in) {
   const std::size_t np = in.points0.size();
   std::vector<image::point> final_pos(np);
   rt.run([&] {
-    std::vector<rt::future<image::point>> prev(np), cur(np);
+    std::vector<typename RT::template future_of<image::point>> f(
+        static_cast<std::size_t>(in.n_frames) * np);
     for (std::size_t p = 0; p < np; ++p) {
       const image::point start = in.points0[p];
-      prev[p] = rt.create_future([start] { return start; });
+      f[p] = rt.create_future([start] { return start; });
     }
     for (int t = 1; t < in.n_frames; ++t) {
       for (std::size_t p = 0; p < np; ++p) {
-        cur[p] = rt.create_future([&, t, p]() {
-          const image::point from = prev[p].get();  // single touch
+        f[static_cast<std::size_t>(t) * np + p] = rt.create_future([&, t,
+                                                                    p]() {
+          const image::point from =
+              f[static_cast<std::size_t>(t - 1) * np + p].get();  // 1 touch
           return image::track_point<H>(in.frames[t - 1], in.frames[t], from,
                                        in.tmpl_rad, in.search_rad);
         });
       }
-      std::swap(prev, cur);
     }
-    for (std::size_t p = 0; p < np; ++p) final_pos[p] = prev[p].get();
+    const std::size_t last = static_cast<std::size_t>(in.n_frames - 1) * np;
+    for (std::size_t p = 0; p < np; ++p) final_pos[p] = f[last + p].get();
   });
   return final_pos;
 }
 
-template <typename H>
-std::vector<image::point> heartwall_general(rt::serial_runtime& rt,
+template <typename H, typename RT>
+std::vector<image::point> heartwall_general(RT& rt,
                                             const heartwall_input& in) {
   const std::size_t np = in.points0.size();
   FRD_CHECK_MSG(np >= 3, "neighbour smoothing needs at least 3 points");
   std::vector<image::point> final_pos(np);
   rt.run([&] {
-    std::vector<rt::future<image::point>> prev(np), cur(np);
+    std::vector<typename RT::template future_of<image::point>> f(
+        static_cast<std::size_t>(in.n_frames) * np);
     for (std::size_t p = 0; p < np; ++p) {
       const image::point start = in.points0[p];
-      prev[p] = rt.create_future([start] { return start; });
+      f[p] = rt.create_future([start] { return start; });
     }
     for (int t = 1; t < in.n_frames; ++t) {
       for (std::size_t p = 0; p < np; ++p) {
-        cur[p] = rt.create_future([&, t, p]() {
-          // Multi-touch: each prev handle is joined by three trackers.
-          const image::point left = prev[(p + np - 1) % np].get();
-          const image::point mine = prev[p].get();
-          const image::point right = prev[(p + 1) % np].get();
+        f[static_cast<std::size_t>(t) * np + p] = rt.create_future([&, t,
+                                                                    p]() {
+          // Multi-touch: each frame-(t-1) handle is joined by 3 trackers.
+          const std::size_t row = static_cast<std::size_t>(t - 1) * np;
+          const image::point left = f[row + (p + np - 1) % np].get();
+          const image::point mine = f[row + p].get();
+          const image::point right = f[row + (p + 1) % np].get();
           // Gentle tangential correction of the *search* start only; the
           // template stays anchored at the point's own previous position so
           // a chord-midpoint bias cannot compound across frames.
@@ -91,9 +103,9 @@ std::vector<image::point> heartwall_general(rt::serial_runtime& rt,
                                        from, in.tmpl_rad, in.search_rad);
         });
       }
-      std::swap(prev, cur);
     }
-    for (std::size_t p = 0; p < np; ++p) final_pos[p] = prev[p].get();
+    const std::size_t last = static_cast<std::size_t>(in.n_frames - 1) * np;
+    for (std::size_t p = 0; p < np; ++p) final_pos[p] = f[last + p].get();
   });
   return final_pos;
 }

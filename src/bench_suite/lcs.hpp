@@ -49,9 +49,8 @@ void lcs_tile(const lcs_input& in, std::vector<std::int32_t>& d,
 
 }  // namespace detail
 
-template <typename H>
-int lcs_structured(rt::serial_runtime& rt, const lcs_input& in,
-                   std::size_t base) {
+template <typename H, typename RT>
+int lcs_structured(RT& rt, const lcs_input& in, std::size_t base) {
   FRD_CHECK(in.a.size() == in.b.size());
   const tile_grid g(in.a.size(), base);
   std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
@@ -61,8 +60,8 @@ int lcs_structured(rt::serial_runtime& rt, const lcs_input& in,
   return d[g.n * (g.n + 1) + g.n];
 }
 
-template <typename H>
-int lcs_general(rt::serial_runtime& rt, const lcs_input& in, std::size_t base) {
+template <typename H, typename RT>
+int lcs_general(RT& rt, const lcs_input& in, std::size_t base) {
   FRD_CHECK(in.a.size() == in.b.size());
   const tile_grid g(in.a.size(), base);
   std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);

@@ -57,15 +57,18 @@ void mm_block(const mm_input& in, std::vector<float>& c, std::size_t base,
 
 }  // namespace detail
 
-template <typename H>
-std::vector<float> mm_structured(rt::serial_runtime& rt, const mm_input& in,
+template <typename H, typename RT>
+std::vector<float> mm_structured(RT& rt, const mm_input& in,
                                  std::size_t base) {
   FRD_CHECK(in.n % base == 0);
   const std::size_t t = in.n / base;
   std::vector<float> c(in.n * in.n, 0.0f);
 
   rt.run([&] {
-    std::vector<rt::future<int>> chain(t * t);  // last link per C block
+    // Last link per C block. Handle slots are only ever written by this
+    // (main) strand; bodies read the moved-in `prev` handle, so the pattern
+    // is parallel-safe as-is.
+    std::vector<typename RT::template future_of<int>> chain(t * t);
     for (std::size_t k = 0; k < t; ++k) {
       for (std::size_t i = 0; i < t; ++i) {
         for (std::size_t j = 0; j < t; ++j) {
@@ -85,15 +88,14 @@ std::vector<float> mm_structured(rt::serial_runtime& rt, const mm_input& in,
   return c;
 }
 
-template <typename H>
-std::vector<float> mm_general(rt::serial_runtime& rt, const mm_input& in,
-                              std::size_t base) {
+template <typename H, typename RT>
+std::vector<float> mm_general(RT& rt, const mm_input& in, std::size_t base) {
   FRD_CHECK(in.n % base == 0);
   const std::size_t t = in.n / base;
   std::vector<float> c(in.n * in.n, 0.0f);
 
   rt.run([&] {
-    std::vector<rt::future<int>> chain(t * t);
+    std::vector<typename RT::template future_of<int>> chain(t * t);
     for (std::size_t k = 0; k < t; ++k) {
       for (std::size_t i = 0; i < t; ++i) {
         for (std::size_t j = 0; j < t; ++j) {
@@ -110,7 +112,7 @@ std::vector<float> mm_general(rt::serial_runtime& rt, const mm_input& in,
     // Gather pass: one future per block row re-joins every tail handle in
     // the row (first touch), then main re-joins them all (second touch) —
     // multi-touch handles, hence a general-futures program.
-    std::vector<rt::future<int>> gather(t);
+    std::vector<typename RT::template future_of<int>> gather(t);
     for (std::size_t i = 0; i < t; ++i) {
       gather[i] = rt.create_future([&, i]() -> int {
         for (std::size_t j = 0; j < t; ++j) chain[i * t + j].get();

@@ -60,9 +60,8 @@ void sw_tile(const sw_input& in, std::vector<std::int32_t>& h,
 // Maximum alignment score (the SW objective).
 std::int32_t sw_reference(const sw_input& in);
 
-template <typename H>
-std::int32_t sw_structured(rt::serial_runtime& rt, const sw_input& in,
-                           std::size_t base) {
+template <typename H, typename RT>
+std::int32_t sw_structured(RT& rt, const sw_input& in, std::size_t base) {
   FRD_CHECK(in.a.size() == in.b.size());
   const tile_grid g(in.a.size(), base);
   std::vector<std::int32_t> h((g.n + 1) * (g.n + 1), 0);
@@ -72,9 +71,8 @@ std::int32_t sw_structured(rt::serial_runtime& rt, const sw_input& in,
   return *std::max_element(h.begin(), h.end());
 }
 
-template <typename H>
-std::int32_t sw_general(rt::serial_runtime& rt, const sw_input& in,
-                        std::size_t base) {
+template <typename H, typename RT>
+std::int32_t sw_general(RT& rt, const sw_input& in, std::size_t base) {
   FRD_CHECK(in.a.size() == in.b.size());
   const tile_grid g(in.a.size(), base);
   std::vector<std::int32_t> h((g.n + 1) * (g.n + 1), 0);

@@ -31,12 +31,15 @@
 
 namespace frd::bench {
 
-// tile(ti, tj) computes one block; called exactly once per tile.
-template <typename TileFn>
-void wavefront_structured(rt::serial_runtime& rt, const tile_grid& g,
-                          TileFn tile) {
+// tile(ti, tj) computes one block; called exactly once per tile. RT is any
+// runtime exposing the shared surface (serial, parallel, online): handle
+// slots are written before every ordered reader looks at them, and under a
+// parallel runtime each write is separated from its readers by a create
+// edge or a future-done edge, so the pattern is data-race-free there too.
+template <typename RT, typename TileFn>
+void wavefront_structured(RT& rt, const tile_grid& g, TileFn tile) {
   rt.run([&] {
-    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+    std::vector<typename RT::template future_of<int>> fut(g.tiles * g.tiles);
 
     // make_tile(ti,tj) is invoked by whatever strand must precede the tile:
     // main for row 0, the body of (ti-1,tj) otherwise.
@@ -58,10 +61,10 @@ void wavefront_structured(rt::serial_runtime& rt, const tile_grid& g,
   });
 }
 
-template <typename TileFn>
-void wavefront_general(rt::serial_runtime& rt, const tile_grid& g, TileFn tile) {
+template <typename RT, typename TileFn>
+void wavefront_general(RT& rt, const tile_grid& g, TileFn tile) {
   rt.run([&] {
-    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+    std::vector<typename RT::template future_of<int>> fut(g.tiles * g.tiles);
     for (std::size_t ti = 0; ti < g.tiles; ++ti) {
       for (std::size_t tj = 0; tj < g.tiles; ++tj) {
         fut[g.index(ti, tj)] = rt.create_future([&, ti, tj]() -> int {

@@ -1,7 +1,6 @@
 #include "corpus/programs.hpp"
 
 #include <array>
-#include <deque>
 #include <functional>
 
 #include "api/session.hpp"
@@ -33,7 +32,7 @@ alignas(64) std::array<int, 96> g_cells;
 void run_lcs(session& s, std::uint64_t seed, bool structured) {
   const auto in = bench::make_lcs_input(24, seed);
   const int want = bench::lcs_reference(in);
-  const int got = s.run([&](rt::serial_runtime& rt) {
+  const int got = s.run([&](auto& rt) {
     return structured ? bench::lcs_structured<active>(rt, in, 8)
                       : bench::lcs_general<active>(rt, in, 8);
   });
@@ -43,7 +42,7 @@ void run_lcs(session& s, std::uint64_t seed, bool structured) {
 void run_sw(session& s, std::uint64_t seed) {
   const auto in = bench::make_sw_input(16, seed);
   const std::int32_t want = bench::sw_reference(in);
-  const std::int32_t got = s.run([&](rt::serial_runtime& rt) {
+  const std::int32_t got = s.run([&](auto& rt) {
     return bench::sw_structured<active>(rt, in, 8);
   });
   FRD_CHECK_MSG(got == want, "sw kernel miscomputed while recording");
@@ -54,7 +53,7 @@ void run_bst(session& s, std::uint64_t seed, bool structured) {
   const std::size_t want_n = in.n1 + in.n2;
   const std::int64_t want_sum =
       bench::bst_key_sum(in.t1) + bench::bst_key_sum(in.t2);
-  bench::bst_node* merged = s.run([&](rt::serial_runtime& rt) {
+  bench::bst_node* merged = s.run([&](auto& rt) {
     return structured ? bench::bst_structured<active>(rt, in, 3)
                       : bench::bst_general<active>(rt, in, 3);
   });
@@ -71,7 +70,7 @@ void run_bst(session& s, std::uint64_t seed, bool structured) {
 void run_dedup(session& s, std::uint64_t seed) {
   const auto in = bench::make_dedup_corpus(2048, 50, seed);
   const auto want = bench::dedup_reference(in, 512);
-  const auto got = s.run([&](rt::serial_runtime& rt) {
+  const auto got = s.run([&](auto& rt) {
     return bench::dedup_pipeline<active, detect::hooks::none>(rt, in, 512);
   });
   FRD_CHECK_MSG(got == want, "dedup pipeline miscomputed while recording");
@@ -89,7 +88,7 @@ void run_heartwall(session& s, std::uint64_t seed) {
   in.search_rad = 2;
   rt::serial_runtime plain;
   const auto want = bench::heartwall_general<detect::hooks::none>(plain, in);
-  const auto got = s.run([&](rt::serial_runtime& rt) {
+  const auto got = s.run([&](auto& rt) {
     return bench::heartwall_general<active>(rt, in);
   });
   FRD_CHECK_MSG(got.size() == want.size(),
@@ -105,7 +104,7 @@ void run_heartwall(session& s, std::uint64_t seed) {
 void run_mm(session& s, std::uint64_t seed) {
   const auto in = bench::make_mm_input(12, seed);
   const auto want = bench::mm_reference(in);
-  const auto got = s.run([&](rt::serial_runtime& rt) {
+  const auto got = s.run([&](auto& rt) {
     return bench::mm_structured<active>(rt, in, 4);
   });
   FRD_CHECK_MSG(got == want, "mm kernel miscomputed while recording");
@@ -119,7 +118,7 @@ void run_mm(session& s, std::uint64_t seed) {
 void run_mm_large(session& s, std::uint64_t seed) {
   const auto in = bench::make_mm_input(28, seed);
   const auto want = bench::mm_reference(in);
-  const auto got = s.run([&](rt::serial_runtime& rt) {
+  const auto got = s.run([&](auto& rt) {
     return bench::mm_structured<active>(rt, in, 7);
   });
   FRD_CHECK_MSG(got == want, "mm-large kernel miscomputed while recording");
@@ -133,7 +132,7 @@ void run_mm_large(session& s, std::uint64_t seed) {
 void run_mm_xl(session& s, std::uint64_t seed) {
   const auto in = bench::make_mm_input(80, seed);
   const auto want = bench::mm_reference(in);
-  const auto got = s.run([&](rt::serial_runtime& rt) {
+  const auto got = s.run([&](auto& rt) {
     return bench::mm_structured<active>(rt, in, 16);
   });
   FRD_CHECK_MSG(got == want, "mm-xl kernel miscomputed while recording");
@@ -159,9 +158,10 @@ void run_tracking_xl(session& s, std::uint64_t seed) {
                 "phantom produced an unexpected point count");
 
   std::vector<int> xs(kPoints), ys(kPoints);
-  s.run([&] {
-    auto& rt = s.runtime();
-    std::vector<rt::future<image::point>> chain(kPoints);
+  s.run([&](auto& rt) {
+    using RT = std::decay_t<decltype(rt)>;
+    rt.run([&] {
+    std::vector<typename RT::template future_of<image::point>> chain(kPoints);
     for (std::size_t p = 0; p < kPoints; ++p) {
       chain[p] = rt.create_future([&, p] {
         xs[p] = start[p].x;
@@ -205,6 +205,7 @@ void run_tracking_xl(session& s, std::uint64_t seed) {
                     "tracking-xl walked a point off the frame");
     }
     rt.sync();  // joins the monitor
+    });
   });
 }
 
@@ -224,9 +225,10 @@ void run_wavefront_large(session& s, std::uint64_t seed) {
   std::vector<std::int32_t> d((g.n + 1) * (g.n + 1), 0);
   const std::size_t row = g.n + 1;
   int got = -1;
-  s.run([&] {
-    auto& rt = s.runtime();
-    std::vector<rt::future<int>> fut(g.tiles * g.tiles);
+  s.run([&](auto& rt) {
+    using RT = std::decay_t<decltype(rt)>;
+    rt.run([&] {
+    std::vector<typename RT::template future_of<int>> fut(g.tiles * g.tiles);
     std::function<void(std::size_t, std::size_t)> make_tile =
         [&](std::size_t ti, std::size_t tj) {
           fut[g.index(ti, tj)] = rt.create_future([&, ti, tj]() -> int {
@@ -248,6 +250,7 @@ void run_wavefront_large(session& s, std::uint64_t seed) {
       fut[g.index(ti, g.tiles - 1)].get();
     rt.sync();  // joins the monitor
     got = d[g.n * row + g.n];
+    });
   });
   FRD_CHECK_MSG(got == want,
                 "wavefront-large kernel miscomputed while recording");
@@ -262,20 +265,24 @@ void run_wavefront_large(session& s, std::uint64_t seed) {
 // (spawn-vs-continuation).
 void run_deep_get_chain(session& s, std::uint64_t /*seed*/) {
   constexpr int kChain = 48;
-  s.run([&] {
-    auto& rt = s.runtime();
-    std::deque<rt::future<int>> chain;
-    chain.push_back(rt.create_future([&] {
+  s.run([&](auto& rt) {
+    using RT = std::decay_t<decltype(rt)>;
+    rt.run([&] {
+    // Pre-sized: body i reads slot i-1, which main wrote before creating
+    // future i (a creation edge) — growth during the loop would race the
+    // in-body reads under a parallel runtime.
+    std::vector<typename RT::template future_of<int>> chain(kChain);
+    chain[0] = rt.create_future([&] {
       s.write(&g_cells[0]);
       return 0;
-    }));
+    });
     for (int i = 1; i < kChain; ++i) {
-      chain.push_back(rt.create_future([&, i] {
+      chain[i] = rt.create_future([&, i] {
         chain[static_cast<std::size_t>(i - 1)].get();
         s.read(&g_cells[i - 1]);
         s.write(&g_cells[i]);
         return i;
-      }));
+      });
     }
     rt.spawn([&] {
       s.write(&g_cells[5]);   // races chain future #5's write
@@ -288,6 +295,7 @@ void run_deep_get_chain(session& s, std::uint64_t /*seed*/) {
     for (int i = 0; i < kChain; i += 7) chain[i].get();
     chain[kChain - 1].get();
     s.read(&g_cells[kChain - 1]);  // ordered: joined through the chain
+    });
   });
 }
 
@@ -297,15 +305,19 @@ void run_deep_get_chain(session& s, std::uint64_t /*seed*/) {
 // are then touched a second time, putting the trace in the general class.
 void run_wide_fanin(session& s, std::uint64_t /*seed*/) {
   constexpr int kWidth = 40;
-  s.run([&] {
-    auto& rt = s.runtime();
+  s.run([&](auto& rt) {
+    using RT = std::decay_t<decltype(rt)>;
+    rt.run([&] {
     // A reader future created first: its read stays parallel to every
     // sibling writer until main joins it at the very end.
     auto reader = rt.create_future([&] {
       s.read(&g_cells[80]);
       return -1;
     });
-    std::deque<rt::future<int>> futs;
+    // Only the main strand touches the handle container (bodies never read
+    // their siblings' slots), so growth is fine under any runtime.
+    std::vector<typename RT::template future_of<int>> futs;
+    futs.reserve(kWidth);
     for (int i = 0; i < kWidth; ++i) {
       futs.push_back(rt.create_future([&, i] {
         s.write(&g_cells[i]);   // private: race-free
@@ -321,6 +333,7 @@ void run_wide_fanin(session& s, std::uint64_t /*seed*/) {
     futs[kWidth / 2].get();
     reader.get();
     s.write(&g_cells[80]);   // ordered after every sibling: race-free
+    });
   });
 }
 
@@ -330,8 +343,8 @@ void run_wide_fanin(session& s, std::uint64_t /*seed*/) {
 // leaves one reader unsynced, so exactly cells[0] is racy.
 void run_purge_stress(session& s, std::uint64_t /*seed*/) {
   constexpr int kReaders = 6, kRounds = 5, kCells = 4;
-  s.run([&] {
-    auto& rt = s.runtime();
+  s.run([&](auto& rt) {
+    rt.run([&] {
     for (int round = 0; round < kRounds; ++round) {
       for (int c = 0; c < kCells; ++c) {
         for (int r = 0; r < kReaders; ++r) {
@@ -352,6 +365,7 @@ void run_purge_stress(session& s, std::uint64_t /*seed*/) {
     rt.spawn([&] { s.read(&g_cells[0]); });
     s.write(&g_cells[0]);  // reader still parallel: the one real race
     rt.sync();
+    });
   });
 }
 
@@ -361,8 +375,8 @@ void run_purge_stress(session& s, std::uint64_t /*seed*/) {
 // cells[0..depth-1] are racy while main's cells[depth] is not.
 void run_sync_heavy(session& s, std::uint64_t /*seed*/) {
   constexpr int kDepth = 5;
-  s.run([&] {
-    auto& rt = s.runtime();
+  s.run([&](auto& rt) {
+    rt.run([&] {
     std::function<void(int)> rec = [&](int d) {
       if (d == 0) {
         s.read(&g_cells[16]);  // read-shared by every leaf: race-free
@@ -377,6 +391,7 @@ void run_sync_heavy(session& s, std::uint64_t /*seed*/) {
     };
     rec(kDepth);
     s.write(&g_cells[kDepth]);  // after the implicit join: race-free
+    });
   });
 }
 
@@ -394,14 +409,16 @@ void run_fuzz(session& s, std::uint64_t seed, bool structured) {
     cfg.max_touches_per_future = 6;  // §5 multi-touch pressure
     cfg.w_get = 5;
   }
-  graph::fuzzer fz(s.runtime(), cfg, [&s](std::uint32_t cell, bool write) {
-    if (write) {
-      s.write(&g_cells[cell]);
-    } else {
-      s.read(&g_cells[cell]);
-    }
+  const graph::fuzz_plan plan = graph::plan_fuzz(cfg);
+  s.run([&](auto& rt) {
+    graph::run_fuzz_plan(rt, plan, [&s](std::uint32_t cell, bool write) {
+      if (write) {
+        s.write(&g_cells[cell]);
+      } else {
+        s.read(&g_cells[cell]);
+      }
+    });
   });
-  s.run([&](rt::serial_runtime&) { fz.run(); });
 }
 
 }  // namespace

@@ -74,7 +74,7 @@ golden_report replay_report(trace::memory_trace& tape,
   session s(session::options{.backend = backend,
                              .granule = tape.header().granule,
                              .shadow_store = store,
-                             .workers = workers});
+                             .detect_workers = workers});
   const std::uint64_t events = s.replay(tape);
   tape.rewind();
   golden_report r;

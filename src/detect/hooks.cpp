@@ -1,14 +1,19 @@
 #include "detect/hooks.hpp"
 
+#include <atomic>
+
 namespace frd::detect::hooks {
 
 namespace {
 // The one mutable global of the instrumentation path. Only this translation
-// unit sees it; everything else installs through scoped_sink.
-access_sink* g_sink = nullptr;
+// unit sees it; everything else installs through scoped_sink. Atomic because
+// online-parallel runs (src/online/) read it from every scheduler worker
+// while the owning session installs/restores it on the host thread; the
+// acquire/release pair publishes the sink object along with the pointer.
+std::atomic<access_sink*> g_sink{nullptr};
 }  // namespace
 
-access_sink* current_sink() { return g_sink; }
+access_sink* current_sink() { return g_sink.load(std::memory_order_acquire); }
 
 void access_sink::on_accesses(std::span<const access> batch,
                               std::size_t bytes) {
@@ -22,14 +27,17 @@ void access_sink::on_accesses(std::span<const access> batch,
   }
 }
 
-scoped_sink::scoped_sink(access_sink* s) : prev_(g_sink) { g_sink = s; }
-scoped_sink::~scoped_sink() { g_sink = prev_; }
+scoped_sink::scoped_sink(access_sink* s)
+    : prev_(g_sink.load(std::memory_order_relaxed)) {
+  g_sink.store(s, std::memory_order_release);
+}
+scoped_sink::~scoped_sink() { g_sink.store(prev_, std::memory_order_release); }
 
 void active::read(const void* p, std::size_t n) {
-  if (g_sink != nullptr) g_sink->on_read(p, n);
+  if (access_sink* s = g_sink.load(std::memory_order_acquire)) s->on_read(p, n);
 }
 void active::write(const void* p, std::size_t n) {
-  if (g_sink != nullptr) g_sink->on_write(p, n);
+  if (access_sink* s = g_sink.load(std::memory_order_acquire)) s->on_write(p, n);
 }
 
 }  // namespace frd::detect::hooks

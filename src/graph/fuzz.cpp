@@ -2,121 +2,174 @@
 
 namespace frd::graph {
 
-void fuzzer::run() {
-  rt_.enforce_single_touch(cfg_.structured);
-  rt_.run([this] {
+namespace {
+
+// Simulation of the original generate-during-execution fuzzer. Every prng
+// draw below happens at the exact point (relative to simulated depth-first
+// eager execution) the old code drew it, so each seed plans the very same
+// program the old fuzzer generated — the corpus goldens depend on that.
+class planner {
+ public:
+  explicit planner(const fuzz_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    plan_.structured = cfg.structured;
+  }
+
+  fuzz_plan build() {
+    const std::uint32_t root = new_body();  // bodies[0]
     std::vector<std::uint32_t> avail;
 
-    // Prologue: every program starts with one future that conflicts with the
-    // root on cell 0, so no seed produces a vacuous (query-free) run.
-    acc_(0, /*write=*/true);
-    futures_.push_back(rt_.create_future([this]() -> int {
-      acc_(0, /*write=*/false);
-      acc_(0, /*write=*/true);
-      return 1;
-    }));
-    touches_.push_back(0);
-    avail.push_back(0);
+    // Prologue: every program starts with one future that conflicts with
+    // the root on cell 0, so no seed produces a vacuous (query-free) run.
+    emit_access(root, 0, /*write=*/true);
+    const std::uint32_t pro = new_body();
+    emit_access(pro, 0, /*write=*/false);
+    emit_access(pro, 0, /*write=*/true);
+    plan_.bodies[pro].ret = 1;
+    const std::uint32_t slot0 = push_future(1);
+    emit_create(root, pro, slot0);
+    avail.push_back(slot0);
 
-    body(0, avail);
+    body(root, 0, avail);
 
     // Finale: sweep-read everything, join every still-untouched future the
     // root may legally join, then sweep-write — the writes check the whole
     // reader lists accumulated across the program.
-    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c) acc_(c, false);
-    rt_.sync();
+    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c)
+      emit_access(root, c, false);
+    emit_sync(root);
     if (cfg_.structured) {
       for (std::uint32_t idx : avail)
-        if (touches_[idx] == 0) {
-          ++touches_[idx];
-          ++gets_;
-          checksum_ += futures_[idx].get();
-        }
+        if (touches_[idx] == 0) emit_get(root, idx);
     } else {
-      for (std::uint32_t idx = 0; idx < futures_.size(); ++idx)
-        if (touches_[idx] == 0) {
-          ++touches_[idx];
-          ++gets_;
-          checksum_ += futures_[idx].get();
-        }
+      for (std::uint32_t idx = 0; idx < rets_.size(); ++idx)
+        if (touches_[idx] == 0) emit_get(root, idx);
     }
-    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c) acc_(c, true);
-  });
-}
+    for (std::uint32_t c = 0; c < cfg_.n_cells; ++c)
+      emit_access(root, c, true);
 
-void fuzzer::body(int depth, std::vector<std::uint32_t>& avail) {
-  const int actions = static_cast<int>(rng_.range(1, cfg_.max_actions_per_body));
-  for (int i = 0; i < actions; ++i) {
-    const bool can_nest = depth < cfg_.max_depth;
-    const bool can_create = can_nest && futures_.size() < cfg_.max_futures;
-    const unsigned w_spawn = can_nest ? cfg_.w_spawn : 0;
-    const unsigned w_create = can_create ? cfg_.w_create : 0;
-    const unsigned total =
-        cfg_.w_access + w_spawn + w_create + cfg_.w_get + cfg_.w_sync;
-    std::uint64_t pick = rng_.below(total);
-
-    if (pick < cfg_.w_access) {
-      const auto cell = static_cast<std::uint32_t>(rng_.below(cfg_.n_cells));
-      acc_(cell, rng_.chance(1, 2));
-      continue;
-    }
-    pick -= cfg_.w_access;
-
-    if (pick < w_spawn) {
-      // The child inherits a snapshot of the currently available handles.
-      rt_.spawn([this, depth, snapshot = avail]() mutable {
-        body(depth + 1, snapshot);
-      });
-      continue;
-    }
-    pick -= w_spawn;
-
-    if (pick < w_create) {
-      auto fut = rt_.create_future(
-          [this, depth, snapshot = avail]() mutable -> int {
-            body(depth + 1, snapshot);
-            return static_cast<int>(futures_.size());
-          });
-      // Nested creates already pushed theirs (eager execution), so the index
-      // is assigned at push time, after the future completed.
-      futures_.push_back(std::move(fut));
-      touches_.push_back(0);
-      avail.push_back(static_cast<std::uint32_t>(futures_.size() - 1));
-      continue;
-    }
-    pick -= w_create;
-
-    if (pick < cfg_.w_get) {
-      do_get(avail);
-      continue;
-    }
-
-    rt_.sync();
+    plan_.n_futures = rets_.size();
+    return std::move(plan_);
   }
-}
 
-void fuzzer::do_get(std::vector<std::uint32_t>& avail) {
-  if (cfg_.structured) {
-    // Candidates: inherited/own handles not yet touched anywhere.
-    std::vector<std::uint32_t> cands;
-    for (std::uint32_t idx : avail)
-      if (touches_[idx] == 0) cands.push_back(idx);
-    if (cands.empty()) return;
-    const std::uint32_t idx = cands[rng_.below(cands.size())];
+ private:
+  std::uint32_t new_body() {
+    plan_.bodies.emplace_back();
+    return static_cast<std::uint32_t>(plan_.bodies.size() - 1);
+  }
+  std::uint32_t push_future(int ret) {
+    rets_.push_back(ret);
+    touches_.push_back(0);
+    return static_cast<std::uint32_t>(rets_.size() - 1);
+  }
+  void emit_access(std::uint32_t b, std::uint32_t cell, bool write) {
+    fuzz_plan::action a{fuzz_plan::action_kind::access};
+    a.cell = cell;
+    a.write = write;
+    plan_.bodies[b].actions.push_back(a);
+  }
+  void emit_create(std::uint32_t b, std::uint32_t child, std::uint32_t slot) {
+    fuzz_plan::action a{fuzz_plan::action_kind::create};
+    a.body = child;
+    a.future = slot;
+    plan_.bodies[b].actions.push_back(a);
+  }
+  void emit_spawn(std::uint32_t b, std::uint32_t child) {
+    fuzz_plan::action a{fuzz_plan::action_kind::spawn};
+    a.body = child;
+    plan_.bodies[b].actions.push_back(a);
+  }
+  void emit_get(std::uint32_t b, std::uint32_t idx) {
     ++touches_[idx];
-    ++gets_;
-    checksum_ += futures_[idx].get();
-    return;
+    ++plan_.expected_gets;
+    plan_.expected_checksum += rets_[idx];
+    fuzz_plan::action a{fuzz_plan::action_kind::get};
+    a.future = idx;
+    plan_.bodies[b].actions.push_back(a);
   }
-  // General mode: any completed future, bounded multi-touch.
-  std::vector<std::uint32_t> cands;
-  for (std::uint32_t idx = 0; idx < futures_.size(); ++idx)
-    if (touches_[idx] < cfg_.max_touches_per_future) cands.push_back(idx);
-  if (cands.empty()) return;
-  const std::uint32_t idx = cands[rng_.below(cands.size())];
-  ++touches_[idx];
-  ++gets_;
-  checksum_ += futures_[idx].get();
-}
+  void emit_sync(std::uint32_t b) {
+    plan_.bodies[b].actions.push_back(
+        fuzz_plan::action{fuzz_plan::action_kind::sync});
+  }
+
+  void body(std::uint32_t b, int depth, std::vector<std::uint32_t>& avail) {
+    const int actions =
+        static_cast<int>(rng_.range(1, cfg_.max_actions_per_body));
+    for (int i = 0; i < actions; ++i) {
+      const bool can_nest = depth < cfg_.max_depth;
+      const bool can_create = can_nest && rets_.size() < cfg_.max_futures;
+      const unsigned w_spawn = can_nest ? cfg_.w_spawn : 0;
+      const unsigned w_create = can_create ? cfg_.w_create : 0;
+      const unsigned total =
+          cfg_.w_access + w_spawn + w_create + cfg_.w_get + cfg_.w_sync;
+      std::uint64_t pick = rng_.below(total);
+
+      if (pick < cfg_.w_access) {
+        const auto cell = static_cast<std::uint32_t>(rng_.below(cfg_.n_cells));
+        emit_access(b, cell, rng_.chance(1, 2));
+        continue;
+      }
+      pick -= cfg_.w_access;
+
+      if (pick < w_spawn) {
+        // The child inherits a snapshot of the currently available handles;
+        // its draws happen here, where serial eager execution ran it.
+        const std::uint32_t child = new_body();
+        std::vector<std::uint32_t> snapshot = avail;
+        body(child, depth + 1, snapshot);
+        emit_spawn(b, child);
+        continue;
+      }
+      pick -= w_spawn;
+
+      if (pick < w_create) {
+        const std::uint32_t child = new_body();
+        std::vector<std::uint32_t> snapshot = avail;
+        body(child, depth + 1, snapshot);
+        // The old body returned futures_.size() as of its own completion —
+        // nested creates already pushed theirs, so that is exactly the slot
+        // this future is about to occupy.
+        const int ret = static_cast<int>(rets_.size());
+        plan_.bodies[child].ret = ret;
+        const std::uint32_t slot = push_future(ret);
+        emit_create(b, child, slot);
+        avail.push_back(slot);
+        continue;
+      }
+      pick -= w_create;
+
+      if (pick < cfg_.w_get) {
+        do_get(b, avail);
+        continue;
+      }
+
+      emit_sync(b);
+    }
+  }
+
+  void do_get(std::uint32_t b, std::vector<std::uint32_t>& avail) {
+    std::vector<std::uint32_t> cands;
+    if (cfg_.structured) {
+      // Candidates: inherited/own handles not yet touched anywhere.
+      for (std::uint32_t idx : avail)
+        if (touches_[idx] == 0) cands.push_back(idx);
+    } else {
+      // General mode: any completed future, bounded multi-touch.
+      for (std::uint32_t idx = 0; idx < rets_.size(); ++idx)
+        if (touches_[idx] < cfg_.max_touches_per_future) cands.push_back(idx);
+    }
+    if (cands.empty()) return;
+    emit_get(b, cands[rng_.below(cands.size())]);
+  }
+
+  const fuzz_config& cfg_;
+  prng rng_;
+  fuzz_plan plan_;
+  std::vector<int> touches_;
+  std::vector<int> rets_;
+};
+
+}  // namespace
+
+fuzz_plan plan_fuzz(const fuzz_config& cfg) { return planner(cfg).build(); }
 
 }  // namespace frd::graph

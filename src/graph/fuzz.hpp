@@ -1,16 +1,31 @@
 // Random task-parallel program generator for oracle-checked property tests.
 //
-// The program is generated *during* its own depth-first eager execution:
-// a body is a random sequence of {access, spawn, create_fut, get_fut, sync}
-// actions. Because a future handle enters the candidate pool only after its
-// eager execution finished, every generated program is forward-pointing by
-// construction (paper §2), and the structured mode's inheritance rule
-// (a body may only get handles it created itself or that existed in its
-// parent when the body was forked) guarantees creator ≺ getter.
+// Split into a PLAN phase and an EXECUTE phase so the same random program
+// can run on any runtime (serial, parallel, online):
+//
+//   * plan_fuzz(cfg) simulates the generator exactly as the original
+//     generate-during-execution fuzzer consumed its prng — in serial
+//     depth-first eager order — and records the program as an action tree.
+//     Because a future handle enters the candidate pool only after its
+//     (simulated) eager execution finished, every planned program is
+//     forward-pointing by construction (paper §2), and the structured
+//     mode's inheritance rule (a body may only get handles it created
+//     itself or that existed in its parent when the body was forked)
+//     guarantees creator ≺ getter.
+//
+//   * run_fuzz_plan(rt, plan, acc) replays the action tree on any runtime.
+//     Under the serial runtime the replay issues the identical sequence of
+//     runtime calls the old fuzzer made, so recorded traces stay
+//     byte-identical seed-for-seed. Under a parallel runtime a general-mode
+//     get may execute before its target's create action has run (the plan
+//     only orders them in the serial elision), so each future slot carries
+//     a created flag the getter helps-until on.
+//
+// The fuzzer class below wraps both phases behind the original serial API.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -31,34 +46,122 @@ struct fuzz_config {
   unsigned w_access = 6, w_spawn = 2, w_create = 2, w_get = 3, w_sync = 1;
 };
 
+// acc(cell, is_write) performs the actual (instrumented) memory access.
+using access_fn = std::function<void(std::uint32_t cell, bool write)>;
+
+// One random program, fully determined by fuzz_config: a tree of bodies
+// (bodies[0] is the root program; the rest run as spawn or future tasks),
+// each a flat action list replayed in order.
+struct fuzz_plan {
+  enum class action_kind : std::uint8_t { access, spawn, create, get, sync };
+  struct action {
+    action_kind kind;
+    std::uint32_t cell = 0;    // access
+    bool write = false;        // access
+    std::uint32_t body = 0;    // spawn/create: index into bodies
+    std::uint32_t future = 0;  // create/get: future slot index
+  };
+  struct body {
+    std::vector<action> actions;
+    int ret = 0;  // future bodies: the value the body returns
+  };
+  std::vector<body> bodies;
+  bool structured = true;
+  std::size_t n_futures = 0;
+  // What the serial elision computes — invariants any execution must match.
+  std::uint64_t expected_gets = 0;
+  long long expected_checksum = 0;
+};
+
+// Simulates the generator (consuming cfg.seed's prng exactly as the
+// generate-during-execution fuzzer did) and returns the recorded program.
+fuzz_plan plan_fuzz(const fuzz_config& cfg);
+
+struct fuzz_result {
+  std::size_t futures_created = 0;
+  std::uint64_t gets = 0;
+  long long checksum = 0;  // anti-DCE accumulation
+};
+
+// Replays `plan` on any runtime exposing the shared surface. The access
+// callback must be safe to invoke from scheduler workers when RT is a
+// parallel runtime (hook-sink notification is; see detect/hooks.hpp).
+template <typename RT>
+fuzz_result run_fuzz_plan(RT& rt, const fuzz_plan& plan, const access_fn& acc) {
+  rt.enforce_single_touch(plan.structured);
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<long long> checksum{0};
+  std::vector<typename RT::template future_of<int>> futs(plan.n_futures);
+  // created[i] publishes futs[i]: the release store pairs with the getter's
+  // acquire load, so helping until the flag is set also makes the handle
+  // slot itself safe to read. Under serial eager execution the flag is
+  // always already set (plan order == execution order).
+  std::vector<std::atomic<bool>> created(plan.n_futures);
+
+  // exec must outlive the root body: a planned future nobody gets is only
+  // forced by the final quiesce, which runs after the root body's frame is
+  // gone — so the recursive walker lives here, not inside rt.run's body.
+  std::function<void(std::uint32_t)> exec;
+  exec = [&](std::uint32_t bi) {
+    for (const fuzz_plan::action& a : plan.bodies[bi].actions) {
+      switch (a.kind) {
+        case fuzz_plan::action_kind::access:
+          acc(a.cell, a.write);
+          break;
+        case fuzz_plan::action_kind::spawn:
+          rt.spawn([&, b = a.body] { exec(b); });
+          break;
+        case fuzz_plan::action_kind::create:
+          futs[a.future] = rt.create_future(
+              [&, b = a.body, r = plan.bodies[a.body].ret]() -> int {
+                exec(b);
+                return r;
+              });
+          created[a.future].store(true, std::memory_order_release);
+          break;
+        case fuzz_plan::action_kind::get:
+          rt.help_until([&] {
+            return created[a.future].load(std::memory_order_acquire);
+          });
+          checksum.fetch_add(futs[a.future].get(), std::memory_order_relaxed);
+          gets.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case fuzz_plan::action_kind::sync:
+          rt.sync();
+          break;
+      }
+    }
+  };
+  rt.run([&] { exec(0); });
+
+  fuzz_result res;
+  res.futures_created = plan.n_futures;
+  res.gets = gets.load(std::memory_order_relaxed);
+  res.checksum = checksum.load(std::memory_order_relaxed);
+  return res;
+}
+
+// Original serial-only surface, now a thin wrapper over plan + replay.
 class fuzzer {
  public:
-  // acc(cell, is_write) performs the actual (instrumented) memory access.
-  using access_fn = std::function<void(std::uint32_t cell, bool write)>;
+  using access_fn = graph::access_fn;
 
   fuzzer(rt::serial_runtime& rt, fuzz_config cfg, access_fn acc)
-      : rt_(rt), cfg_(cfg), acc_(std::move(acc)), rng_(cfg.seed) {}
+      : rt_(rt), cfg_(cfg), acc_(std::move(acc)) {}
 
   // Executes one random program under rt (which already carries whatever
   // listeners the test installed).
-  void run();
+  void run() { res_ = run_fuzz_plan(rt_, plan_fuzz(cfg_), acc_); }
 
-  std::size_t futures_created() const { return futures_.size(); }
-  std::uint64_t gets_performed() const { return gets_; }
-  long long checksum() const { return checksum_; }  // anti-DCE accumulation
+  std::size_t futures_created() const { return res_.futures_created; }
+  std::uint64_t gets_performed() const { return res_.gets; }
+  long long checksum() const { return res_.checksum; }
 
  private:
-  void body(int depth, std::vector<std::uint32_t>& avail);
-  void do_get(std::vector<std::uint32_t>& avail);
-
   rt::serial_runtime& rt_;
   const fuzz_config cfg_;
   access_fn acc_;
-  prng rng_;
-  std::deque<rt::future<int>> futures_;  // deque: stable addresses
-  std::vector<int> touches_;
-  std::uint64_t gets_ = 0;
-  long long checksum_ = 0;
+  fuzz_result res_;
 };
 
 }  // namespace frd::graph

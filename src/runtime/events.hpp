@@ -85,41 +85,67 @@ class execution_listener {
 // Fans one event stream out to several listeners (detector + trace recorder
 // + oracles in the validation tests). Listeners are invoked in registration
 // order; the fan-out grows as needed.
+//
+// Empty and single-listener muxes take a fast path: `single_` caches the
+// lone listener so every callback is one branch + one direct forward instead
+// of vector iteration (begin/end loads + loop bookkeeping per event). This
+// matters on the replay and online hot paths, where a mux with one real
+// listener is the common wiring; callers that can, still bypass the mux
+// entirely via target() (session::build_listener does).
 class listener_mux final : public execution_listener {
  public:
-  void add(execution_listener* l) { listeners_.push_back(l); }
+  void add(execution_listener* l) {
+    listeners_.push_back(l);
+    single_ = listeners_.size() == 1 ? l : nullptr;
+  }
   std::size_t size() const { return listeners_.size(); }
 
+  // The cheapest equivalent listener: nullptr when empty, the lone listener
+  // when singular, the mux itself otherwise.
+  execution_listener* target() {
+    if (listeners_.empty()) return nullptr;
+    return single_ != nullptr ? single_ : this;
+  }
+
   void on_program_begin(func_id f, strand_id s) override {
+    if (single_) return single_->on_program_begin(f, s);
     for (execution_listener* l : listeners_) l->on_program_begin(f, s);
   }
   void on_program_end(strand_id s) override {
+    if (single_) return single_->on_program_end(s);
     for (execution_listener* l : listeners_) l->on_program_end(s);
   }
   void on_strand_begin(strand_id s, func_id f) override {
+    if (single_) return single_->on_strand_begin(s, f);
     for (execution_listener* l : listeners_) l->on_strand_begin(s, f);
   }
   void on_spawn(func_id p, strand_id u, func_id c, strand_id w,
                 strand_id v) override {
+    if (single_) return single_->on_spawn(p, u, c, w, v);
     for (execution_listener* l : listeners_) l->on_spawn(p, u, c, w, v);
   }
   void on_create(func_id p, strand_id u, func_id c, strand_id w,
                  strand_id v) override {
+    if (single_) return single_->on_create(p, u, c, w, v);
     for (execution_listener* l : listeners_) l->on_create(p, u, c, w, v);
   }
   void on_return(func_id c, strand_id last, func_id p) override {
+    if (single_) return single_->on_return(c, last, p);
     for (execution_listener* l : listeners_) l->on_return(c, last, p);
   }
   void on_sync(const sync_event& e) override {
+    if (single_) return single_->on_sync(e);
     for (execution_listener* l : listeners_) l->on_sync(e);
   }
   void on_get(func_id fn, strand_id u, strand_id v, func_id fut, strand_id w,
               strand_id creator) override {
+    if (single_) return single_->on_get(fn, u, v, fut, w, creator);
     for (execution_listener* l : listeners_) l->on_get(fn, u, v, fut, w, creator);
   }
 
  private:
   std::vector<execution_listener*> listeners_;
+  execution_listener* single_ = nullptr;  // set iff exactly one listener
 };
 
 }  // namespace frd::rt

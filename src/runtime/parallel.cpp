@@ -230,10 +230,23 @@ void scheduler::wait_frame(frame& fr) {
 }
 
 void scheduler::wait_future(future_state_base& st) {
-  worker& self = *tls_worker;
-  prng rng(0x5eedc0deu + self.index);
+  // Leapfrog: if nobody has started the awaited body, run it right here.
+  // Otherwise yield until the claimer finishes — a blocked get must never
+  // claim unrelated tasks, or it buries futures other workers are waiting
+  // on under this spin (two workers burying each other's wait targets is
+  // the classic child-stealing-with-futures deadlock).
+  st.run_if_pending(*this);
   unsigned idle = 0;
   while (!st.done()) {
+    if (++idle > 64) std::this_thread::yield();
+  }
+}
+
+void scheduler::help_until(const std::function<bool()>& done) {
+  worker& self = *tls_worker;
+  prng rng(0x7e1bda7au + self.index);
+  unsigned idle = 0;
+  while (!done()) {
     if (task* t = impl_->acquire(self, rng)) {
       impl_->execute(*this, self, t);
       idle = 0;
@@ -241,6 +254,12 @@ void scheduler::wait_future(future_state_base& st) {
       std::this_thread::yield();
     }
   }
+}
+
+unsigned scheduler::current_worker_index() {
+  FRD_CHECK_MSG(tls_worker != nullptr,
+                "current_worker_index on a thread outside the runtime");
+  return tls_worker->index;
 }
 
 }  // namespace frd::rt::par

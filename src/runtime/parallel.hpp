@@ -6,15 +6,18 @@
 // child-stealing scheduler: `spawn` enqueues the child on the worker's
 // Chase-Lev deque and the parent continues; `sync` helps (pops own deque,
 // then steals) until every child of the frame has completed. Futures are
-// eagerly *created* tasks; `get` claims the task and runs it inline if no
-// one has started it, otherwise helps until it is done.
-//
-// A waiting worker never blocks on a lock: it executes other ready tasks,
-// so there is no scheduler-induced deadlock for forward-pointing futures
-// (the only kind the paper's detector accepts, §2).
+// eagerly *created* tasks; `get` leapfrogs — claims the body and runs it
+// inline if no one has started it, and otherwise yields until the claimer
+// finishes. A blocked get must NOT claim unrelated tasks: doing so buries
+// futures other workers wait on under this worker's spin, and two workers
+// burying each other's wait targets is a deadlock (observed on wavefront
+// grids at >= 3 workers). Leapfrogging only ever stacks a task's own
+// dependency above it, so for the forward-pointing future DAGs the paper's
+// detectors accept (§2) the blocked-wait chains cannot cycle.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <type_traits>
@@ -43,6 +46,10 @@ struct task {
 struct future_state_base {
   enum class status : int { pending, running, done };
   std::atomic<status> st{status::pending};
+  // The body, installed by create_future before the task is pushed. Living
+  // in the shared state (not the queued task) lets a blocked get leapfrog:
+  // claim and run the awaited body inline. The runner must mark_done().
+  std::function<void(scheduler&)> run_body;
 
   // True if the caller won the right to run the body.
   bool claim() {
@@ -53,6 +60,13 @@ struct future_state_base {
   }
   bool done() const { return st.load(std::memory_order_acquire) == status::done; }
   void mark_done() { st.store(status::done, std::memory_order_release); }
+
+  // Claims and runs the body here if nobody has started it.
+  bool run_if_pending(scheduler& s) {
+    if (!claim()) return false;
+    run_body(s);
+    return true;
+  }
 };
 
 template <typename T>
@@ -78,9 +92,18 @@ class scheduler {
   void push_task(task* t);              // current worker's deque
   void wait_frame(frame& fr);           // help until fr.pending == 0
   void wait_future(future_state_base& st);  // help until st.done()
+  // Generic helping loop: executes ready tasks (own deque, then steals)
+  // until `done()` returns true. The online engine's quiesce and the fuzz
+  // executor's wait-for-creation are built on this.
+  void help_until(const std::function<bool()>& done);
 
   frame* current_frame() const;
   frame* swap_current_frame(frame* fr);
+
+  // Index of the calling thread's worker binding within its scheduler
+  // (host = 0); asserts if the thread is not bound. The online engine keys
+  // its per-worker SPSC rings on this.
+  static unsigned current_worker_index();
 
  private:
   struct impl;
@@ -100,33 +123,31 @@ void run_as_function(scheduler& s, F& fn) {
 
 template <typename F>
 struct child_task final : task {
-  child_task(frame* parent, F&& fn) : parent_(parent), fn_(std::move(fn)) {}
+  child_task(frame* parent, F&& fn, std::atomic<std::uint64_t>* live = nullptr)
+      : parent_(parent), fn_(std::move(fn)), live_(live) {}
   void execute(scheduler& sched) override {
     run_as_function(sched, fn_);
     parent_->pending.fetch_sub(1, std::memory_order_release);
+    if (live_ != nullptr) live_->fetch_sub(1, std::memory_order_release);
   }
   frame* parent_;
   F fn_;
+  std::atomic<std::uint64_t>* live_;  // runtime's outstanding-task counter
 };
 
-template <typename State, typename F>
+// The queued face of a future: the body itself lives in the shared state
+// (so a blocked get can leapfrog into it); the task only offers the state a
+// chance to run when dequeued, and settles the live-task accounting.
 struct future_task final : task {
-  future_task(std::shared_ptr<State> st, F&& fn)
-      : state_(std::move(st)), fn_(std::move(fn)) {}
+  explicit future_task(std::shared_ptr<future_state_base> st,
+                       std::atomic<std::uint64_t>* live = nullptr)
+      : state_(std::move(st)), live_(live) {}
   void execute(scheduler& sched) override {
-    if (!state_->claim()) return;  // a get() got there first
-    auto body = [this] {
-      if constexpr (requires { state_->value; }) {
-        state_->value.emplace(fn_());
-      } else {
-        fn_();
-      }
-    };
-    run_as_function(sched, body);
-    state_->mark_done();
+    state_->run_if_pending(sched);
+    if (live_ != nullptr) live_->fetch_sub(1, std::memory_order_release);
   }
-  std::shared_ptr<State> state_;
-  F fn_;
+  std::shared_ptr<future_state_base> state_;
+  std::atomic<std::uint64_t>* live_;
 };
 
 }  // namespace par
@@ -140,18 +161,55 @@ class pfuture {
   bool valid() const { return state_ != nullptr; }
   bool ready() const { return state_ && state_->done(); }
 
+  // Handle-style join, mirroring rt::future<T>::get() so generic kernels
+  // (templated on the runtime via future_of) run unchanged here.
+  const T& get() {
+    FRD_CHECK_MSG(state_ != nullptr, "get() on an invalid pfuture");
+    sched_->wait_future(*state_);
+    return *state_->value;
+  }
+
  private:
   friend class parallel_runtime;
-  explicit pfuture(std::shared_ptr<par::future_state<T>> s)
-      : state_(std::move(s)) {}
+  pfuture(std::shared_ptr<par::future_state<T>> s, par::scheduler* sched)
+      : state_(std::move(s)), sched_(sched) {}
   std::shared_ptr<par::future_state<T>> state_;
+  par::scheduler* sched_ = nullptr;
+};
+
+template <>
+class pfuture<void> {
+ public:
+  pfuture() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->done(); }
+  void get() {
+    FRD_CHECK_MSG(state_ != nullptr, "get() on an invalid pfuture");
+    sched_->wait_future(*state_);
+  }
+
+ private:
+  friend class parallel_runtime;
+  pfuture(std::shared_ptr<par::future_state<void>> s, par::scheduler* sched)
+      : state_(std::move(s)), sched_(sched) {}
+  std::shared_ptr<par::future_state<void>> state_;
+  par::scheduler* sched_ = nullptr;
 };
 
 class parallel_runtime {
  public:
   explicit parallel_runtime(unsigned workers = 0) : sched_(workers) {}
 
+  // Generic-kernel seam shared with serial_runtime and online::runtime:
+  // kernels templated on the runtime name their future type through this.
+  template <typename T>
+  using future_of = pfuture<T>;
+
   unsigned worker_count() const { return sched_.worker_count(); }
+
+  // Single-touch enforcement is a detection-time concern; the bare parallel
+  // runtime accepts the call (generic drivers may make it) and ignores it.
+  void enforce_single_touch(bool /*on*/) {}
 
   // Runs root to completion (including everything it transitively spawned).
   template <typename F>
@@ -166,7 +224,9 @@ class parallel_runtime {
     par::frame* fr = sched_.current_frame();
     FRD_CHECK_MSG(fr != nullptr, "spawn outside run()");
     fr->pending.fetch_add(1, std::memory_order_relaxed);
-    sched_.push_task(new par::child_task<std::decay_t<F>>(fr, std::forward<F>(f)));
+    live_.fetch_add(1, std::memory_order_relaxed);
+    sched_.push_task(
+        new par::child_task<std::decay_t<F>>(fr, std::forward<F>(f), &live_));
   }
 
   void sync() {
@@ -179,9 +239,39 @@ class parallel_runtime {
   auto create_future(F&& f) -> pfuture<std::invoke_result_t<F&>> {
     using R = std::invoke_result_t<F&>;
     auto state = std::make_shared<par::future_state<R>>();
-    sched_.push_task(new par::future_task<par::future_state<R>, std::decay_t<F>>(
-        state, std::forward<F>(f)));
-    return pfuture<R>{std::move(state)};
+    // fn rides in a shared_ptr because std::function requires a copyable
+    // callable; the raw back-pointer into the state is safe — the closure
+    // is owned by that same state.
+    state->run_body = [st = state.get(),
+                       fn = std::make_shared<std::decay_t<F>>(
+                           std::forward<F>(f))](par::scheduler& sched) {
+      auto body = [&] {
+        if constexpr (std::is_void_v<R>) {
+          (*fn)();
+        } else {
+          st->value.emplace((*fn)());
+        }
+      };
+      par::run_as_function(sched, body);
+      st->mark_done();
+    };
+    live_.fetch_add(1, std::memory_order_relaxed);
+    sched_.push_task(new par::future_task(state, &live_));
+    return pfuture<R>{std::move(state), &sched_};
+  }
+
+  // Helps until every task ever pushed has finished executing — including
+  // futures nobody touched. Callable only from inside run().
+  void quiesce() {
+    sched_.help_until(
+        [this] { return live_.load(std::memory_order_acquire) == 0; });
+  }
+
+  // Helps until `done()` holds; for code that waits on its own condition
+  // (e.g. a slot being published by a concurrently running task).
+  template <typename P>
+  void help_until(P&& done) {
+    sched_.help_until(std::forward<P>(done));
   }
 
   template <typename T>
@@ -197,6 +287,7 @@ class parallel_runtime {
 
  private:
   par::scheduler sched_;
+  std::atomic<std::uint64_t> live_{0};  // tasks pushed but not yet finished
 };
 
 }  // namespace frd::rt

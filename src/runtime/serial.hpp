@@ -98,9 +98,25 @@ class serial_runtime {
   serial_runtime(const serial_runtime&) = delete;
   serial_runtime& operator=(const serial_runtime&) = delete;
 
+  // Generic-kernel seam shared with parallel_runtime and online::runtime:
+  // kernels templated on the runtime name their future type through this.
+  template <typename T>
+  using future_of = future<T>;
+
   // When true, get() aborts on a second touch of the same future handle —
   // the paper's structured-future "single-touch" restriction (§2).
   void enforce_single_touch(bool on) { single_touch_ = on; }
+
+  // Eager depth-first execution means every task created so far has already
+  // run to completion; the parallel runtimes' quiesce/help_until degenerate
+  // to no-ops here (the waited-on condition must already hold).
+  void quiesce() {}
+  template <typename P>
+  void help_until(P&& done) {
+    FRD_CHECK_MSG(done(),
+                  "help_until condition not met under eager serial execution "
+                  "(program depends on out-of-order completion)");
+  }
 
   // Runs `root` as the main function of a fresh program; reusable.
   template <typename F>

@@ -454,7 +454,7 @@ void server::worker_loop() {
             .granule = granule,
             .shadow_store = j.store,
             .replay_batch = opt_.replay_batch,
-            .workers = det_workers,
+            .detect_workers = det_workers,
             // Daemon-wide constants, so they need no cache-key entry: every
             // pooled session is built with the same sampling configuration.
             .sample_rate = opt_.sample_rate,

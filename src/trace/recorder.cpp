@@ -111,4 +111,23 @@ void trace_recorder::on_write(const void* p, std::size_t bytes) {
   if (next_ != nullptr) next_->on_write(p, bytes);
 }
 
+void trace_recorder::on_accesses(std::span<const detect::hooks::access> batch,
+                                 std::size_t bytes) {
+  // Batch elements are single-granule by contract; record_access would
+  // re-split each into itself, so record directly and keep the downstream
+  // sink on the batched path.
+  if (bytes != granule_) {
+    throw trace_error("batched accesses arrived at granule " +
+                      std::to_string(bytes) + " but this recorder writes " +
+                      std::to_string(granule_));
+  }
+  for (const detect::hooks::access& a : batch) {
+    trace_event e;
+    e.kind = a.is_write ? event_kind::write : event_kind::read;
+    e.access = {static_cast<std::uint64_t>(a.addr)};
+    put(e);
+  }
+  if (next_ != nullptr) next_->on_accesses(batch, bytes);
+}
+
 }  // namespace frd::trace

@@ -50,6 +50,12 @@ class trace_recorder final : public rt::execution_listener,
   // access_sink ---------------------------------------------------------
   void on_read(const void* p, std::size_t bytes) override;
   void on_write(const void* p, std::size_t bytes) override;
+  // Batched entry point (the online pump's access path): elements are
+  // already granule base addresses `bytes` wide, so each records as exactly
+  // one event and the whole batch forwards to the downstream sink in one
+  // call — the detector stays on its batched hot path while recording.
+  void on_accesses(std::span<const detect::hooks::access> batch,
+                   std::size_t bytes) override;
 
  private:
   void put(const trace_event& e) {

@@ -135,6 +135,42 @@ TEST(ListenerMux, AllListenersSeeIdenticalStreams) {
   EXPECT_EQ(a.gets, c.gets);
 }
 
+TEST(ListenerMux, TargetCollapsesToTheCheapestEquivalentListener) {
+  // target() is what the online pump (and any other high-rate emitter)
+  // dispatches through: an empty mux must cost a null check, a singleton
+  // must cost one virtual call — not a loop over a one-element vector.
+  rt::listener_mux mux;
+  EXPECT_EQ(mux.target(), nullptr);
+
+  counting_listener only;
+  mux.add(&only);
+  EXPECT_EQ(mux.target(), &only);
+
+  counting_listener second;
+  mux.add(&second);
+  EXPECT_EQ(mux.target(), &mux);
+}
+
+TEST(ListenerMux, SingleListenerFastPathDeliversEveryCallback) {
+  // The single_ cache short-circuits all eight callbacks; the lone listener
+  // must still see the full stream.
+  counting_listener only;
+  rt::listener_mux mux;
+  mux.add(&only);
+  rt::serial_runtime rt(&mux);
+  rt.run([&] {
+    rt.spawn([&] {});
+    auto f = rt.create_future([] { return 0; });
+    rt.sync();
+    f.get();
+  });
+  EXPECT_EQ(only.spawns, 1);
+  EXPECT_EQ(only.creates, 1);
+  EXPECT_EQ(only.syncs, 1);
+  EXPECT_EQ(only.gets, 1);
+  EXPECT_GT(only.strands, 3);
+}
+
 TEST(ListenerMux, FanOutGrowsPastTheOldFixedCapacity) {
   // The mux used to trap at 8 listeners; recorder + oracle + detector stacks
   // now push past that, so it must grow instead.

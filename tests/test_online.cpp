@@ -1,0 +1,255 @@
+// Online detection on the work-stealing parallel runtime (src/online/).
+//
+// The contract under test is the CONFORMANCE ORACLE: an online run that
+// records its arbitration order must produce a race report byte-identical
+// to a serial replay of that very recording — for every corpus program,
+// through every eligible backend, at scheduler widths 1, 2, and 4. The
+// pump's canonical depth-first walk makes the arbitration order equal the
+// serial elision's order, so "online" and "replay of what online recorded"
+// see the same event stream; the oracle holds the whole pipeline (rings,
+// demux, walk, batching) to that claim per run.
+//
+// Note what is NOT claimed: cross-worker-count identity. Programs whose
+// structure depends on physical execution order (bst's fixup resolve order,
+// general fuzz interleavings) legitimately produce different — but each
+// individually correct — reports at different widths. Each run is held to
+// its own recording.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "corpus/manifest.hpp"
+#include "corpus/programs.hpp"
+#include "corpus/runner.hpp"
+#include "detect/types.hpp"
+#include "online/engine.hpp"
+#include "trace/event.hpp"
+
+namespace frd {
+namespace {
+
+// builtin_manifest() returns by value; find() hands out pointers into the
+// manifest, so every lookup must go through one long-lived copy.
+const corpus::manifest& builtin() {
+  static const corpus::manifest m = corpus::builtin_manifest();
+  return m;
+}
+
+// Everything a race report observably says, for element-wise comparison.
+struct fingerprint {
+  std::uint64_t races_total = 0;
+  std::vector<detect::race> retained;
+  std::set<std::uintptr_t> racy_granules;
+  std::uint64_t accesses = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t strands = 0;
+};
+
+fingerprint fingerprint_of(const session& s) {
+  fingerprint f;
+  f.races_total = s.report().total();
+  f.retained = s.report().retained();
+  f.racy_granules = s.report().racy_granules();
+  f.accesses = s.access_count();
+  f.gets = s.get_count();
+  f.lookups = s.query_stats().lookups;
+  f.cache_hits = s.query_stats().cache_hits;
+  f.batches = s.query_stats().batches;
+  f.strands = s.query_stats().strands;
+  return f;
+}
+
+void expect_identical(const fingerprint& online, const fingerprint& replay) {
+  EXPECT_EQ(online.races_total, replay.races_total);
+  EXPECT_EQ(online.racy_granules, replay.racy_granules);
+  ASSERT_EQ(online.retained.size(), replay.retained.size());
+  for (std::size_t i = 0; i < online.retained.size(); ++i) {
+    const detect::race& a = online.retained[i];
+    const detect::race& b = replay.retained[i];
+    EXPECT_EQ(a.granule_addr, b.granule_addr) << "race " << i;
+    EXPECT_EQ(a.prior, b.prior) << "race " << i;
+    EXPECT_EQ(a.prior_kind, b.prior_kind) << "race " << i;
+    EXPECT_EQ(a.current, b.current) << "race " << i;
+    EXPECT_EQ(a.current_kind, b.current_kind) << "race " << i;
+  }
+  EXPECT_EQ(online.accesses, replay.accesses);
+  EXPECT_EQ(online.gets, replay.gets);
+  // Query-plane counters too: online access runs are delimited by the same
+  // dag events the trace records, and the replay session's batch capacity
+  // below matches the pump's, so even the batching shape must agree.
+  EXPECT_EQ(online.lookups, replay.lookups);
+  EXPECT_EQ(online.cache_hits, replay.cache_hits);
+  EXPECT_EQ(online.batches, replay.batches);
+  EXPECT_EQ(online.strands, replay.strands);
+}
+
+// ------------------------------------------------------ conformance cube --
+
+struct online_case {
+  std::string entry;
+  std::string backend;
+  unsigned workers;
+};
+
+bool is_heavy(const std::string& name) {
+  // Million-event entries: one (backend, width) point keeps the suite's
+  // runtime bounded while still exercising ring wraparound and the
+  // quiesce path at scale.
+  return name.find("-xl") != std::string::npos ||
+         name.find("-large") != std::string::npos;
+}
+
+std::vector<online_case> all_cases() {
+  std::vector<online_case> out;
+  for (const corpus::corpus_entry& e : builtin().entries) {
+    if (is_heavy(e.name)) {
+      out.push_back({e.name, "multibags+", 4u});
+      continue;
+    }
+    for (const std::string& b : corpus::eligible_backends(e.futures)) {
+      for (unsigned w : {1u, 2u, 4u}) {
+        out.push_back({e.name, b, w});
+      }
+    }
+  }
+  return out;
+}
+
+class OnlineConformance : public ::testing::TestWithParam<online_case> {};
+
+TEST_P(OnlineConformance, ReportMatchesSerialReplayOfItsOwnRecording) {
+  const online_case& c = GetParam();
+  const corpus::corpus_entry* e = builtin().find(c.entry);
+  ASSERT_NE(e, nullptr);
+  const corpus::corpus_program* prog = corpus::find_program(e->program);
+  ASSERT_NE(prog, nullptr);
+
+  // Online: run the program live on the work-stealing runtime, recording
+  // the arbitration order as it streams through the pump.
+  trace::memory_trace tape(
+      trace::trace_header{trace::kTraceVersion, e->granule});
+  session online(session::options{.backend = c.backend,
+                                  .granule = e->granule,
+                                  .runtime = runtime_kind::parallel,
+                                  .runtime_workers = c.workers});
+  online.record_to(tape);
+  prog->run(online, e->seed);
+  const fingerprint live = fingerprint_of(online);
+
+  // Replay: a fresh serial session over the recording. The batch capacity
+  // matches the pump's so the query-plane counters are comparable.
+  session replay(session::options{
+      .backend = c.backend,
+      .granule = e->granule,
+      .replay_batch = online::engine::config{}.batch_capacity});
+  replay.replay(tape);
+  tape.rewind();
+  expect_identical(live, fingerprint_of(replay));
+}
+
+std::string case_name(const ::testing::TestParamInfo<online_case>& info) {
+  std::string s = info.param.entry + "_" + info.param.backend + "_w" +
+                  std::to_string(info.param.workers);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, OnlineConformance,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// ------------------------------------------------------- serial identity --
+
+// Deterministic-structure programs go further than the per-run oracle: the
+// online recording at ANY width equals the serial session's recording
+// event-for-event, because the canonical walk IS the serial elision.
+TEST(OnlineSerialIdentity, OnlineRecordingEqualsTheSerialRecording) {
+  for (const char* name : {"lcs-structured", "mm-structured", "sync-heavy",
+                           "fuzz-structured", "fuzz-general"}) {
+    const corpus::corpus_entry* e = builtin().find(name);
+    ASSERT_NE(e, nullptr);
+    const corpus::corpus_program* prog = corpus::find_program(e->program);
+    ASSERT_NE(prog, nullptr);
+
+    trace::memory_trace serial_tape(
+        trace::trace_header{trace::kTraceVersion, e->granule});
+    session serial(session::options{.granule = e->granule});
+    serial.record_to(serial_tape);
+    prog->run(serial, e->seed);
+
+    trace::memory_trace online_tape(
+        trace::trace_header{trace::kTraceVersion, e->granule});
+    session online(session::options{.granule = e->granule,
+                                    .runtime = runtime_kind::parallel,
+                                    .runtime_workers = 4});
+    online.record_to(online_tape);
+    prog->run(online, e->seed);
+
+    // Normalization remaps first-touch granule order, which the identical
+    // event order makes identical — so the normalized streams match
+    // event-for-event even though raw heap addresses differ per run.
+    trace::memory_trace ns = corpus::normalize_addresses(serial_tape);
+    trace::memory_trace no = corpus::normalize_addresses(online_tape);
+    trace::trace_event es, eo;
+    std::uint64_t idx = 0;
+    while (true) {
+      const bool more_s = ns.next(es);
+      const bool more_o = no.next(eo);
+      ASSERT_EQ(more_s, more_o) << name << ": stream lengths differ at event "
+                                << idx;
+      if (!more_s) break;
+      ASSERT_EQ(static_cast<int>(es.kind), static_cast<int>(eo.kind))
+          << name << ": event " << idx;
+      ++idx;
+    }
+    EXPECT_GT(idx, 0u) << name;
+  }
+}
+
+// --------------------------------------------------------- configuration --
+
+TEST(OnlineConfig, SerialSessionsRejectRuntimeWorkers) {
+  // runtime_workers parallelizes the program; on the serial runtime the
+  // knob is meaningless and silently ignoring it would mislead.
+  EXPECT_THROW(session(session::options{.runtime_workers = 2}),
+               detect::backend_error);
+}
+
+TEST(OnlineConfigDeath, RuntimeAccessorIsSerialOnly) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // The serial runtime handle does not exist in an online session; the
+  // accessor must refuse rather than hand out a dangling substrate.
+  EXPECT_DEATH(
+      {
+        session s(session::options{.runtime = runtime_kind::parallel,
+                                   .runtime_workers = 2});
+        (void)s.runtime();
+      },
+      "runtime = parallel");
+}
+
+TEST(OnlineConfig, ZeroArgBodiesRunOnTheConfiguredRuntime) {
+  // The run(void-callable) overload works on both runtimes — it routes
+  // through the online pump when the session is parallel.
+  session s(session::options{.runtime = runtime_kind::parallel,
+                             .runtime_workers = 2});
+  static int cells[4];
+  s.run([&] {
+    s.write(&cells[0]);
+    s.read(&cells[0]);
+  });
+  EXPECT_EQ(s.access_count(), 2u);
+  EXPECT_EQ(s.report().total(), 0u);
+}
+
+}  // namespace
+}  // namespace frd

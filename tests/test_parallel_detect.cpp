@@ -116,7 +116,7 @@ session::options xl_options(std::size_t granule, unsigned workers,
                           .shadow_store = "sharded",
                           .shadow_shard_bits = 4,
                           .replay_batch = batch,
-                          .workers = workers};
+                          .detect_workers = workers};
 }
 
 // Serial vs workers=4 on a million-event entry at the SAME explicit batch
@@ -207,31 +207,31 @@ TEST(ParallelConfig, RejectsUnshardedStores) {
   // hashed-page has no shard partition to hand workers; failing at session
   // construction beats detecting serially while claiming --workers 4.
   EXPECT_THROW(session(session::options{.shadow_store = "hashed-page",
-                                        .workers = 4}),
+                                        .detect_workers = 4}),
                shadow::store_error);
   EXPECT_THROW(session(session::options{.shadow_store = "compact",
-                                        .workers = 2}),
+                                        .detect_workers = 2}),
                shadow::store_error);
 }
 
 TEST(ParallelConfig, RejectsASingleShard) {
   EXPECT_THROW(session(session::options{.shadow_store = "sharded",
                                         .shadow_shard_bits = 0,
-                                        .workers = 2}),
+                                        .detect_workers = 2}),
                shadow::store_error);
 }
 
 TEST(ParallelConfig, RejectsOutOfRangeWorkerCounts) {
   EXPECT_THROW(session(session::options{.shadow_store = "sharded",
-                                        .workers = 0}),
+                                        .detect_workers = 0}),
                detect::backend_error);
   EXPECT_THROW(session(session::options{.shadow_store = "sharded",
-                                        .workers = 257}),
+                                        .detect_workers = 257}),
                detect::backend_error);
 }
 
 TEST(ParallelConfig, OneWorkerNeedsNoShardedStore) {
-  EXPECT_NO_THROW(session(session::options{.workers = 1}));
+  EXPECT_NO_THROW(session(session::options{.detect_workers = 1}));
 }
 
 // ------------------------------------------------------------ peak memory --

@@ -175,7 +175,7 @@ TEST(RateOneIdentity, HoldsUnderParallelDetection) {
                         .shadow_store = "sharded",
                         .shadow_shard_bits = 4,
                         .replay_batch = 1024,
-                        .workers = 4};
+                        .detect_workers = 4};
   session plain(base);
   plain.replay(tape);
   tape.rewind();

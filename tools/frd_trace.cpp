@@ -3,6 +3,9 @@
 //   frd-trace record --program demo --out demo.frdt [--backend multibags+]
 //                    [--granule 4] [--seed 1] [--format binary|jsonl]
 //                    [--compress]
+//   frd-trace exec   --program demo [--runtime-workers N] [--record FILE]
+//                    # live online detection on the parallel runtime; the
+//                    # recorded arbitration order replays byte-identically
 //   frd-trace run    <trace> [--backend multibags+] [--from N] [--to M]
 //   frd-trace dump   <trace> [--from N] [--to M]    # JSONL to stdout
 //   frd-trace stats  <trace>             # event-kind histogram + totals;
@@ -61,7 +64,16 @@ int usage(const char* prog) {
                "  record --program demo|fuzz|fuzz-general --out FILE\n"
                "         [--backend NAME] [--granule N] [--seed N]\n"
                "         [--format binary|jsonl] [--compress]\n"
+               "  exec   --program demo|fuzz|fuzz-general\n"
+               "         [--backend NAME] [--granule N] [--seed N]\n"
+               "         [--runtime-workers N] [--record FILE [--compress]]\n"
+               "         (run the program live on the parallel runtime with\n"
+               "          online detection; --record captures the arbitration\n"
+               "          order for byte-identical serial replay)\n"
                "  run    FILE [--backend NAME] [--store NAME] [--shard-bits N]\n"
+               "         [--workers N]  (replay DETECTION workers — distinct\n"
+               "          from exec --runtime-workers, which parallelizes the\n"
+               "          program itself)\n"
                "         [--from N] [--to M]  (--from > 0: window conflict scan)\n"
                "  dump   FILE [--from N] [--to M]\n"
                "  stats  FILE\n"
@@ -80,23 +92,24 @@ std::array<int, 16> g_cells;
 // it (same shape as the session test's differential anchor) — two racy
 // granules (cells[1] future-vs-spawn, cells[2] spawn-vs-continuation).
 void demo_program(session& s) {
-  s.run([&] {
-    auto& rt = s.runtime();
-    auto f = rt.create_future([&] {
-      s.write(&g_cells[0]);
-      s.write(&g_cells[1]);
-      return 0;
-    });
-    rt.spawn([&] {
-      s.write(&g_cells[1]);
+  s.run([&](auto& rt) {
+    rt.run([&] {
+      auto f = rt.create_future([&] {
+        s.write(&g_cells[0]);
+        s.write(&g_cells[1]);
+        return 0;
+      });
+      rt.spawn([&] {
+        s.write(&g_cells[1]);
+        s.write(&g_cells[2]);
+      });
       s.write(&g_cells[2]);
+      rt.sync();
+      s.write(&g_cells[3]);
+      f.get();
+      s.read(&g_cells[0]);
+      s.write(&g_cells[3]);
     });
-    s.write(&g_cells[2]);
-    rt.sync();
-    s.write(&g_cells[3]);
-    f.get();
-    s.read(&g_cells[0]);
-    s.write(&g_cells[3]);
   });
 }
 
@@ -108,21 +121,31 @@ void fuzz_program(session& s, std::uint64_t seed, bool structured) {
   cfg.max_actions_per_body = 12;
   cfg.n_cells = static_cast<std::uint32_t>(g_cells.size());
   cfg.max_futures = 64;
-  graph::fuzzer fz(s.runtime(), cfg, [&s](std::uint32_t cell, bool write) {
-    if (write) {
-      s.write(&g_cells[cell]);
-    } else {
-      s.read(&g_cells[cell]);
-    }
+  const graph::fuzz_plan plan = graph::plan_fuzz(cfg);
+  s.run([&](auto& rt) {
+    graph::run_fuzz_plan(rt, plan, [&s](std::uint32_t cell, bool write) {
+      if (write) {
+        s.write(&g_cells[cell]);
+      } else {
+        s.read(&g_cells[cell]);
+      }
+    });
   });
-  s.run([&](rt::serial_runtime&) { fz.run(); });
 }
 
 void print_report(const session& s, std::uint64_t events) {
   std::printf("backend:        %s\n", std::string(s.backend_name()).c_str());
   std::printf("shadow store:   %s\n", s.opts().shadow_store.c_str());
-  if (s.opts().workers > 1) {
-    std::printf("workers:        %u\n", s.opts().workers);
+  if (s.opts().runtime == runtime_kind::parallel) {
+    if (s.opts().runtime_workers > 0) {
+      std::printf("runtime:        parallel (%u workers)\n",
+                  s.opts().runtime_workers);
+    } else {
+      std::printf("runtime:        parallel (hardware concurrency)\n");
+    }
+  }
+  if (s.opts().detect_workers > 1) {
+    std::printf("workers:        %u\n", s.opts().detect_workers);
   }
   // The degraded-detection modes announce themselves: a sampled or
   // history-bounded report must never be mistaken for a full-protocol one.
@@ -402,6 +425,103 @@ int cmd_record(int argc, char** argv) {
   return 0;
 }
 
+// exec: the online pump end-to-end. The program runs live on the
+// work-stealing parallel runtime with detection attached; --record captures
+// the pump's arbitration order so `frd-trace run` on the file reproduces
+// this report byte-identically (the conformance oracle). Note the worker
+// knobs are orthogonal: `exec --runtime-workers` widens the PROGRAM's
+// scheduler, `run --workers` widens replay DETECTION.
+int cmd_exec(int argc, char** argv) {
+  flag_parser flags(argc, argv);
+  auto& program = flags.string_flag("program", "demo",
+                                    "demo | fuzz | fuzz-general");
+  auto& backend = flags.string_flag("backend", "multibags+",
+                                    "detection backend");
+  auto& granule = flags.int_flag("granule", 4, "shadow granule (bytes)");
+  auto& seed = flags.int_flag("seed", 1, "fuzz seed");
+  auto& runtime_workers = flags.int_flag(
+      "runtime-workers", 0,
+      "work-stealing scheduler width (0 = hardware concurrency)");
+  auto& record_path = flags.string_flag(
+      "record", "",
+      "also record the arbitration-order trace here (serial replay of it "
+      "reproduces this run's report byte-identically)");
+  auto& do_compress = flags.bool_flag(
+      "compress", false, "--record writes a .frdtz container");
+  flags.parse();
+  if (program != "demo" && program != "fuzz" && program != "fuzz-general") {
+    std::fprintf(stderr, "exec: unknown --program '%s'\n", program.c_str());
+    return 2;
+  }
+  if (granule < 1 || !frd::valid_granule(static_cast<std::size_t>(granule))) {
+    std::fprintf(stderr, "exec: --granule must be a power of two in "
+                         "[1, 4096]\n");
+    return 2;
+  }
+  if (runtime_workers < 0 || runtime_workers > 256) {
+    std::fprintf(stderr, "exec: --runtime-workers must be in [0, 256]\n");
+    return 2;
+  }
+  if (do_compress && record_path.empty()) {
+    std::fprintf(stderr, "exec: --compress needs --record\n");
+    return 2;
+  }
+  session s(session::options{
+      .backend = backend,
+      .granule = static_cast<std::size_t>(granule),
+      .runtime = runtime_kind::parallel,
+      .runtime_workers = static_cast<unsigned>(runtime_workers)});
+
+  std::ofstream out;
+  std::unique_ptr<trace::trace_sink> sink;
+  if (!record_path.empty()) {
+    out.open(record_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "exec: cannot open '%s' for writing\n",
+                   record_path.c_str());
+      return 1;
+    }
+    const trace::trace_header header{
+        trace::kTraceVersion, static_cast<std::uint32_t>(granule)};
+    if (do_compress) {
+      sink = std::make_unique<container::container_writer>(out, header);
+    } else {
+      sink = std::make_unique<trace::trace_writer>(out, header);
+    }
+    s.record_to(*sink);
+  }
+
+  try {
+    if (program == "demo") {
+      demo_program(s);
+    } else {
+      fuzz_program(s, static_cast<std::uint64_t>(seed), program == "fuzz");
+    }
+    if (sink) {
+      sink->finish();
+      out.close();
+      if (!out) {
+        throw trace::trace_error("writing '" + record_path + "' failed");
+      }
+    }
+  } catch (...) {
+    if (!record_path.empty()) {
+      // Same no-partial-artifact contract as record.
+      out.close();
+      std::remove(record_path.c_str());
+    }
+    throw;
+  }
+
+  std::printf("executed '%s' online\n", program.c_str());
+  if (!record_path.empty()) {
+    std::printf("recorded arbitration order to %s (%s)\n", record_path.c_str(),
+                do_compress ? "container" : "binary");
+  }
+  print_report(s, 0);
+  return 0;
+}
+
 int cmd_run(const std::string& path, int argc, char** argv) {
   flag_parser flags(argc, argv);
   auto& backend = flags.string_flag("backend", "multibags+",
@@ -497,7 +617,7 @@ int cmd_run(const std::string& path, int argc, char** argv) {
       .shadow_store = store,
       .shadow_shard_bits = static_cast<unsigned>(shard_bits),
       .replay_batch = static_cast<std::size_t>(batch),
-      .workers = static_cast<unsigned>(workers),
+      .detect_workers = static_cast<unsigned>(workers),
       .sample_rate = sample_rate,
       .sample_seed = static_cast<std::uint64_t>(sample_seed),
       .sampling = sample_policy == "epoch"
@@ -856,6 +976,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "record") return cmd_record(argc - 1, argv + 1);
+    if (cmd == "exec") return cmd_exec(argc - 1, argv + 1);
     if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
     if (cmd == "run" || cmd == "dump" || cmd == "stats" || cmd == "pack" ||
         cmd == "unpack" || cmd == "submit") {

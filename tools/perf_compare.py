@@ -38,6 +38,14 @@ must match the baseline bit-for-bit (the sampled set is a pure seeded
 function of the versioned corpus traces, so fractions never legitimately
 vary across machines).
 
+With --fresh-online the guard runs over the BENCH_online_overhead.json
+snapshot from bench/online_overhead. Each online row's overhead_vs_bare is
+already a same-machine ratio (online median / bare uninstrumented parallel
+median), so machine speed cancels per row and no share math is needed: the
+gate is the per-(program, backend, workers) growth ratio fresh/baseline,
+failing when any point's overhead factor grew beyond 1/threshold (default
+2x) of the baseline's.
+
 Usage:
   perf_compare.py --fresh build/BENCH_replay_throughput.json [--history perf]
                   [--baseline FILE] [--threshold 0.5] [--default-store NAME]
@@ -47,6 +55,8 @@ Usage:
                   [--baseline-parallel FILE]
                   [--fresh-frontier build/BENCH_sampling_frontier.json]
                   [--baseline-frontier FILE]
+                  [--fresh-online build/BENCH_online_overhead.json]
+                  [--baseline-online FILE]
   perf_compare.py --self-test
 
 Exit codes: 0 ok / no usable baseline, 1 regression, 2 bad invocation.
@@ -151,6 +161,47 @@ def load_frontier_rows(path):
                 {"eps": eps,
                  "fraction": float(row["detection_fraction"])})
     return rows
+
+
+def load_online_rows(path):
+    """(program, backend, workers) -> overhead_vs_bare for the online rows
+    of one online_overhead snapshot. Bare rows carry no overhead factor
+    (they ARE the denominator) and are skipped."""
+    with open(path) as f:
+        snap = json.load(f)
+    rows = {}
+    for row in snap.get("rows", []):
+        if row.get("mode") != "online":
+            continue
+        ov = float(row["overhead_vs_bare"])
+        if ov > 0:
+            rows.setdefault(
+                (row["program"], row["backend"], int(row["workers"])), ov)
+    return rows
+
+
+def online_point(key):
+    """('lcs-structured', 'multibags+', 4) -> 'lcs-structured/multibags+/w4'."""
+    return f"{key[0]}/{key[1]}/w{key[2]}"
+
+
+def compare_overheads(base, fresh, limit):
+    """Prints the per-point overhead table; returns the points whose factor
+    grew beyond `limit` x baseline. Overhead is lower-is-better and already
+    machine-normalized, so the gate is a plain per-point growth ratio — no
+    cross-point shares."""
+    print(f"  {'point':<34} {'base x':>7} {'fresh x':>8} {'growth':>6}")
+    regressions = []
+    for key in sorted(base):
+        b, f = base[key], fresh[key]
+        growth = f / b
+        marker = ""
+        if growth > limit:
+            regressions.append(online_point(key))
+            marker = "  <-- REGRESSION"
+        print(f"  {online_point(key):<34} {b:>7.1f} {f:>8.1f} "
+              f"{growth:>6.2f}{marker}")
+    return regressions
 
 
 def frontier_group(key):
@@ -312,7 +363,32 @@ def self_test():
         check("identical fractions produce no drift",
               frontier_fraction_drift(frows, frows) == [])
 
-        # 5. baseline discovery picks the highest PR number per suffix.
+        # 5. online rows: bare rows are the denominator, not data points;
+        #    the gate is per-point overhead growth, not a share.
+        online = td / "online.json"
+        online.write_text(json.dumps({"rows": [
+            {"program": "lcs", "backend": "multibags+", "workers": 4,
+             "mode": "bare", "mean_seconds": 0.01},
+            {"program": "lcs", "backend": "multibags+", "workers": 4,
+             "mode": "online", "mean_seconds": 0.8,
+             "overhead_vs_bare": 80.0},
+            {"program": "mm", "backend": "multibags", "workers": 1,
+             "mode": "online", "mean_seconds": 0.5,
+             "overhead_vs_bare": 50.0},
+        ]}))
+        orows = load_online_rows(online)
+        check("load_online_rows keeps only mode=online rows",
+              orows == {("lcs", "multibags+", 4): 80.0,
+                        ("mm", "multibags", 1): 50.0})
+        check("identical overheads pass the growth gate",
+              compare_overheads(orows, orows, 2.0) == [])
+        bloated = dict(orows)
+        bloated[("lcs", "multibags+", 4)] = 250.0
+        check("a >2x overhead growth trips the gate",
+              compare_overheads(orows, bloated, 2.0)
+              == ["lcs/multibags+/w4"])
+
+        # 6. baseline discovery picks the highest PR number per suffix.
         for name in ("pr3_replay_throughput.json", "pr10_replay_throughput.json",
                      "pr7_parallel_speedup.json"):
             (td / name).write_text("{}")
@@ -367,6 +443,13 @@ def main():
                          "fractions)")
     ap.add_argument("--baseline-frontier", default=None,
                     help="explicit sampling-frontier baseline (overrides "
+                         "--history)")
+    ap.add_argument("--fresh-online", default=None,
+                    help="BENCH_online_overhead.json from this build; guard "
+                         "the online-detection overhead factor per "
+                         "(program, backend, workers) point")
+    ap.add_argument("--baseline-online", default=None,
+                    help="explicit online-overhead baseline (overrides "
                          "--history)")
     ap.add_argument("--self-test", action="store_true",
                     help="run fixture-driven checks of the comparison logic "
@@ -548,6 +631,44 @@ def main():
                       f"sampling decision is deterministic on versioned "
                       f"traces, so this means the sampler or the detector "
                       f"semantics changed", file=sys.stderr)
+                failed = True
+
+    if args.fresh_online:
+        online_base_path = args.baseline_online or latest_baseline(
+            args.history, "online_overhead")
+        if online_base_path is None:
+            print(f"perf_compare: no pr*_online_overhead.json under "
+                  f"'{args.history}' — skipping the online trajectory")
+        else:
+            try:
+                fresh_o = load_online_rows(args.fresh_online)
+                base_o = load_online_rows(online_base_path)
+            except (OSError, ValueError, KeyError) as e:
+                print(f"perf_compare: unreadable online snapshot: {e}",
+                      file=sys.stderr)
+                return 2
+            common_o = sorted(set(fresh_o) & set(base_o))
+            if not common_o:
+                print("perf_compare: the online snapshots share no "
+                      "(program, backend, workers) rows — sweep changed "
+                      "completely; not comparable", file=sys.stderr)
+                return 2
+            # Overhead is lower-is-better: the failure direction is growth,
+            # so the same --threshold drives the gate from the other side
+            # (default 0.5 -> fail when a point's factor more than doubled).
+            limit = 1.0 / args.threshold
+            print(f"perf_compare: {args.fresh_online} vs {online_base_path} "
+                  f"({len(common_o)} common rows, growth limit "
+                  f"{limit:.1f}x)")
+            regressions = compare_overheads(
+                {k: base_o[k] for k in common_o},
+                {k: fresh_o[k] for k in common_o}, limit)
+            if regressions:
+                print(f"perf_compare: online-detection overhead grew beyond "
+                      f"{limit:.1f}x baseline at point(s): "
+                      f"{', '.join(regressions)}; if intentional, land the "
+                      f"new perf/prN snapshot with the change and say why",
+                      file=sys.stderr)
                 failed = True
 
     if failed:
